@@ -1,0 +1,19 @@
+//! Figure 8: the four production-derived load traces.
+
+use dasr_bench::table::ascii_series;
+use dasr_workloads::Trace;
+
+fn main() {
+    println!("=== Figure 8: offered-load traces (req/s per minute) ===");
+    for n in 1..=4 {
+        let t = Trace::paper(n);
+        println!(
+            "\n{} — mean {:.0} rps, peak {:.0} rps",
+            t.name,
+            t.mean_rps(),
+            t.peak_rps()
+        );
+        println!("{}", ascii_series(&t.name, &t.rps, 36, 50));
+    }
+    println!("paper: trace 1 steady ~100 rps; trace 2 one long burst; trace 3 one short burst; trace 4 many bursts (0-200 rps, 1440 min)");
+}

@@ -1,0 +1,38 @@
+//! Figure 9: CPUIO on trace 2 (one long burst) under tight (1.25× Max) and
+//! loose (5× Max) latency goals.
+//!
+//! Paper results (cost ratios vs Auto): goal 1.25× — Peak 2.75×, Util 1.8×,
+//! Trace 1.28×; goal 5× — Peak ≈8×, Avg 2×, Util 1.8×. Headline: looser
+//! goals let Auto cut costs further while staying within the goal.
+
+use dasr_bench::compare::{print_comparison, run_policy_comparison, ExperimentScale};
+use dasr_core::RunConfig;
+use dasr_workloads::{CpuIoConfig, CpuIoWorkload, Trace};
+
+fn main() {
+    let minutes = ExperimentScale::from_env().minutes();
+    let trace = Trace::paper_with_len(2, minutes);
+    let base = RunConfig::default();
+    for (factor, paper) in [
+        (1.25, [("peak", 2.75), ("trace", 1.28), ("util", 1.8)]),
+        (5.0, [("peak", 8.0), ("avg", 2.0), ("util", 1.8)]),
+    ] {
+        let r = run_policy_comparison(
+            &trace,
+            CpuIoWorkload::new(CpuIoConfig::default()),
+            factor,
+            &base,
+        );
+        print_comparison(
+            &format!("Figure 9: CPUIO on trace 2, goal {factor}x Max ({minutes} min)"),
+            &format!("{factor} x p95(Max)"),
+            &r,
+        );
+        for (policy, expected) in paper {
+            println!(
+                "  paper cost({policy})/cost(auto) = {expected:.2}x | measured {:.2}x",
+                r.cost_ratio_vs_auto(policy)
+            );
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Figure 10: TPC-C on trace 4 (many bursts), goal 1.25× Max.
+//!
+//! Paper: among goal-meeting policies, Peak costs 2×, Trace 2.4× and Util
+//! 3.4× what Auto costs — Auto recognizes the lock-dominated waits and does
+//! not buy resources that cannot help (see also Figure 13).
+
+use dasr_bench::compare::{print_comparison, run_policy_comparison, ExperimentScale};
+use dasr_core::RunConfig;
+use dasr_workloads::{TpccConfig, TpccWorkload, Trace};
+
+fn main() {
+    let minutes = ExperimentScale::from_env().minutes();
+    let trace = Trace::paper_with_len(4, minutes);
+    let base = RunConfig::default();
+    let r = run_policy_comparison(
+        &trace,
+        TpccWorkload::new(TpccConfig::default()),
+        1.25,
+        &base,
+    );
+    print_comparison(
+        &format!("Figure 10: TPC-C on trace 4, goal 1.25x Max ({minutes} min)"),
+        "1.25 x p95(Max)",
+        &r,
+    );
+    for (policy, expected) in [("peak", 2.0), ("trace", 2.4), ("util", 3.4)] {
+        println!(
+            "  paper cost({policy})/cost(auto) = {expected:.2}x | measured {:.2}x",
+            r.cost_ratio_vs_auto(policy)
+        );
+    }
+}

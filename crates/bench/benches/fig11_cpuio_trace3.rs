@@ -1,0 +1,31 @@
+//! Figure 11: CPUIO on trace 3 (one short burst), goal 5× Max.
+//!
+//! Paper: Peak costs 4.5×, Avg 1.5× and Util 2.5× what Auto costs; Avg and
+//! Peak degrade latency during the burst while Auto tracks the goal.
+
+use dasr_bench::compare::{print_comparison, run_policy_comparison, ExperimentScale};
+use dasr_core::RunConfig;
+use dasr_workloads::{CpuIoConfig, CpuIoWorkload, Trace};
+
+fn main() {
+    let minutes = ExperimentScale::from_env().minutes();
+    let trace = Trace::paper_with_len(3, minutes);
+    let base = RunConfig::default();
+    let r = run_policy_comparison(
+        &trace,
+        CpuIoWorkload::new(CpuIoConfig::default()),
+        5.0,
+        &base,
+    );
+    print_comparison(
+        &format!("Figure 11: CPUIO on trace 3, goal 5x Max ({minutes} min)"),
+        "5 x p95(Max)",
+        &r,
+    );
+    for (policy, expected) in [("peak", 4.5), ("avg", 1.5), ("util", 2.5)] {
+        println!(
+            "  paper cost({policy})/cost(auto) = {expected:.2}x | measured {:.2}x",
+            r.cost_ratio_vs_auto(policy)
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! Figure 12: DS2 on trace 1 (steady demand), goal 1.25× Max.
+//!
+//! Paper: even for a steady workload — the best case for a static container
+//! — Peak costs 1.5×, Avg 1.2× and Util 1.5× what Auto costs.
+
+use dasr_bench::compare::{print_comparison, run_policy_comparison, ExperimentScale};
+use dasr_core::RunConfig;
+use dasr_workloads::{Ds2Config, Ds2Workload, Trace};
+
+fn main() {
+    let minutes = ExperimentScale::from_env().minutes();
+    let trace = Trace::paper_with_len(1, minutes);
+    let base = RunConfig::default();
+    let r = run_policy_comparison(&trace, Ds2Workload::new(Ds2Config::default()), 1.25, &base);
+    print_comparison(
+        &format!("Figure 12: DS2 on trace 1, goal 1.25x Max ({minutes} min)"),
+        "1.25 x p95(Max)",
+        &r,
+    );
+    for (policy, expected) in [("peak", 1.5), ("avg", 1.2), ("util", 1.5)] {
+        println!(
+            "  paper cost({policy})/cost(auto) = {expected:.2}x | measured {:.2}x",
+            r.cost_ratio_vs_auto(policy)
+        );
+    }
+}

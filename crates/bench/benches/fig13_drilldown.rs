@@ -1,0 +1,111 @@
+//! Figure 13: why Util costs 3.4× Auto on the lock-bound TPC-C workload.
+//!
+//! Reproduces the drill-down: per-interval container CPU and utilization
+//! (both as % of the largest server) and the performance factor for Util
+//! (13a) and Auto (13b), plus the wait-category mix (13c — lock waits
+//! dominate with >90%, so extra resources cannot improve latency).
+
+use dasr_bench::compare::{run_policy_comparison, ExperimentScale};
+use dasr_bench::table::{ascii_series, ascii_table};
+use dasr_core::{RunConfig, RunReport};
+use dasr_engine::WAIT_CLASSES;
+use dasr_workloads::{TpccConfig, TpccWorkload, Trace};
+
+fn drill(report: &RunReport, server_cores: f64, goal_ms: f64, label: &str) {
+    println!("\n--- Figure 13 {label} ---");
+    let container_cpu_pct: Vec<f64> = report
+        .intervals
+        .iter()
+        .map(|i| i.allocated.cpu_cores / server_cores * 100.0)
+        .collect();
+    let used_cpu_pct: Vec<f64> = report
+        .intervals
+        .iter()
+        .map(|i| i.used.cpu_cores / server_cores * 100.0)
+        .collect();
+    let bucket = (report.intervals.len() / 20).max(1);
+    println!(
+        "{}",
+        ascii_series(
+            "container Max CPU (% of server)",
+            &container_cpu_pct,
+            bucket,
+            40
+        )
+    );
+    println!(
+        "{}",
+        ascii_series("CPU utilization (% of server)", &used_cpu_pct, bucket, 40)
+    );
+
+    let pf: Vec<f64> = report
+        .intervals
+        .iter()
+        .filter_map(|i| i.performance_factor(goal_ms))
+        .collect();
+    let mean_pf = pf.iter().sum::<f64>() / pf.len().max(1) as f64;
+    let max_container = container_cpu_pct.iter().copied().fold(0.0, f64::max);
+    println!(
+        "mean performance factor {mean_pf:.1} (paper: close to zero for both policies); \
+         peak container CPU {max_container:.0}% of server"
+    );
+}
+
+fn main() {
+    let minutes = ExperimentScale::from_env().minutes();
+    let trace = Trace::paper_with_len(4, minutes);
+    let base = RunConfig::default();
+    // A single warehouse and a mostly-cached database: every Payment
+    // serializes on one hot row, so during bursts the workload is purely
+    // lock-bound — the application-level contention behind Figure 13.
+    let workload = TpccWorkload::new(TpccConfig {
+        warehouses: 1,
+        db_pages: 262_144,  // 2 GB
+        hot_pages: 131_072, // 1 GB
+        hot_prob: 0.97,
+        ..TpccConfig::default()
+    });
+    let r = run_policy_comparison(&trace, workload, 1.25, &base);
+    let server_cores = base.catalog.largest().resources.cpu_cores;
+
+    drill(
+        r.report("util"),
+        server_cores,
+        r.goal_ms,
+        "(a): Util container sizes",
+    );
+    drill(
+        r.report("auto"),
+        server_cores,
+        r.goal_ms,
+        "(b): Auto container sizes",
+    );
+    println!(
+        "\npaper: Util overshoots to ~70% of the server's CPU while utilization stays ~10%; \
+         Auto stays in the 10-20% range."
+    );
+
+    // 13(c): wait-category mix during busy, resource-rich intervals of the
+    // Util run — with ample resources the physical waits vanish and the
+    // application locks are what remains.
+    println!("\n--- Figure 13(c): percentage waits per category (busy intervals, Util run) ---");
+    let auto = r.report("util");
+    let busy: Vec<_> = auto
+        .intervals
+        .iter()
+        .filter(|i| i.completed > 1_000 && i.rung >= 4)
+        .collect();
+    let mut rows = Vec::new();
+    for class in WAIT_CLASSES {
+        let mean: f64 =
+            busy.iter().map(|i| i.wait_pct[class.index()]).sum::<f64>() / busy.len().max(1) as f64;
+        rows.push(vec![class.to_string(), format!("{mean:.1}%")]);
+    }
+    println!("{}", ascii_table(&["wait class", "share of waits"], &rows));
+    let lock_share: f64 = busy
+        .iter()
+        .map(|i| i.wait_pct[dasr_engine::WaitClass::Lock.index()])
+        .sum::<f64>()
+        / busy.len().max(1) as f64;
+    println!("paper: lock waits >90% of all waits | measured {lock_share:.0}%");
+}

@@ -1,0 +1,111 @@
+//! Figure 14: the impact of ballooning on end-to-end latency when low
+//! memory demand is estimated incorrectly.
+//!
+//! A steady workload whose ~3 GB working set fits the current container but
+//! not the next smaller one. Without ballooning, Auto resizes memory down
+//! immediately: the working set is evicted, misses saturate the smaller
+//! disk allocation, latency jumps orders of magnitude, and even after
+//! reverting it takes a long time to re-cache the working set. With
+//! ballooning, the pool deflates slowly, the I/O rise is detected, and the
+//! probe aborts with minimal latency impact.
+
+use dasr_bench::table::ascii_series;
+use dasr_core::policy::auto::AutoConfig;
+use dasr_core::policy::AutoPolicy;
+use dasr_core::runner::ClosedLoop;
+use dasr_core::{RunConfig, RunReport, TenantKnobs};
+use dasr_telemetry::LatencyGoal;
+use dasr_workloads::{CpuIoConfig, CpuIoWorkload, Trace};
+
+fn workload() -> CpuIoWorkload {
+    // Page-access-heavy, mild CPU: the working set is what matters.
+    CpuIoWorkload::new(CpuIoConfig {
+        cpu_us_mean: 10_000.0,
+        pages_per_request: 40,
+        log_bytes: 1_024,
+        db_pages: 4 * 131_072,  // 4 GB
+        hot_pages: 3 * 131_072, // 3 GB working set (the paper's setup)
+        hot_prob: 0.98,
+        mix: [0.0, 0.0, 0.0, 1.0], // balanced only
+        grant_prob: 0.0,
+        grant_mb: 0,
+    })
+}
+
+fn run(balloon_enabled: bool, minutes: usize) -> RunReport {
+    let knobs = TenantKnobs::none().with_latency_goal(LatencyGoal::P95(500.0));
+    let cfg = RunConfig {
+        knobs,
+        prewarm_pages: workload().config().hot_pages,
+        ..RunConfig::default()
+    };
+    let trace = Trace::new("steady12", vec![12.0; minutes]);
+    let mut policy = AutoPolicy::new(AutoConfig {
+        balloon_enabled,
+        ..AutoConfig::with_knobs(knobs)
+    });
+    ClosedLoop::run(&cfg, &trace, workload(), &mut policy)
+}
+
+fn print_run(label: &str, report: &RunReport) {
+    println!("\n--- {label} ---");
+    let mem: Vec<f64> = report.intervals.iter().map(|i| i.mem_used_mb).collect();
+    let lat: Vec<f64> = report
+        .intervals
+        .iter()
+        .map(|i| i.latency_ms.unwrap_or(f64::NAN))
+        .collect();
+    let bucket = (report.intervals.len() / 18).max(1);
+    println!(
+        "{}",
+        ascii_series("memory used (MB) — Figure 14(a)", &mem, bucket, 40)
+    );
+    println!(
+        "{}",
+        ascii_series("p95 latency (ms) — Figure 14(b)", &lat, bucket, 40)
+    );
+    let max_lat = lat
+        .iter()
+        .copied()
+        .filter(|v| v.is_finite())
+        .fold(0.0, f64::max);
+    let baseline = lat
+        .iter()
+        .copied()
+        .filter(|v| v.is_finite())
+        .take(5)
+        .sum::<f64>()
+        / 5.0;
+    println!(
+        "baseline p95 ≈ {baseline:.0} ms, worst interval {max_lat:.0} ms ({:.1}x baseline), resizes {}",
+        max_lat / baseline.max(1e-9),
+        report.resizes
+    );
+}
+
+fn main() {
+    let minutes = if std::env::var("DASR_FULL").is_ok() {
+        240
+    } else {
+        90
+    };
+    println!("=== Figure 14: ballooning vs immediate memory reduction (steady 12 rps, 3 GB working set) ===");
+    let with = run(true, minutes);
+    let without = run(false, minutes);
+    print_run("Ballooning (Auto, §4.3)", &with);
+    print_run("No Ballooning (memory dropped immediately)", &without);
+
+    let worst = |r: &RunReport| {
+        r.intervals
+            .iter()
+            .filter_map(|i| i.latency_ms)
+            .fold(0.0, f64::max)
+    };
+    println!(
+        "\npaper: without ballooning, latency rises two orders of magnitude and recovery is slow; \
+         with ballooning the probe aborts with minimal impact.\n\
+         measured worst-interval latency: ballooning {:.0} ms vs no-ballooning {:.0} ms",
+        worst(&with),
+        worst(&without)
+    );
+}

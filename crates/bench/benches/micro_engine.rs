@@ -1,0 +1,55 @@
+//! Criterion micro-benchmarks for the engine substrate: request throughput
+//! of the discrete-event simulator.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dasr_containers::ResourceVector;
+use dasr_engine::request::RequestBuilder;
+use dasr_engine::{Engine, EngineConfig, SimTime};
+
+fn bench_engine(c: &mut Criterion) {
+    c.bench_function("engine_1000_requests_mixed", |b| {
+        b.iter(|| {
+            let mut e = Engine::new(
+                EngineConfig::default(),
+                ResourceVector::new(4.0, 4_096.0, 800.0, 40.0),
+            );
+            e.prewarm(100_000);
+            for i in 0..1_000u64 {
+                e.submit_at(
+                    SimTime::from_micros(i * 500),
+                    RequestBuilder::new()
+                        .lock((i % 16) as u32, i % 4 == 0)
+                        .cpu(2_000)
+                        .read(i % 150_000)
+                        .write((i * 7) % 150_000)
+                        .log(1_024)
+                        .build(),
+                );
+            }
+            e.run_until(SimTime::from_secs(30));
+            black_box(e.end_interval())
+        })
+    });
+
+    c.bench_function("engine_resize_under_load", |b| {
+        b.iter(|| {
+            let mut e = Engine::new(
+                EngineConfig::default(),
+                ResourceVector::new(1.0, 1_024.0, 100.0, 5.0),
+            );
+            for i in 0..200u64 {
+                e.submit_at(
+                    SimTime::from_micros(i * 100),
+                    RequestBuilder::new().cpu(10_000).build(),
+                );
+            }
+            e.run_until(SimTime::from_millis(50));
+            e.apply_resources(ResourceVector::new(8.0, 8_192.0, 1_600.0, 80.0));
+            e.run_until(SimTime::from_secs(10));
+            black_box(e.end_interval())
+        })
+    });
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

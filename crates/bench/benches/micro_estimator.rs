@@ -1,0 +1,62 @@
+//! Criterion micro-benchmarks for the decision path: telemetry ingestion →
+//! signal computation → demand estimation. The paper's logic must be cheap
+//! enough to run for hundreds of thousands of tenants each billing
+//! interval.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dasr_containers::ResourceKind;
+use dasr_core::DemandEstimator;
+use dasr_engine::WaitClass;
+use dasr_telemetry::{LatencyGoal, TelemetryConfig, TelemetryManager, TelemetrySample};
+
+fn sample(i: u64) -> TelemetrySample {
+    let mut util_pct = [0.0; 4];
+    util_pct[ResourceKind::Cpu.index()] = 40.0 + (i % 17) as f64;
+    util_pct[ResourceKind::Memory.index()] = 85.0;
+    util_pct[ResourceKind::DiskIo.index()] = 20.0 + (i % 7) as f64;
+    util_pct[ResourceKind::LogIo.index()] = 5.0;
+    let mut wait_ms = [0.0; 7];
+    wait_ms[WaitClass::Cpu.index()] = 500.0 + (i % 13) as f64 * 100.0;
+    wait_ms[WaitClass::DiskIo.index()] = 200.0;
+    wait_ms[WaitClass::Lock.index()] = 100.0;
+    TelemetrySample {
+        interval: i,
+        util_pct,
+        wait_ms,
+        latency_ms: Some(80.0 + (i % 11) as f64),
+        avg_latency_ms: Some(60.0),
+        completed: 5_000,
+        arrivals: 5_000,
+        rejected: 0,
+        mem_used_mb: 3_000.0,
+        mem_capacity_mb: 3_482.0,
+        disk_reads_per_sec: 50.0,
+    }
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    c.bench_function("telemetry_observe_plus_signals", |b| {
+        let mut tm = TelemetryManager::new(TelemetryConfig {
+            latency_goal: Some(LatencyGoal::P95(100.0)),
+            ..TelemetryConfig::default()
+        });
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(tm.observe(sample(i)))
+        })
+    });
+
+    c.bench_function("demand_estimate", |b| {
+        let mut tm = TelemetryManager::new(TelemetryConfig::default());
+        for i in 0..30 {
+            tm.observe(sample(i));
+        }
+        let signals = tm.signals();
+        let est = DemandEstimator::default();
+        b.iter(|| black_box(est.estimate(black_box(&signals))))
+    });
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Full-length experiment runner.
+//!
+//! ```text
+//! cargo run --release -p dasr-bench --bin exp -- fig09 [minutes]
+//! ```
+//!
+//! Figures: fig09, fig10, fig11, fig12 (policy comparisons). The default
+//! length is 240 minutes; pass a second argument or set `DASR_FULL=1` for
+//! the paper's 1440.
+
+use dasr_bench::compare::{print_comparison, run_policy_comparison};
+use dasr_core::RunConfig;
+use dasr_workloads::{
+    CpuIoConfig, CpuIoWorkload, Ds2Config, Ds2Workload, TpccConfig, TpccWorkload, Trace,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let figure = args.get(1).map(String::as_str).unwrap_or("fig09");
+    let minutes: usize =
+        args.get(2)
+            .and_then(|m| m.parse().ok())
+            .unwrap_or(if std::env::var("DASR_FULL").is_ok() {
+                1440
+            } else {
+                240
+            });
+    let base = RunConfig::default();
+
+    match figure {
+        "fig09" => {
+            let trace = Trace::paper_with_len(2, minutes);
+            for factor in [1.25, 5.0] {
+                let r = run_policy_comparison(
+                    &trace,
+                    CpuIoWorkload::new(CpuIoConfig::default()),
+                    factor,
+                    &base,
+                );
+                print_comparison(
+                    &format!("Figure 9: CPUIO on trace 2, goal {factor}x Max"),
+                    &format!("{factor} x p95(Max)"),
+                    &r,
+                );
+            }
+        }
+        "fig10" => {
+            let trace = Trace::paper_with_len(4, minutes);
+            let r = run_policy_comparison(
+                &trace,
+                TpccWorkload::new(TpccConfig::default()),
+                1.25,
+                &base,
+            );
+            print_comparison(
+                "Figure 10: TPC-C on trace 4, goal 1.25x Max",
+                "1.25 x p95(Max)",
+                &r,
+            );
+        }
+        "fig11" => {
+            let trace = Trace::paper_with_len(3, minutes);
+            let r = run_policy_comparison(
+                &trace,
+                CpuIoWorkload::new(CpuIoConfig::default()),
+                5.0,
+                &base,
+            );
+            print_comparison(
+                "Figure 11: CPUIO on trace 3, goal 5x Max",
+                "5 x p95(Max)",
+                &r,
+            );
+        }
+        "fig12" => {
+            let trace = Trace::paper_with_len(1, minutes);
+            let r =
+                run_policy_comparison(&trace, Ds2Workload::new(Ds2Config::default()), 1.25, &base);
+            print_comparison(
+                "Figure 12: DS2 on trace 1, goal 1.25x Max",
+                "1.25 x p95(Max)",
+                &r,
+            );
+        }
+        other => {
+            eprintln!("unknown figure: {other} (expected fig09|fig10|fig11|fig12)");
+            std::process::exit(1);
+        }
+    }
+}

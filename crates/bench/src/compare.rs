@@ -1,0 +1,191 @@
+//! The §7 policy-comparison methodology.
+//!
+//! For one (trace × workload × goal-factor) cell:
+//!
+//! 1. run **Max** (largest container) — the gold standard; its p95 defines
+//!    the latency goal (`goal = factor × p95(Max)`);
+//! 2. build **Peak** / **Avg** / **Trace** from the Max run's per-interval
+//!    usage profile (§7.2.1) and replay the workload under each;
+//! 3. run the online policies **Util** and **Auto** with the goal (§7.2.2).
+
+use dasr_core::policy::offline::{avg_policy, peak_policy, trace_policy, UsageProfile};
+use dasr_core::policy::{AutoPolicy, UtilPolicy};
+use dasr_core::runner::ClosedLoop;
+use dasr_core::{RunConfig, RunReport, TenantKnobs};
+use dasr_telemetry::LatencyGoal;
+use dasr_workloads::{Trace, Workload};
+
+/// How large an experiment to run — full paper scale or compressed for
+/// `cargo bench` turnaround.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExperimentScale {
+    /// 1440-minute traces (the paper's full length).
+    Full,
+    /// Compressed traces (default 240 minutes) — the shapes survive, runs
+    /// finish in minutes.
+    Compressed,
+}
+
+impl ExperimentScale {
+    /// Trace length in minutes.
+    pub fn minutes(self) -> usize {
+        match self {
+            ExperimentScale::Full => 1440,
+            ExperimentScale::Compressed => 240,
+        }
+    }
+
+    /// Reads the scale from the `DASR_FULL` environment variable (set to
+    /// run paper-length experiments).
+    pub fn from_env() -> Self {
+        if std::env::var("DASR_FULL").is_ok() {
+            ExperimentScale::Full
+        } else {
+            ExperimentScale::Compressed
+        }
+    }
+}
+
+/// Results of one comparison cell.
+#[derive(Debug)]
+pub struct ComparisonResult {
+    /// The derived latency goal, ms.
+    pub goal_ms: f64,
+    /// p95 of the Max run, ms.
+    pub max_p95_ms: f64,
+    /// Reports in presentation order: Max, Peak, Avg, Trace, Util, Auto.
+    pub reports: Vec<RunReport>,
+}
+
+impl ComparisonResult {
+    /// Looks up a report by policy name.
+    pub fn report(&self, policy: &str) -> &RunReport {
+        self.reports
+            .iter()
+            .find(|r| r.policy == policy)
+            .unwrap_or_else(|| panic!("no report for policy {policy}"))
+    }
+
+    /// Cost ratio `policy / auto` (how many times more expensive the
+    /// alternative is — the paper's headline metric).
+    pub fn cost_ratio_vs_auto(&self, policy: &str) -> f64 {
+        let auto = self.report("auto").avg_cost_per_interval();
+        if auto <= 0.0 {
+            f64::NAN
+        } else {
+            self.report(policy).avg_cost_per_interval() / auto
+        }
+    }
+}
+
+/// Runs the full §7 comparison for one cell.
+///
+/// `goal_factor` is the multiple of Max's p95 used as the latency goal
+/// (1.25 and 5 in the paper). The same seed drives every policy's workload
+/// so runs are comparable.
+pub fn run_policy_comparison<W: Workload + Clone>(
+    trace: &Trace,
+    workload: W,
+    goal_factor: f64,
+    base: &RunConfig,
+) -> ComparisonResult {
+    // Simulate an already-running database: prewarm the hot set.
+    let mut base = base.clone();
+    base.prewarm_pages = workload.hot_pages();
+
+    // 1. Max run doubles as the profiling run.
+    let (profile, max_report) = UsageProfile::profile(&base, trace, workload.clone());
+    let max_p95 = max_report.p95_ms().unwrap_or(100.0);
+    let goal = goal_factor * max_p95;
+
+    let catalog = base.catalog.clone();
+    let mut reports = vec![max_report];
+
+    // 2. Offline baselines (no latency goals, §7.2.1).
+    let offline_cfg = base.clone();
+    let mut peak = peak_policy(&profile, &catalog);
+    reports.push(ClosedLoop::run(
+        &offline_cfg,
+        trace,
+        workload.clone(),
+        &mut peak,
+    ));
+    let mut avg = avg_policy(&profile, &catalog);
+    reports.push(ClosedLoop::run(
+        &offline_cfg,
+        trace,
+        workload.clone(),
+        &mut avg,
+    ));
+    let mut tr = trace_policy(&profile, &catalog);
+    reports.push(ClosedLoop::run(
+        &offline_cfg,
+        trace,
+        workload.clone(),
+        &mut tr,
+    ));
+
+    // 3. Online policies with the goal (§7.2.2).
+    let knobs = TenantKnobs::none().with_latency_goal(LatencyGoal::P95(goal));
+    let online_cfg = RunConfig {
+        knobs,
+        ..base.clone()
+    };
+    let mut util = UtilPolicy::new();
+    reports.push(ClosedLoop::run(
+        &online_cfg,
+        trace,
+        workload.clone(),
+        &mut util,
+    ));
+    let mut auto = AutoPolicy::with_knobs(knobs);
+    reports.push(ClosedLoop::run(&online_cfg, trace, workload, &mut auto));
+
+    ComparisonResult {
+        goal_ms: goal,
+        max_p95_ms: max_p95,
+        reports,
+    }
+}
+
+/// Prints the standard figure layout: per-policy p95 latency and average
+/// cost per interval (the paper's bar+line presentation as a table).
+pub fn print_comparison(title: &str, goal_desc: &str, result: &ComparisonResult) {
+    println!("\n=== {title} ===");
+    println!(
+        "latency goal: {goal_desc} = {:.0} ms (p95 of Max = {:.1} ms)",
+        result.goal_ms, result.max_p95_ms
+    );
+    let rows: Vec<Vec<String>> = result
+        .reports
+        .iter()
+        .map(|r| {
+            vec![
+                r.policy.clone(),
+                format!("{:.1}", r.p95_ms().unwrap_or(f64::NAN)),
+                format!("{:.1}", r.avg_cost_per_interval()),
+                format!("{}", r.resizes),
+                format!("{:.1}%", r.resize_fraction() * 100.0),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        crate::table::ascii_table(
+            &[
+                "policy",
+                "p95 latency (ms)",
+                "cost/interval",
+                "resizes",
+                "resize %"
+            ],
+            &rows
+        )
+    );
+    for policy in ["peak", "avg", "trace", "util"] {
+        println!(
+            "  cost({policy}) / cost(auto) = {:.2}x",
+            result.cost_ratio_vs_auto(policy)
+        );
+    }
+}

@@ -1,0 +1,17 @@
+//! # dasr-bench — experiment harnesses for every figure and table
+//!
+//! Shared plumbing for the per-figure bench binaries
+//! (`benches/fig*.rs`, run via `cargo bench`): the §7 methodology —
+//! profile with `Max`, derive the latency goal as a multiple of `Max`'s
+//! p95, build the offline baselines from the profile, then run the online
+//! policies — plus ASCII table/plot rendering so each bench prints the same
+//! rows/series the paper reports.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compare;
+pub mod table;
+
+pub use compare::{run_policy_comparison, ComparisonResult, ExperimentScale};
+pub use table::{ascii_series, ascii_table};

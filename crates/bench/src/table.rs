@@ -1,0 +1,113 @@
+//! ASCII tables and series plots for experiment output.
+
+/// Renders a simple aligned ASCII table.
+///
+/// # Panics
+/// Panics if a row's length differs from the header's.
+pub fn ascii_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "ragged table row");
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row.iter()) {
+            *w = (*w).max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    let sep = |out: &mut String| {
+        out.push('+');
+        for w in &widths {
+            out.push_str(&"-".repeat(w + 2));
+            out.push('+');
+        }
+        out.push('\n');
+    };
+    sep(&mut out);
+    out.push('|');
+    for (h, w) in headers.iter().zip(&widths) {
+        out.push_str(&format!(" {h:>w$} |"));
+    }
+    out.push('\n');
+    sep(&mut out);
+    for row in rows {
+        out.push('|');
+        for (cell, w) in row.iter().zip(&widths) {
+            out.push_str(&format!(" {cell:>w$} |"));
+        }
+        out.push('\n');
+    }
+    sep(&mut out);
+    out
+}
+
+/// Renders a numeric series as a coarse ASCII sparkline plot, one row per
+/// bucket of `bucket` points (mean), with a proportional bar.
+pub fn ascii_series(name: &str, values: &[f64], bucket: usize, width: usize) -> String {
+    assert!(bucket > 0 && width > 0, "invalid plot spec");
+    let mut out = format!("{name} ({} points, bucket = {bucket}):\n", values.len());
+    if values.is_empty() {
+        return out;
+    }
+    let maxv = values
+        .iter()
+        .copied()
+        .filter(|v| v.is_finite())
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
+    for (i, chunk) in values.chunks(bucket).enumerate() {
+        let finite: Vec<f64> = chunk.iter().copied().filter(|v| v.is_finite()).collect();
+        let mean = if finite.is_empty() {
+            0.0
+        } else {
+            finite.iter().sum::<f64>() / finite.len() as f64
+        };
+        let bars = ((mean / maxv) * width as f64).round() as usize;
+        out.push_str(&format!(
+            "{:>5} | {}{} {:.1}\n",
+            i * bucket,
+            "#".repeat(bars.min(width)),
+            " ".repeat(width - bars.min(width)),
+            mean
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = ascii_table(
+            &["a", "longer"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+        assert!(t.contains("333"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        let _ = ascii_table(&["a"], &[vec!["1".into(), "2".into()]]);
+    }
+
+    #[test]
+    fn series_scales_bars() {
+        let s = ascii_series("x", &[0.0, 10.0, 10.0, 10.0], 2, 10);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[2].matches('#').count() > lines[1].matches('#').count());
+    }
+
+    #[test]
+    fn series_handles_nan_and_empty() {
+        let s = ascii_series("x", &[f64::NAN, 5.0], 2, 10);
+        assert!(s.contains("2 points"));
+        let e = ascii_series("empty", &[], 2, 10);
+        assert!(e.contains("0 points"));
+    }
+}

@@ -1,0 +1,408 @@
+//! The service's container offering and the searches the auto-scaler needs.
+
+use crate::container::{Container, ContainerId};
+use crate::resources::{ResourceKind, ResourceVector, RESOURCE_KINDS};
+
+/// How the catalog scales containers (paper Figure 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CatalogKind {
+    /// All resources scale in lock-step (`S`, `M`, `L`, …).
+    Lockstep,
+    /// Lockstep ladder plus variants that scale a single dimension
+    /// (`MC`/`LC` CPU-scaled, `MD`/`LD` disk-scaled, …).
+    PerDimension,
+}
+
+/// The number of lockstep container sizes in the Azure-like catalog (§7.1:
+/// "a set of eleven container sizes").
+pub const LOCKSTEP_RUNGS: usize = 11;
+
+/// `(cores, memory MB, disk IOPS, log MB/s, cost)` for each lockstep rung.
+/// Costs span 7→270 units per billing interval; resources span roughly three
+/// orders of magnitude, matching §1 and §7.1.
+const LADDER: [(f64, f64, f64, f64, f64); LOCKSTEP_RUNGS] = [
+    (0.5, 1_024.0, 100.0, 5.0, 7.0),
+    (1.0, 2_048.0, 200.0, 10.0, 15.0),
+    (2.0, 4_096.0, 400.0, 20.0, 30.0),
+    (3.0, 6_144.0, 600.0, 30.0, 45.0),
+    (4.0, 8_192.0, 800.0, 40.0, 60.0),
+    (6.0, 12_288.0, 1_200.0, 60.0, 90.0),
+    (8.0, 16_384.0, 1_600.0, 80.0, 120.0),
+    (12.0, 24_576.0, 2_400.0, 120.0, 160.0),
+    (16.0, 32_768.0, 3_200.0, 160.0, 200.0),
+    (24.0, 49_152.0, 4_800.0, 240.0, 240.0),
+    (32.0, 65_536.0, 6_400.0, 320.0, 270.0),
+];
+
+/// Fraction of the lockstep cost delta charged for raising a *single*
+/// dimension (per-dimension variants are cheaper than a full step-up — the
+/// reason Figure 1's independent scaling saves money).
+const PER_DIM_COST_FRACTION: f64 = 0.4;
+
+/// The set of containers a DaaS offers, with the searches §6 requires.
+#[derive(Debug, Clone)]
+pub struct Catalog {
+    kind: CatalogKind,
+    containers: Vec<Container>,
+}
+
+impl Catalog {
+    /// The eleven-size lockstep catalog modeled on commercial offerings
+    /// (§7.1): cost 7→270 units/interval, 0.5→32 cores, 1→64 GB,
+    /// 100→6400 IOPS.
+    pub fn azure_like() -> Self {
+        let containers = LADDER
+            .iter()
+            .enumerate()
+            .map(|(i, &(c, m, d, l, cost))| {
+                Container::new(
+                    ContainerId(i as u32),
+                    format!("C{i}"),
+                    ResourceVector::new(c, m, d, l),
+                    cost,
+                    i as u8,
+                )
+            })
+            .collect();
+        Self {
+            kind: CatalogKind::Lockstep,
+            containers,
+        }
+    }
+
+    /// The lockstep catalog extended with per-dimension variants: for every
+    /// rung `b` and every dimension, variants raising only that dimension to
+    /// rung `b+1` and `b+2` (Figure 1's `MC`/`LC`/`MD`/`LD` generalized to
+    /// all four dimensions).
+    pub fn azure_like_per_dimension() -> Self {
+        let mut catalog = Self::azure_like();
+        catalog.kind = CatalogKind::PerDimension;
+        let mut next_id = catalog.containers.len() as u32;
+        for base in 0..LOCKSTEP_RUNGS {
+            for kind in RESOURCE_KINDS {
+                for up in 1..=2usize {
+                    let target = base + up;
+                    if target >= LOCKSTEP_RUNGS {
+                        continue;
+                    }
+                    let base_res = Self::rung_resources(base);
+                    let target_res = Self::rung_resources(target);
+                    let resources = base_res.with(kind, target_res[kind]);
+                    let cost = LADDER[base].4
+                        + PER_DIM_COST_FRACTION * (LADDER[target].4 - LADDER[base].4);
+                    let suffix = match kind {
+                        ResourceKind::Cpu => "C",
+                        ResourceKind::Memory => "M",
+                        ResourceKind::DiskIo => "D",
+                        ResourceKind::LogIo => "L",
+                    };
+                    catalog.containers.push(Container::new(
+                        ContainerId(next_id),
+                        format!("C{base}{suffix}{up}"),
+                        resources,
+                        cost,
+                        base as u8,
+                    ));
+                    next_id += 1;
+                }
+            }
+        }
+        catalog
+    }
+
+    /// A custom catalog from explicit containers (for tests and what-if
+    /// studies).
+    ///
+    /// # Panics
+    /// Panics if `containers` is empty or ids are not unique.
+    pub fn custom(kind: CatalogKind, containers: Vec<Container>) -> Self {
+        assert!(!containers.is_empty(), "catalog must not be empty");
+        let mut ids: Vec<u32> = containers.iter().map(|c| c.id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), containers.len(), "container ids must be unique");
+        Self { kind, containers }
+    }
+
+    /// Lockstep resources at `rung` (0-based).
+    ///
+    /// # Panics
+    /// Panics if `rung >= LOCKSTEP_RUNGS`.
+    pub fn rung_resources(rung: usize) -> ResourceVector {
+        let (c, m, d, l, _) = LADDER[rung];
+        ResourceVector::new(c, m, d, l)
+    }
+
+    /// Lockstep cost at `rung`.
+    pub fn rung_cost(rung: usize) -> f64 {
+        LADDER[rung].4
+    }
+
+    /// The catalog's scaling model.
+    pub fn kind(&self) -> CatalogKind {
+        self.kind
+    }
+
+    /// Number of containers offered.
+    pub fn len(&self) -> usize {
+        self.containers.len()
+    }
+
+    /// Always false — catalogs are non-empty by construction.
+    pub fn is_empty(&self) -> bool {
+        self.containers.is_empty()
+    }
+
+    /// Iterates over all containers.
+    pub fn iter(&self) -> impl Iterator<Item = &Container> {
+        self.containers.iter()
+    }
+
+    /// Looks up a container by id.
+    pub fn get(&self, id: ContainerId) -> Option<&Container> {
+        self.containers.iter().find(|c| c.id == id)
+    }
+
+    /// The cheapest container in the catalog.
+    pub fn smallest(&self) -> &Container {
+        self.containers
+            .iter()
+            .min_by(|a, b| a.cost.partial_cmp(&b.cost).expect("finite costs"))
+            .expect("catalog non-empty")
+    }
+
+    /// The most expensive container in the catalog.
+    pub fn largest(&self) -> &Container {
+        self.containers
+            .iter()
+            .max_by(|a, b| a.cost.partial_cmp(&b.cost).expect("finite costs"))
+            .expect("catalog non-empty")
+    }
+
+    /// Cost of the cheapest container (`Cmin` in §5).
+    pub fn min_cost(&self) -> f64 {
+        self.smallest().cost
+    }
+
+    /// Cost of the most expensive container (`Cmax` in §5).
+    pub fn max_cost(&self) -> f64 {
+        self.largest().cost
+    }
+
+    /// The cheapest container whose resources cover `demand` in every
+    /// dimension and whose cost is within `price_cap` (if given). Ties on
+    /// cost are broken toward fewer total resources (then lower id, for
+    /// determinism). Returns `None` when no container qualifies.
+    ///
+    /// This is the primary search of the auto-scaling logic (§6).
+    pub fn cheapest_covering(
+        &self,
+        demand: &ResourceVector,
+        price_cap: Option<f64>,
+    ) -> Option<&Container> {
+        self.containers
+            .iter()
+            .filter(|c| c.covers(demand))
+            .filter(|c| price_cap.is_none_or(|cap| c.cost <= cap + 1e-9))
+            .min_by(|a, b| {
+                a.cost
+                    .partial_cmp(&b.cost)
+                    .expect("finite")
+                    .then_with(|| {
+                        total(&a.resources)
+                            .partial_cmp(&total(&b.resources))
+                            .expect("finite")
+                    })
+                    .then_with(|| a.id.cmp(&b.id))
+            })
+    }
+
+    /// The most expensive container with cost ≤ `price_cap` (§6: "if the
+    /// desired container is constrained by the available budget, then the
+    /// most expensive container with price less than `Bi` is selected").
+    /// Ties break toward more total resources. Returns `None` when even the
+    /// cheapest container exceeds the cap.
+    pub fn most_expensive_under(&self, price_cap: f64) -> Option<&Container> {
+        self.containers
+            .iter()
+            .filter(|c| c.cost <= price_cap + 1e-9)
+            .max_by(|a, b| {
+                a.cost
+                    .partial_cmp(&b.cost)
+                    .expect("finite")
+                    .then_with(|| {
+                        total(&a.resources)
+                            .partial_cmp(&total(&b.resources))
+                            .expect("finite")
+                    })
+                    .then_with(|| b.id.cmp(&a.id))
+            })
+    }
+
+    /// The smallest (cheapest) container covering `utilization` — used by
+    /// the offline analyses (§2.2's container assignment, and the `Peak` /
+    /// `Avg` / `Trace` baselines of §7.2.1).
+    pub fn assign_for_utilization(&self, utilization: &ResourceVector) -> &Container {
+        self.cheapest_covering(utilization, None)
+            .unwrap_or_else(|| self.largest())
+    }
+
+    /// Builds the *desired* resource vector produced by stepping each
+    /// dimension of `current` by `steps[d]` rungs on the lockstep ladder
+    /// (§4: demand estimates are expressed as 0/1/2 rung steps per
+    /// dimension, up or down).
+    ///
+    /// The current per-dimension rung is the smallest lockstep rung whose
+    /// value in that dimension is ≥ the container's current value.
+    pub fn desired_after_steps(&self, current: &Container, steps: [i8; 4]) -> ResourceVector {
+        let mut desired = ResourceVector::ZERO;
+        for kind in RESOURCE_KINDS {
+            let cur_value = current.resources[kind];
+            let cur_rung = (0..LOCKSTEP_RUNGS)
+                .find(|&r| Self::rung_resources(r)[kind] >= cur_value - 1e-9)
+                .unwrap_or(LOCKSTEP_RUNGS - 1);
+            let target = (cur_rung as i32 + steps[kind.index()] as i32)
+                .clamp(0, LOCKSTEP_RUNGS as i32 - 1) as usize;
+            desired[kind] = Self::rung_resources(target)[kind];
+        }
+        desired
+    }
+}
+
+fn total(v: &ResourceVector) -> f64 {
+    // A crude scalarization used only for deterministic tie-breaks.
+    v.cpu_cores + v.memory_mb / 1024.0 + v.disk_iops / 100.0 + v.log_mbps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn azure_like_shape_matches_paper() {
+        let cat = Catalog::azure_like();
+        assert_eq!(cat.len(), 11);
+        assert_eq!(cat.min_cost(), 7.0);
+        assert_eq!(cat.max_cost(), 270.0);
+        assert_eq!(cat.smallest().resources.cpu_cores, 0.5);
+        assert_eq!(cat.largest().resources.cpu_cores, 32.0);
+    }
+
+    #[test]
+    fn ladder_is_monotone_in_every_dimension_and_cost() {
+        let cat = Catalog::azure_like();
+        let v: Vec<&Container> = cat.iter().collect();
+        for w in v.windows(2) {
+            assert!(w[1].cost > w[0].cost);
+            assert!(w[1].resources.covers(&w[0].resources));
+            assert!(!w[0].resources.covers(&w[1].resources));
+        }
+    }
+
+    #[test]
+    fn cheapest_covering_finds_minimum() {
+        let cat = Catalog::azure_like();
+        let demand = ResourceVector::new(2.5, 1_000.0, 100.0, 5.0);
+        let c = cat.cheapest_covering(&demand, None).unwrap();
+        assert_eq!(c.name, "C3"); // 3 cores is the first rung ≥ 2.5
+    }
+
+    #[test]
+    fn cheapest_covering_respects_price_cap() {
+        let cat = Catalog::azure_like();
+        let demand = ResourceVector::new(2.5, 1_000.0, 100.0, 5.0);
+        assert!(cat.cheapest_covering(&demand, Some(44.0)).is_none());
+        assert_eq!(
+            cat.cheapest_covering(&demand, Some(45.0)).unwrap().name,
+            "C3"
+        );
+    }
+
+    #[test]
+    fn exact_boundary_demand_is_covered() {
+        let cat = Catalog::azure_like();
+        let demand = Catalog::rung_resources(4);
+        let c = cat.cheapest_covering(&demand, None).unwrap();
+        assert_eq!(c.name, "C4");
+    }
+
+    #[test]
+    fn impossible_demand_is_none() {
+        let cat = Catalog::azure_like();
+        let demand = ResourceVector::new(64.0, 0.0, 0.0, 0.0);
+        assert!(cat.cheapest_covering(&demand, None).is_none());
+    }
+
+    #[test]
+    fn most_expensive_under_cap() {
+        let cat = Catalog::azure_like();
+        assert_eq!(cat.most_expensive_under(100.0).unwrap().name, "C5");
+        assert_eq!(cat.most_expensive_under(7.0).unwrap().name, "C0");
+        assert!(cat.most_expensive_under(6.9).is_none());
+        assert_eq!(cat.most_expensive_under(1e9).unwrap().name, "C10");
+    }
+
+    #[test]
+    fn per_dimension_catalog_offers_cheaper_single_dim_scaling() {
+        let cat = Catalog::azure_like_per_dimension();
+        assert!(cat.len() > 11);
+        // Demand: CPU of rung 4, everything else rung 2.
+        let mut demand = Catalog::rung_resources(2);
+        demand.cpu_cores = Catalog::rung_resources(4).cpu_cores;
+        let pick = cat.cheapest_covering(&demand, None).unwrap();
+        let lockstep = Catalog::azure_like();
+        let lockstep_pick = lockstep.cheapest_covering(&demand, None).unwrap();
+        assert!(
+            pick.cost < lockstep_pick.cost,
+            "per-dim {} should beat lockstep {}",
+            pick.cost,
+            lockstep_pick.cost
+        );
+        assert!(pick.name.contains('C'), "picked {}", pick.name);
+    }
+
+    #[test]
+    fn assign_for_utilization_saturates_at_largest() {
+        let cat = Catalog::azure_like();
+        let huge = ResourceVector::new(1_000.0, 1e9, 1e9, 1e9);
+        assert_eq!(cat.assign_for_utilization(&huge).name, "C10");
+        assert_eq!(cat.assign_for_utilization(&ResourceVector::ZERO).name, "C0");
+    }
+
+    #[test]
+    fn desired_after_steps_moves_per_dimension() {
+        let cat = Catalog::azure_like();
+        let current = cat.get(ContainerId(2)).unwrap().clone(); // C2
+                                                                // +1 CPU step, -1 disk step, others unchanged.
+        let desired = cat.desired_after_steps(&current, [1, 0, -1, 0]);
+        assert_eq!(desired.cpu_cores, Catalog::rung_resources(3).cpu_cores);
+        assert_eq!(desired.memory_mb, Catalog::rung_resources(2).memory_mb);
+        assert_eq!(desired.disk_iops, Catalog::rung_resources(1).disk_iops);
+        assert_eq!(desired.log_mbps, Catalog::rung_resources(2).log_mbps);
+    }
+
+    #[test]
+    fn desired_after_steps_clamps_at_ladder_ends() {
+        let cat = Catalog::azure_like();
+        let smallest = cat.smallest().clone();
+        let down = cat.desired_after_steps(&smallest, [-2, -2, -2, -2]);
+        assert_eq!(down, Catalog::rung_resources(0));
+        let largest = cat.largest().clone();
+        let up = cat.desired_after_steps(&largest, [2, 2, 2, 2]);
+        assert_eq!(up, Catalog::rung_resources(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "ids must be unique")]
+    fn custom_rejects_duplicate_ids() {
+        let c = Container::new(ContainerId(0), "a", ResourceVector::ZERO, 1.0, 0);
+        let _ = Catalog::custom(CatalogKind::Lockstep, vec![c.clone(), c]);
+    }
+
+    #[test]
+    fn get_by_id() {
+        let cat = Catalog::azure_like();
+        assert_eq!(cat.get(ContainerId(5)).unwrap().name, "C5");
+        assert!(cat.get(ContainerId(999)).is_none());
+    }
+}

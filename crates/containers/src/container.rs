@@ -1,0 +1,108 @@
+//! Containers: fixed resource allocations with a per-interval cost.
+
+use crate::resources::ResourceVector;
+use std::fmt;
+
+/// Opaque identifier of a container within a [`crate::Catalog`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ContainerId(pub u32);
+
+impl fmt::Display for ContainerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A resource container: a fixed set of resources plus a cost per billing
+/// interval (paper §2.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Container {
+    /// Identifier within the catalog.
+    pub id: ContainerId,
+    /// Human-readable SKU name (`S`, `M`, `L`, `MC`, `LD`, …).
+    pub name: String,
+    /// Guaranteed resources.
+    pub resources: ResourceVector,
+    /// Cost in budget units per billing interval.
+    pub cost: f64,
+    /// Position on the lockstep ladder (0 = smallest); per-dimension
+    /// variants share the rung of the lockstep container they branch from.
+    pub rung: u8,
+}
+
+impl Container {
+    /// Creates a container.
+    ///
+    /// # Panics
+    /// Panics if `cost` is negative or non-finite.
+    pub fn new(
+        id: ContainerId,
+        name: impl Into<String>,
+        resources: ResourceVector,
+        cost: f64,
+        rung: u8,
+    ) -> Self {
+        assert!(cost.is_finite() && cost >= 0.0, "cost must be non-negative");
+        Self {
+            id,
+            name: name.into(),
+            resources,
+            cost,
+            rung,
+        }
+    }
+
+    /// True when this container's resources cover `demand` in every
+    /// dimension.
+    pub fn covers(&self, demand: &ResourceVector) -> bool {
+        self.resources.covers(demand)
+    }
+}
+
+impl fmt::Display for Container {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} @ {} units/interval)",
+            self.name, self.resources, self.cost
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn container_covers_demand() {
+        let c = Container::new(
+            ContainerId(3),
+            "M",
+            ResourceVector::new(2.0, 4096.0, 400.0, 20.0),
+            30.0,
+            2,
+        );
+        assert!(c.covers(&ResourceVector::new(1.0, 1024.0, 100.0, 5.0)));
+        assert!(!c.covers(&ResourceVector::new(4.0, 1024.0, 100.0, 5.0)));
+    }
+
+    #[test]
+    fn display_formats() {
+        let c = Container::new(
+            ContainerId(0),
+            "S",
+            ResourceVector::new(0.5, 1024.0, 100.0, 5.0),
+            7.0,
+            0,
+        );
+        let s = format!("{c}");
+        assert!(s.contains('S') && s.contains("7"));
+        assert_eq!(format!("{}", c.id), "#0");
+    }
+
+    #[test]
+    #[should_panic(expected = "cost must be non-negative")]
+    fn negative_cost_panics() {
+        let _ = Container::new(ContainerId(0), "bad", ResourceVector::ZERO, -1.0, 0);
+    }
+}

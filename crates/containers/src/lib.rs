@@ -1,0 +1,26 @@
+//! # dasr-containers — DaaS resource containers and cost model
+//!
+//! A relational DaaS offers a set of *resource containers*, each guaranteeing
+//! a fixed amount of every resource (CPU, memory, disk IOPS, log bandwidth)
+//! at a fixed cost per billing interval (paper §2.1). This crate models:
+//!
+//! - [`ResourceVector`] — a point in the multi-dimensional resource space;
+//! - [`Container`] — a sized container with an id, resources and a cost;
+//! - [`Catalog`] — the service's offering: eleven lockstep sizes spanning
+//!   0.5→32 cores and cost 7→270 units per interval (matching §7.1), plus
+//!   optional per-dimension scaled variants (Figure 1's `MC`/`LC` CPU-scaled
+//!   and `MD`/`LD` disk-scaled containers);
+//! - catalog searches used by the auto-scaling logic (§6): *cheapest
+//!   container covering a demanded vector under a price cap* and *most
+//!   expensive container under a cap*.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod container;
+pub mod resources;
+
+pub use catalog::{Catalog, CatalogKind};
+pub use container::{Container, ContainerId};
+pub use resources::{ResourceKind, ResourceVector, RESOURCE_KINDS};

@@ -1,0 +1,243 @@
+//! Resource dimensions and resource vectors.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// The resource dimensions a container guarantees (paper §2.1: "two virtual
+/// cores, 4GB memory, 100 disk IOPS" — we add log bandwidth, which SQL-family
+/// engines govern separately from data-file I/O).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ResourceKind {
+    /// CPU, in (possibly fractional) cores.
+    Cpu,
+    /// Memory (buffer pool + caches), in megabytes.
+    Memory,
+    /// Data-file disk I/O, in IOPS.
+    DiskIo,
+    /// Transaction-log write bandwidth, in MB/s.
+    LogIo,
+}
+
+/// All resource dimensions, in canonical order.
+pub const RESOURCE_KINDS: [ResourceKind; 4] = [
+    ResourceKind::Cpu,
+    ResourceKind::Memory,
+    ResourceKind::DiskIo,
+    ResourceKind::LogIo,
+];
+
+impl ResourceKind {
+    /// Canonical index of this dimension (order of [`RESOURCE_KINDS`]).
+    pub fn index(self) -> usize {
+        match self {
+            ResourceKind::Cpu => 0,
+            ResourceKind::Memory => 1,
+            ResourceKind::DiskIo => 2,
+            ResourceKind::LogIo => 3,
+        }
+    }
+
+    /// Short human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ResourceKind::Cpu => "cpu",
+            ResourceKind::Memory => "memory",
+            ResourceKind::DiskIo => "disk_io",
+            ResourceKind::LogIo => "log_io",
+        }
+    }
+
+    /// Unit of measurement for this dimension.
+    pub fn unit(self) -> &'static str {
+        match self {
+            ResourceKind::Cpu => "cores",
+            ResourceKind::Memory => "MB",
+            ResourceKind::DiskIo => "IOPS",
+            ResourceKind::LogIo => "MB/s",
+        }
+    }
+}
+
+impl fmt::Display for ResourceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A quantity of every resource dimension.
+///
+/// Used both for container allocations and for demand vectors. Supports
+/// component-wise comparison ([`covers`](Self::covers)) used by the
+/// cheapest-covering-container search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResourceVector {
+    /// CPU cores (fractional allowed, e.g. 0.5).
+    pub cpu_cores: f64,
+    /// Memory in MB.
+    pub memory_mb: f64,
+    /// Disk I/O operations per second.
+    pub disk_iops: f64,
+    /// Log write bandwidth in MB/s.
+    pub log_mbps: f64,
+}
+
+impl ResourceVector {
+    /// Creates a vector; all components must be finite and non-negative.
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite components.
+    pub fn new(cpu_cores: f64, memory_mb: f64, disk_iops: f64, log_mbps: f64) -> Self {
+        let v = Self {
+            cpu_cores,
+            memory_mb,
+            disk_iops,
+            log_mbps,
+        };
+        for kind in RESOURCE_KINDS {
+            let x = v[kind];
+            assert!(
+                x.is_finite() && x >= 0.0,
+                "resource {kind} must be finite and non-negative, got {x}"
+            );
+        }
+        v
+    }
+
+    /// The zero vector.
+    pub const ZERO: ResourceVector = ResourceVector {
+        cpu_cores: 0.0,
+        memory_mb: 0.0,
+        disk_iops: 0.0,
+        log_mbps: 0.0,
+    };
+
+    /// True when every component of `self` is ≥ the matching component of
+    /// `other` (within a small tolerance for floating-point arithmetic).
+    pub fn covers(&self, other: &ResourceVector) -> bool {
+        RESOURCE_KINDS.iter().all(|&k| self[k] >= other[k] - 1e-9)
+    }
+
+    /// Component-wise maximum.
+    pub fn max(&self, other: &ResourceVector) -> ResourceVector {
+        ResourceVector {
+            cpu_cores: self.cpu_cores.max(other.cpu_cores),
+            memory_mb: self.memory_mb.max(other.memory_mb),
+            disk_iops: self.disk_iops.max(other.disk_iops),
+            log_mbps: self.log_mbps.max(other.log_mbps),
+        }
+    }
+
+    /// Scales every component by `factor` (must be non-negative and finite).
+    pub fn scaled(&self, factor: f64) -> ResourceVector {
+        assert!(factor.is_finite() && factor >= 0.0, "invalid scale factor");
+        ResourceVector {
+            cpu_cores: self.cpu_cores * factor,
+            memory_mb: self.memory_mb * factor,
+            disk_iops: self.disk_iops * factor,
+            log_mbps: self.log_mbps * factor,
+        }
+    }
+
+    /// Returns a copy with one dimension replaced.
+    pub fn with(&self, kind: ResourceKind, value: f64) -> ResourceVector {
+        assert!(value.is_finite() && value >= 0.0, "invalid resource value");
+        let mut v = *self;
+        v[kind] = value;
+        v
+    }
+}
+
+impl Index<ResourceKind> for ResourceVector {
+    type Output = f64;
+
+    fn index(&self, kind: ResourceKind) -> &f64 {
+        match kind {
+            ResourceKind::Cpu => &self.cpu_cores,
+            ResourceKind::Memory => &self.memory_mb,
+            ResourceKind::DiskIo => &self.disk_iops,
+            ResourceKind::LogIo => &self.log_mbps,
+        }
+    }
+}
+
+impl IndexMut<ResourceKind> for ResourceVector {
+    fn index_mut(&mut self, kind: ResourceKind) -> &mut f64 {
+        match kind {
+            ResourceKind::Cpu => &mut self.cpu_cores,
+            ResourceKind::Memory => &mut self.memory_mb,
+            ResourceKind::DiskIo => &mut self.disk_iops,
+            ResourceKind::LogIo => &mut self.log_mbps,
+        }
+    }
+}
+
+impl fmt::Display for ResourceVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}c/{}MB/{}iops/{}MBps",
+            self.cpu_cores, self.memory_mb, self.disk_iops, self.log_mbps
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_is_componentwise() {
+        let big = ResourceVector::new(4.0, 8192.0, 800.0, 40.0);
+        let small = ResourceVector::new(2.0, 4096.0, 400.0, 20.0);
+        assert!(big.covers(&small));
+        assert!(!small.covers(&big));
+        assert!(big.covers(&big));
+        // One dimension larger breaks coverage.
+        let mixed = small.with(ResourceKind::DiskIo, 10_000.0);
+        assert!(!big.covers(&mixed));
+    }
+
+    #[test]
+    fn covers_tolerates_fp_dust() {
+        let a = ResourceVector::new(0.1 + 0.2, 1.0, 1.0, 1.0);
+        let b = ResourceVector::new(0.3, 1.0, 1.0, 1.0);
+        assert!(a.covers(&b));
+        assert!(b.covers(&a));
+    }
+
+    #[test]
+    fn indexing_roundtrip() {
+        let mut v = ResourceVector::ZERO;
+        for (i, kind) in RESOURCE_KINDS.into_iter().enumerate() {
+            v[kind] = (i + 1) as f64;
+        }
+        assert_eq!(v.cpu_cores, 1.0);
+        assert_eq!(v.memory_mb, 2.0);
+        assert_eq!(v.disk_iops, 3.0);
+        assert_eq!(v.log_mbps, 4.0);
+        assert_eq!(v[ResourceKind::LogIo], 4.0);
+    }
+
+    #[test]
+    fn scaled_and_max() {
+        let v = ResourceVector::new(1.0, 2.0, 3.0, 4.0);
+        let s = v.scaled(2.0);
+        assert_eq!(s, ResourceVector::new(2.0, 4.0, 6.0, 8.0));
+        let m = v.max(&ResourceVector::new(5.0, 1.0, 3.0, 0.0));
+        assert_eq!(m, ResourceVector::new(5.0, 2.0, 3.0, 4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite and non-negative")]
+    fn negative_component_panics() {
+        let _ = ResourceVector::new(-1.0, 0.0, 0.0, 0.0);
+    }
+
+    #[test]
+    fn kind_metadata() {
+        assert_eq!(ResourceKind::Cpu.index(), 0);
+        assert_eq!(ResourceKind::LogIo.index(), 3);
+        assert_eq!(ResourceKind::Memory.unit(), "MB");
+        assert_eq!(format!("{}", ResourceKind::DiskIo), "disk_io");
+    }
+}

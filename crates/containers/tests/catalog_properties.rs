@@ -1,0 +1,98 @@
+//! Property-based tests of the catalog searches the auto-scaler relies on.
+
+use dasr_containers::{Catalog, ResourceVector};
+use proptest::prelude::*;
+
+fn arb_demand() -> impl Strategy<Value = ResourceVector> {
+    (
+        0.0..40.0f64,
+        0.0..80_000.0f64,
+        0.0..8_000.0f64,
+        0.0..400.0f64,
+    )
+        .prop_map(|(c, m, d, l)| ResourceVector::new(c, m, d, l))
+}
+
+proptest! {
+    /// `cheapest_covering` returns a true cover, and no cheaper container in
+    /// the catalog also covers the demand (minimality).
+    #[test]
+    fn cheapest_covering_is_minimal(demand in arb_demand(), per_dim in any::<bool>()) {
+        let catalog = if per_dim {
+            Catalog::azure_like_per_dimension()
+        } else {
+            Catalog::azure_like()
+        };
+        match catalog.cheapest_covering(&demand, None) {
+            Some(pick) => {
+                prop_assert!(pick.covers(&demand));
+                for c in catalog.iter() {
+                    if c.cost < pick.cost {
+                        prop_assert!(
+                            !c.covers(&demand),
+                            "{} (cost {}) also covers but is cheaper than {} (cost {})",
+                            c.name, c.cost, pick.name, pick.cost
+                        );
+                    }
+                }
+            }
+            None => {
+                // Nothing covers: the largest container must genuinely fail.
+                prop_assert!(!catalog.largest().covers(&demand));
+            }
+        }
+    }
+
+    /// A price cap never yields a more expensive pick than the cap, and
+    /// relaxing the cap never yields a more expensive pick than before.
+    #[test]
+    fn price_cap_monotonicity(demand in arb_demand(), cap in 7.0..300.0f64) {
+        let catalog = Catalog::azure_like();
+        if let Some(capped) = catalog.cheapest_covering(&demand, Some(cap)) {
+            prop_assert!(capped.cost <= cap + 1e-9);
+            let uncapped = catalog.cheapest_covering(&demand, None).unwrap();
+            prop_assert!(uncapped.cost <= capped.cost + 1e-9);
+        }
+    }
+
+    /// `most_expensive_under` respects the cap and is maximal.
+    #[test]
+    fn most_expensive_under_is_maximal(cap in 0.0..400.0f64) {
+        let catalog = Catalog::azure_like();
+        match catalog.most_expensive_under(cap) {
+            Some(pick) => {
+                prop_assert!(pick.cost <= cap + 1e-9);
+                for c in catalog.iter() {
+                    prop_assert!(c.cost <= pick.cost + 1e-9 || c.cost > cap + 1e-9);
+                }
+            }
+            None => prop_assert!(catalog.min_cost() > cap),
+        }
+    }
+
+    /// `assign_for_utilization` (the §2.2 container assignment) is monotone:
+    /// more demand never yields a cheaper container.
+    #[test]
+    fn assignment_is_monotone(demand in arb_demand(), factor in 1.0..3.0f64) {
+        let catalog = Catalog::azure_like();
+        let small = catalog.assign_for_utilization(&demand);
+        let big = catalog.assign_for_utilization(&demand.scaled(factor));
+        prop_assert!(big.cost >= small.cost);
+    }
+
+    /// Stepping desired vectors up/down stays on the lockstep ladder and is
+    /// clamped at the ends.
+    #[test]
+    fn desired_steps_stay_on_ladder(rung in 0u32..11, s in -2i8..=2) {
+        let catalog = Catalog::azure_like();
+        let current = catalog
+            .iter()
+            .find(|c| c.rung as u32 == rung)
+            .unwrap()
+            .clone();
+        let desired = catalog.desired_after_steps(&current, [s; 4]);
+        let covering = catalog.cheapest_covering(&desired, None).unwrap();
+        let expected = (rung as i32 + s as i32).clamp(0, 10) as u8;
+        prop_assert_eq!(covering.rung, expected);
+    }
+}

@@ -1,0 +1,276 @@
+//! The ballooning controller for low-memory-demand detection (§4.3).
+//!
+//! Memory utilization is rarely LOW (caches never volunteer memory back)
+//! and memory waits are LOW whenever the working set fits — so neither
+//! signal distinguishes *low demand* from *satisfied demand*. Inspired by
+//! VM ballooning, the controller slowly deflates the buffer pool toward the
+//! next smaller container's memory and watches disk I/O:
+//!
+//! - I/O stays flat → the working set still fits → demand really is low →
+//!   **commit** (the container's memory can be reduced);
+//! - I/O rises → the working set no longer fits → **abort** and restore,
+//!   with only a bounded latency blip (Figure 14).
+//!
+//! Probes start only when demand for *all other* resources is low, which
+//! minimizes the risk of hurting latency.
+
+use dasr_telemetry::SignalSet;
+
+/// Balloon-controller tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct BalloonConfig {
+    /// Abort when disk reads/s exceed `baseline × factor + floor`.
+    pub io_rise_factor: f64,
+    /// Absolute slack added to the abort threshold, reads/s.
+    pub io_rise_floor: f64,
+    /// Intervals to wait after an abort before probing again.
+    pub retry_after_intervals: u64,
+    /// Minimum completed requests per interval for the probe's I/O signal
+    /// to mean anything: an idle tenant generates no misses, so a probe
+    /// that "succeeds" at idle proves nothing and would set a memory trap
+    /// for the next burst.
+    pub min_completed: u64,
+}
+
+impl Default for BalloonConfig {
+    fn default() -> Self {
+        Self {
+            io_rise_factor: 1.5,
+            io_rise_floor: 10.0,
+            retry_after_intervals: 30,
+            min_completed: 60,
+        }
+    }
+}
+
+/// What the policy should tell the engine to do with the balloon.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BalloonAction {
+    /// Nothing.
+    None,
+    /// Start deflating toward `target_mb`.
+    Start {
+        /// Target container memory, MB.
+        target_mb: f64,
+    },
+    /// Abort and restore the full pool.
+    Abort,
+    /// Probe complete: memory demand confirmed low; the container's memory
+    /// may be reduced.
+    Commit,
+}
+
+/// Engine-side balloon status, supplied by the runner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BalloonProbe {
+    /// No balloon in progress.
+    #[default]
+    Inactive,
+    /// Deflating; `reached_target` once capacity hit the target.
+    Active {
+        /// Whether the target capacity has been reached.
+        reached_target: bool,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Idle,
+    Probing { baseline_io: f64 },
+}
+
+/// The §4.3 controller.
+#[derive(Debug, Clone)]
+pub struct BalloonController {
+    cfg: BalloonConfig,
+    state: State,
+    last_abort_interval: Option<u64>,
+}
+
+impl Default for BalloonController {
+    fn default() -> Self {
+        Self::new(BalloonConfig::default())
+    }
+}
+
+impl BalloonController {
+    /// Creates a controller.
+    pub fn new(cfg: BalloonConfig) -> Self {
+        Self {
+            cfg,
+            state: State::Idle,
+            last_abort_interval: None,
+        }
+    }
+
+    /// True while a probe is underway.
+    pub fn probing(&self) -> bool {
+        matches!(self.state, State::Probing { .. })
+    }
+
+    /// Advances the controller one interval.
+    ///
+    /// - `signals` — current telemetry;
+    /// - `others_low` — every non-memory resource has low demand (§4.3's
+    ///   trigger condition);
+    /// - `target_mb` — the next smaller container's memory, when one exists;
+    /// - `probe` — the engine's balloon status.
+    pub fn step(
+        &mut self,
+        signals: &SignalSet,
+        others_low: bool,
+        target_mb: Option<f64>,
+        probe: BalloonProbe,
+    ) -> BalloonAction {
+        match self.state {
+            State::Idle => {
+                let cooled = self
+                    .last_abort_interval
+                    .is_none_or(|at| signals.interval >= at + self.cfg.retry_after_intervals);
+                let active_enough = signals.completed >= self.cfg.min_completed;
+                if others_low && cooled && active_enough && probe == BalloonProbe::Inactive {
+                    if let Some(target_mb) = target_mb {
+                        // Only probe when the target is actually smaller
+                        // than what the pool currently holds.
+                        if target_mb < signals.mem_capacity_mb {
+                            self.state = State::Probing {
+                                baseline_io: signals.disk_reads_per_sec,
+                            };
+                            return BalloonAction::Start { target_mb };
+                        }
+                    }
+                }
+                BalloonAction::None
+            }
+            State::Probing { baseline_io } => {
+                if signals.completed < self.cfg.min_completed {
+                    // Traffic died mid-probe: the I/O signal is
+                    // meaningless. Restore and try again later.
+                    self.state = State::Idle;
+                    self.last_abort_interval = Some(signals.interval);
+                    return BalloonAction::Abort;
+                }
+                let threshold = baseline_io * self.cfg.io_rise_factor + self.cfg.io_rise_floor;
+                if signals.disk_reads_per_sec > threshold {
+                    self.state = State::Idle;
+                    self.last_abort_interval = Some(signals.interval);
+                    return BalloonAction::Abort;
+                }
+                if probe
+                    == (BalloonProbe::Active {
+                        reached_target: true,
+                    })
+                {
+                    self.state = State::Idle;
+                    return BalloonAction::Commit;
+                }
+                BalloonAction::None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::tests_support::signal_set_with_io;
+
+    fn controller() -> BalloonController {
+        BalloonController::default()
+    }
+
+    #[test]
+    fn starts_probe_when_others_low() {
+        let mut c = controller();
+        let s = signal_set_with_io(0, 20.0, 2_048.0);
+        let a = c.step(&s, true, Some(1_024.0), BalloonProbe::Inactive);
+        assert_eq!(a, BalloonAction::Start { target_mb: 1_024.0 });
+        assert!(c.probing());
+    }
+
+    #[test]
+    fn does_not_start_when_others_busy_or_no_target() {
+        let mut c = controller();
+        let s = signal_set_with_io(0, 20.0, 2_048.0);
+        assert_eq!(
+            c.step(&s, false, Some(1_024.0), BalloonProbe::Inactive),
+            BalloonAction::None
+        );
+        assert_eq!(
+            c.step(&s, true, None, BalloonProbe::Inactive),
+            BalloonAction::None
+        );
+        // Target not smaller than current capacity.
+        assert_eq!(
+            c.step(&s, true, Some(4_096.0), BalloonProbe::Inactive),
+            BalloonAction::None
+        );
+    }
+
+    #[test]
+    fn aborts_on_io_rise() {
+        let mut c = controller();
+        let s0 = signal_set_with_io(0, 20.0, 2_048.0);
+        c.step(&s0, true, Some(1_024.0), BalloonProbe::Inactive);
+        // I/O rises well above baseline*1.5 + 10.
+        let s1 = signal_set_with_io(1, 200.0, 2_048.0);
+        let a = c.step(
+            &s1,
+            true,
+            Some(1_024.0),
+            BalloonProbe::Active {
+                reached_target: false,
+            },
+        );
+        assert_eq!(a, BalloonAction::Abort);
+        assert!(!c.probing());
+    }
+
+    #[test]
+    fn commits_at_target_with_flat_io() {
+        let mut c = controller();
+        let s0 = signal_set_with_io(0, 20.0, 2_048.0);
+        c.step(&s0, true, Some(1_024.0), BalloonProbe::Inactive);
+        let s1 = signal_set_with_io(1, 22.0, 1_024.0);
+        let a = c.step(
+            &s1,
+            true,
+            Some(1_024.0),
+            BalloonProbe::Active {
+                reached_target: true,
+            },
+        );
+        assert_eq!(a, BalloonAction::Commit);
+    }
+
+    #[test]
+    fn abort_cooldown_prevents_immediate_retry() {
+        let mut c = controller();
+        let s0 = signal_set_with_io(0, 20.0, 2_048.0);
+        c.step(&s0, true, Some(1_024.0), BalloonProbe::Inactive);
+        let hot = signal_set_with_io(1, 500.0, 2_048.0);
+        assert_eq!(
+            c.step(
+                &hot,
+                true,
+                Some(1_024.0),
+                BalloonProbe::Active {
+                    reached_target: false
+                }
+            ),
+            BalloonAction::Abort
+        );
+        // Next interval: still cooling down.
+        let s2 = signal_set_with_io(2, 20.0, 2_048.0);
+        assert_eq!(
+            c.step(&s2, true, Some(1_024.0), BalloonProbe::Inactive),
+            BalloonAction::None
+        );
+        // After the cooldown: retry allowed.
+        let s_late = signal_set_with_io(1 + 30, 20.0, 2_048.0);
+        assert!(matches!(
+            c.step(&s_late, true, Some(1_024.0), BalloonProbe::Inactive),
+            BalloonAction::Start { .. }
+        ));
+    }
+}

@@ -1,0 +1,128 @@
+//! Tenant-facing auto-scaling knobs (§2.3).
+//!
+//! The knobs raise the abstraction: tenants reason about *money* and
+//! *latency*, never about cores or IOPS. All knobs are optional.
+
+use dasr_telemetry::LatencyGoal;
+
+/// Coarse-grained performance sensitivity for tenants without a precise
+/// latency goal (§2.3). `High` scales up more aggressively and down less
+/// aggressively; `Low` the opposite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PerfSensitivity {
+    /// Latency-critical tenant.
+    High,
+    /// Balanced (default).
+    #[default]
+    Medium,
+    /// Budget-conscious tenant.
+    Low,
+}
+
+impl PerfSensitivity {
+    /// Fraction of the latency goal under which the policy considers
+    /// stepping the container down (cost saving, §6). Lower sensitivity →
+    /// larger fraction → earlier down-scaling.
+    pub fn downscale_margin(self) -> f64 {
+        match self {
+            PerfSensitivity::High => 0.35,
+            PerfSensitivity::Medium => 0.55,
+            PerfSensitivity::Low => 0.75,
+        }
+    }
+
+    /// Intervals to wait after a resize before the next non-emergency
+    /// action (hysteresis).
+    pub fn cooldown_intervals(self) -> u64 {
+        match self {
+            PerfSensitivity::High => 1,
+            PerfSensitivity::Medium => 2,
+            PerfSensitivity::Low => 3,
+        }
+    }
+}
+
+/// A tenant's optional knobs (§2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TenantKnobs {
+    /// Budget for the budgeting period (a hard constraint, §5). `None` =
+    /// unconstrained.
+    pub budget: Option<f64>,
+    /// Latency goal on average or 95th-percentile latency. `None` = scale
+    /// purely on demand.
+    pub latency_goal: Option<LatencyGoal>,
+    /// Coarse performance sensitivity.
+    pub sensitivity: PerfSensitivity,
+}
+
+impl TenantKnobs {
+    /// No knobs set: pure demand-driven scaling, unconstrained budget.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Sets the budget.
+    pub fn with_budget(mut self, budget: f64) -> Self {
+        assert!(
+            budget.is_finite() && budget > 0.0,
+            "budget must be positive"
+        );
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Sets the latency goal.
+    pub fn with_latency_goal(mut self, goal: LatencyGoal) -> Self {
+        self.latency_goal = Some(goal);
+        self
+    }
+
+    /// Sets the sensitivity.
+    pub fn with_sensitivity(mut self, sensitivity: PerfSensitivity) -> Self {
+        self.sensitivity = sensitivity;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_unconstrained() {
+        let k = TenantKnobs::none();
+        assert_eq!(k.budget, None);
+        assert_eq!(k.latency_goal, None);
+        assert_eq!(k.sensitivity, PerfSensitivity::Medium);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let k = TenantKnobs::none()
+            .with_budget(10_000.0)
+            .with_latency_goal(LatencyGoal::P95(120.0))
+            .with_sensitivity(PerfSensitivity::Low);
+        assert_eq!(k.budget, Some(10_000.0));
+        assert_eq!(k.latency_goal.unwrap().target_ms(), 120.0);
+        assert_eq!(k.sensitivity, PerfSensitivity::Low);
+    }
+
+    #[test]
+    fn sensitivity_orders_margins() {
+        assert!(
+            PerfSensitivity::High.downscale_margin() < PerfSensitivity::Medium.downscale_margin()
+        );
+        assert!(
+            PerfSensitivity::Medium.downscale_margin() < PerfSensitivity::Low.downscale_margin()
+        );
+        assert!(
+            PerfSensitivity::High.cooldown_intervals() <= PerfSensitivity::Low.cooldown_intervals()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "budget must be positive")]
+    fn invalid_budget_panics() {
+        let _ = TenantKnobs::none().with_budget(0.0);
+    }
+}

@@ -1,0 +1,47 @@
+//! # dasr-core — demand estimation, budgeting and the auto-scaling loop
+//!
+//! The paper's primary contribution (§4–§6), built on the substrates in the
+//! sibling crates:
+//!
+//! - [`estimator`] — the **resource demand estimator**: a manually
+//!   constructed hierarchy of rules over categorized telemetry signals that
+//!   estimates, per resource dimension, whether the workload demands a
+//!   container 0, 1 or 2 rungs larger (or smaller), plus the ballooning
+//!   controller for the hard low-memory-demand case (§4.3);
+//! - [`budget`] — the **budget manager**: a token-bucket allocation of the
+//!   tenant's budgeting-period budget onto billing intervals (§5);
+//! - [`knobs`] — the tenant-facing knobs: budget, latency goal,
+//!   coarse-grained performance sensitivity (§2.3);
+//! - [`explain`] — the human-readable explanations every decision carries
+//!   (§4: "Scale-up due to a CPU bottleneck", "Scale-up constrained by
+//!   budget", …);
+//! - [`policy`] — the [`policy::ScalingPolicy`] trait, the paper's **Auto**
+//!   policy (§6) and every baseline of §7.2: **Util** (utilization-only
+//!   online scaler), **Max**, **Peak**, **Avg** (offline static) and
+//!   **Trace** (offline demand-hugging schedule);
+//! - [`runner`] — the closed loop: engine + workload + policy + billing,
+//!   producing a [`report::RunReport`];
+//! - [`report`] — per-interval timelines and whole-run summaries (cost per
+//!   interval, 95th-percentile latency, resize counts).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod budget;
+pub mod estimator;
+pub mod explain;
+pub mod knobs;
+pub mod policy;
+pub mod report;
+pub mod runner;
+
+pub use budget::{BudgetManager, BudgetStrategy};
+pub use estimator::{DemandEstimate, DemandEstimator, EstimatorConfig};
+pub use explain::Explanation;
+pub use knobs::{PerfSensitivity, TenantKnobs};
+pub use policy::{
+    AutoPolicy, BalloonCommand, BalloonStatus, PolicyContext, PolicyDecision, ScalingPolicy,
+    SchedulePolicy, StaticPolicy, UtilPolicy,
+};
+pub use report::{IntervalRecord, RunReport};
+pub use runner::{ClosedLoop, RunConfig};

@@ -1,0 +1,154 @@
+//! Offline baselines (§7.2.1): **Peak**, **Avg** and **Trace**.
+//!
+//! These have the luxury of observing the workload's resource demands
+//! before choosing: the workload is first executed with the `Max`
+//! container to record per-interval absolute resource usage, then
+//!
+//! - **Peak** — a static container covering the 95th-percentile usage;
+//! - **Avg** — a static container covering the mean usage;
+//! - **Trace** — a per-interval schedule of smallest covering containers
+//!   ("hugs" the demand curve).
+
+use crate::policy::{SchedulePolicy, StaticPolicy};
+use crate::report::RunReport;
+use crate::runner::{ClosedLoop, RunConfig};
+use dasr_containers::{Catalog, ContainerId, ResourceVector, RESOURCE_KINDS};
+use dasr_stats::percentile;
+use dasr_workloads::{Trace, Workload};
+
+/// Per-interval absolute resource usage observed under `Max`.
+#[derive(Debug, Clone)]
+pub struct UsageProfile {
+    /// Usage per billing interval.
+    pub usage: Vec<ResourceVector>,
+}
+
+impl UsageProfile {
+    /// Profiles the workload by running it once with the largest container.
+    pub fn profile<W: Workload>(cfg: &RunConfig, trace: &Trace, workload: W) -> (Self, RunReport) {
+        let mut max_policy = StaticPolicy::max(&cfg.catalog);
+        let mut cfg = cfg.clone();
+        cfg.initial = Some(cfg.catalog.largest().id);
+        let report = ClosedLoop::run(&cfg, trace, workload, &mut max_policy);
+        let usage = report.intervals.iter().map(|i| i.used).collect();
+        (Self { usage }, report)
+    }
+
+    /// The `p`-th percentile of usage, per dimension.
+    pub fn percentile_usage(&self, p: f64) -> ResourceVector {
+        let mut out = ResourceVector::ZERO;
+        for kind in RESOURCE_KINDS {
+            let series: Vec<f64> = self.usage.iter().map(|u| u[kind]).collect();
+            out[kind] = percentile(&series, p).unwrap_or(0.0);
+        }
+        out
+    }
+
+    /// The mean usage, per dimension.
+    pub fn mean_usage(&self) -> ResourceVector {
+        let mut out = ResourceVector::ZERO;
+        if self.usage.is_empty() {
+            return out;
+        }
+        for kind in RESOURCE_KINDS {
+            let sum: f64 = self.usage.iter().map(|u| u[kind]).sum();
+            out[kind] = sum / self.usage.len() as f64;
+        }
+        out
+    }
+
+    /// The `Peak` baseline's static container: smallest covering the 95th
+    /// percentile of usage.
+    pub fn peak_container(&self, catalog: &Catalog) -> ContainerId {
+        catalog
+            .assign_for_utilization(&self.percentile_usage(95.0))
+            .id
+    }
+
+    /// The `Avg` baseline's static container: smallest covering the mean.
+    pub fn avg_container(&self, catalog: &Catalog) -> ContainerId {
+        catalog.assign_for_utilization(&self.mean_usage()).id
+    }
+
+    /// The `Trace` baseline's schedule: per-interval smallest covering
+    /// container.
+    pub fn trace_schedule(&self, catalog: &Catalog) -> Vec<ContainerId> {
+        self.usage
+            .iter()
+            .map(|u| catalog.assign_for_utilization(u).id)
+            .collect()
+    }
+}
+
+/// Builds the `Peak` policy from a profile.
+pub fn peak_policy(profile: &UsageProfile, catalog: &Catalog) -> StaticPolicy {
+    StaticPolicy::new("peak", profile.peak_container(catalog))
+}
+
+/// Builds the `Avg` policy from a profile.
+pub fn avg_policy(profile: &UsageProfile, catalog: &Catalog) -> StaticPolicy {
+    StaticPolicy::new("avg", profile.avg_container(catalog))
+}
+
+/// Builds the `Trace` policy from a profile.
+pub fn trace_policy(profile: &UsageProfile, catalog: &Catalog) -> SchedulePolicy {
+    SchedulePolicy::new(profile.trace_schedule(catalog))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dasr_workloads::{CpuIoConfig, CpuIoWorkload};
+
+    fn profile_of(rps: Vec<f64>) -> (UsageProfile, Catalog) {
+        let cfg = RunConfig::default();
+        let trace = Trace::new("t", rps);
+        let (p, _) = UsageProfile::profile(&cfg, &trace, CpuIoWorkload::new(CpuIoConfig::small()));
+        (p, cfg.catalog)
+    }
+
+    #[test]
+    fn peak_covers_more_than_avg_for_bursty_loads() {
+        let mut rps = vec![2.0; 12];
+        for slot in rps.iter_mut().take(3) {
+            *slot = 120.0;
+        }
+        let (p, catalog) = profile_of(rps);
+        let peak = catalog.get(p.peak_container(&catalog)).unwrap();
+        let avg = catalog.get(p.avg_container(&catalog)).unwrap();
+        assert!(
+            peak.cost >= avg.cost,
+            "peak {} should cost at least avg {}",
+            peak.cost,
+            avg.cost
+        );
+    }
+
+    #[test]
+    fn trace_schedule_follows_demand() {
+        let mut rps = vec![2.0; 10];
+        for slot in rps.iter_mut().skip(4).take(3) {
+            *slot = 150.0;
+        }
+        let (p, catalog) = profile_of(rps);
+        let schedule = p.trace_schedule(&catalog);
+        assert_eq!(schedule.len(), 10);
+        let rung = |id: ContainerId| catalog.get(id).unwrap().rung;
+        let burst_max = (4..7).map(|i| rung(schedule[i])).max().unwrap();
+        let idle_max = (8..10).map(|i| rung(schedule[i])).max().unwrap();
+        assert!(
+            burst_max > idle_max,
+            "burst rung {burst_max} must exceed idle rung {idle_max}: {schedule:?}"
+        );
+    }
+
+    #[test]
+    fn usage_statistics_are_ordered() {
+        let (p, _) = profile_of(vec![30.0; 8]);
+        let mean = p.mean_usage();
+        let p95 = p.percentile_usage(95.0);
+        for kind in RESOURCE_KINDS {
+            assert!(p95[kind] >= mean[kind] - 1e-9, "{kind}: p95 < mean");
+        }
+    }
+}

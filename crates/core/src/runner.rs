@@ -1,0 +1,283 @@
+//! The closed loop (§6, Figure 3): engine + workload + telemetry + policy
+//! + billing, one decision per billing interval.
+
+use crate::budget::{BudgetManager, BudgetStrategy};
+use crate::knobs::TenantKnobs;
+use crate::policy::{BalloonCommand, BalloonStatus, PolicyContext, ScalingPolicy};
+use crate::report::{IntervalRecord, RunReport};
+use dasr_containers::{Catalog, ContainerId, ResourceVector};
+use dasr_engine::{Engine, EngineConfig, SimTime};
+use dasr_telemetry::{LatencyGoal, TelemetryConfig, TelemetryManager, TelemetrySample};
+use dasr_workloads::{Trace, TraceDriver, Workload};
+
+/// Configuration for a closed-loop run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// The service's container catalog.
+    pub catalog: Catalog,
+    /// Engine parameters.
+    pub engine: EngineConfig,
+    /// Telemetry-manager parameters (thresholds, windows). The latency
+    /// goal inside is overwritten from `knobs`.
+    pub telemetry: TelemetryConfig,
+    /// Tenant knobs (budget, latency goal, sensitivity).
+    pub knobs: TenantKnobs,
+    /// Budget-manager strategy (only used when a budget is set).
+    pub budget_strategy: BudgetStrategy,
+    /// Initial container (default: two rungs above the smallest).
+    pub initial: Option<ContainerId>,
+    /// Buffer-pool pages to prewarm (simulating an already-running, warm
+    /// database; see `Engine::prewarm`). Use the workload's hot-set size.
+    pub prewarm_pages: u64,
+    /// Seed for workload randomness.
+    pub seed: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self {
+            catalog: Catalog::azure_like(),
+            engine: EngineConfig::default(),
+            telemetry: TelemetryConfig::default(),
+            knobs: TenantKnobs::none(),
+            budget_strategy: BudgetStrategy::Aggressive,
+            initial: None,
+            prewarm_pages: 0,
+            seed: 0xDA5A,
+        }
+    }
+}
+
+/// The closed-loop experiment driver.
+pub struct ClosedLoop;
+
+impl ClosedLoop {
+    /// Runs `policy` over `trace` × `workload` and reports.
+    ///
+    /// Each trace minute is one billing interval: arrivals for the minute
+    /// are generated open-loop, the engine advances, telemetry is drained
+    /// and turned into signals, the budget is charged for the interval that
+    /// just ran, and the policy picks the next interval's container (§6).
+    pub fn run<W: Workload>(
+        cfg: &RunConfig,
+        trace: &Trace,
+        workload: W,
+        policy: &mut dyn ScalingPolicy,
+    ) -> RunReport {
+        let catalog = &cfg.catalog;
+        let minutes = trace.minutes();
+        let initial_id = cfg.initial.unwrap_or_else(|| {
+            catalog
+                .iter()
+                .find(|c| c.rung == 2)
+                .unwrap_or_else(|| catalog.smallest())
+                .id
+        });
+        let mut current = catalog
+            .get(initial_id)
+            .expect("initial container must exist")
+            .clone();
+
+        let mut engine = Engine::new(cfg.engine, current.resources);
+        if cfg.prewarm_pages > 0 {
+            engine.prewarm(cfg.prewarm_pages);
+        }
+        let mut telemetry_cfg = cfg.telemetry;
+        telemetry_cfg.latency_goal = cfg.knobs.latency_goal;
+        let mut tm = TelemetryManager::new(telemetry_cfg);
+        // The aggregation statistic even without a goal: p95 (paper §7
+        // reports 95th percentiles).
+        let goal_stat = cfg
+            .knobs
+            .latency_goal
+            .unwrap_or(LatencyGoal::P95(f64::INFINITY));
+
+        let mut budget = cfg.knobs.budget.map(|b| {
+            BudgetManager::new(
+                b,
+                minutes as u64,
+                catalog.min_cost(),
+                catalog.max_cost(),
+                cfg.budget_strategy,
+            )
+        });
+
+        let mut driver = TraceDriver::new(trace.clone(), workload, cfg.seed);
+        let workload_name = driver.workload_name().to_string();
+
+        let mut intervals = Vec::with_capacity(minutes);
+        let mut all_latencies = Vec::new();
+        let mut resizes = 0u64;
+        let mut rejected_total = 0u64;
+
+        for minute in 0..minutes {
+            driver.submit_minute(minute, &mut engine);
+            engine.run_until(SimTime::from_mins(minute as u64 + 1));
+            let stats = engine.end_interval();
+            rejected_total += stats.rejected;
+            all_latencies.extend_from_slice(&stats.latencies_ms);
+
+            let sample = TelemetrySample::from_interval(minute as u64, &stats, goal_stat);
+            let latency_ms = sample.latency_ms;
+            let wait_pct = {
+                let mut out = [0.0; dasr_engine::WAIT_CLASSES.len()];
+                for class in dasr_engine::WAIT_CLASSES {
+                    out[class.index()] = sample.wait_pct(class);
+                }
+                out
+            };
+            let signals = tm.observe(sample);
+
+            // Bill the interval that just ran.
+            let cost = current.cost;
+            if let Some(b) = budget.as_mut() {
+                let ok = b.charge(cost);
+                debug_assert!(ok, "policy selected an unaffordable container");
+            }
+
+            let used = ResourceVector::new(
+                stats.cpu_util_pct / 100.0 * current.resources.cpu_cores,
+                stats.mem_used_mb,
+                stats.disk_util_pct / 100.0 * current.resources.disk_iops,
+                stats.log_util_pct / 100.0 * current.resources.log_mbps,
+            );
+
+            let balloon_status = if engine.balloon_active() {
+                BalloonStatus::Active {
+                    reached_target: engine.balloon_reached_target(),
+                }
+            } else {
+                BalloonStatus::Inactive
+            };
+            let ctx = PolicyContext {
+                signals: &signals,
+                current: &current,
+                catalog,
+                available_budget: budget.as_ref().map(|b| b.available()),
+                balloon: balloon_status,
+            };
+            let decision = policy.decide(&ctx);
+
+            match decision.balloon {
+                BalloonCommand::None => {}
+                BalloonCommand::Start { target_mb } => engine.start_balloon(target_mb),
+                BalloonCommand::Abort => engine.abort_balloon(),
+                BalloonCommand::Commit => engine.commit_balloon(),
+            }
+
+            let resized = decision.target != current.id;
+            intervals.push(IntervalRecord {
+                minute: minute as u64,
+                container: current.id,
+                rung: current.rung,
+                cost,
+                allocated: current.resources,
+                used,
+                latency_ms,
+                completed: stats.completed,
+                rejected: stats.rejected,
+                wait_pct,
+                mem_used_mb: stats.mem_used_mb,
+                resized,
+                explanations: decision
+                    .explanations
+                    .iter()
+                    .map(|e| e.to_string())
+                    .collect(),
+            });
+
+            if resized {
+                current = catalog
+                    .get(decision.target)
+                    .expect("policy picked an unknown container")
+                    .clone();
+                engine.apply_resources(current.resources);
+                resizes += 1;
+            }
+        }
+
+        RunReport {
+            policy: policy.name().to_string(),
+            workload: workload_name,
+            trace: trace.name.clone(),
+            intervals,
+            all_latencies_ms: all_latencies,
+            resizes,
+            rejected_total,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::StaticPolicy;
+    use dasr_workloads::{CpuIoConfig, CpuIoWorkload};
+
+    fn short_trace(rps: f64, minutes: usize) -> Trace {
+        Trace::new("test", vec![rps; minutes])
+    }
+
+    fn workload() -> CpuIoWorkload {
+        CpuIoWorkload::new(CpuIoConfig::small())
+    }
+
+    #[test]
+    fn static_run_produces_full_report() {
+        let cfg = RunConfig::default();
+        let mut policy = StaticPolicy::max(&cfg.catalog);
+        let report = ClosedLoop::run(&cfg, &short_trace(20.0, 5), workload(), &mut policy);
+        assert_eq!(report.intervals.len(), 5);
+        assert_eq!(report.resizes, 1, "initial container -> max");
+        assert!(
+            report.completed_total() > 5 * 60 * 10,
+            "most requests complete"
+        );
+        assert!(report.p95_ms().is_some());
+        // After the first interval the max container is billed.
+        assert_eq!(report.intervals[2].cost, cfg.catalog.max_cost());
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let cfg = RunConfig::default();
+        let run = || {
+            let mut policy = StaticPolicy::max(&cfg.catalog);
+            let r = ClosedLoop::run(&cfg, &short_trace(10.0, 3), workload(), &mut policy);
+            (r.total_cost(), r.completed_total(), r.p95_ms())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn budget_is_hard_constraint() {
+        use dasr_telemetry::LatencyGoal;
+
+        let minutes = 20;
+        let budget = 20.0 * 20.0; // avg 20/interval, Cmin 7
+        let cfg = RunConfig {
+            knobs: TenantKnobs::none()
+                .with_budget(budget)
+                .with_latency_goal(LatencyGoal::P95(10.0)), // impossible goal => wants big
+            ..RunConfig::default()
+        };
+        let mut policy = crate::policy::AutoPolicy::with_knobs(cfg.knobs);
+        let report = ClosedLoop::run(&cfg, &short_trace(50.0, minutes), workload(), &mut policy);
+        assert!(
+            report.total_cost() <= budget + 1e-6,
+            "spent {} over budget {budget}",
+            report.total_cost()
+        );
+    }
+
+    #[test]
+    fn interval_records_track_containers() {
+        let cfg = RunConfig::default();
+        let mut policy = StaticPolicy::new("pin", cfg.catalog.smallest().id);
+        let report = ClosedLoop::run(&cfg, &short_trace(5.0, 4), workload(), &mut policy);
+        // Interval 0 uses the default initial container, then the pin.
+        assert_eq!(report.intervals[0].rung, 2);
+        assert_eq!(report.intervals[1].rung, 0);
+        assert!(report.intervals[1].cost < report.intervals[0].cost);
+    }
+}

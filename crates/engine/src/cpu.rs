@@ -1,0 +1,186 @@
+//! CPU governance.
+//!
+//! A container granting `c` cores is a *credit* allocation: admitted bursts
+//! execute at full single-core speed, and sustained consumption is paced to
+//! `c` core-microseconds per microsecond by a [`PacedQueue`]. Time spent
+//! queued behind the governor is the **signal wait** (`WaitClass::Cpu`) —
+//! the paper's CPU-wait signal (§3.1). Resizes re-rate the queued backlog
+//! immediately.
+
+use crate::governor::{Dispatched, PacedQueue};
+use crate::time::SimTime;
+
+/// Identifier of a request inside the engine.
+pub type ReqId = u64;
+
+/// Burst headroom, µs of virtual-time lag: `cores × CPU_ALLOWANCE_US`
+/// core-µs of work may run unthrottled after idle periods.
+const CPU_ALLOWANCE_US: f64 = 50_000.0;
+
+/// A queued CPU burst.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpuJob {
+    /// Owning request.
+    pub req: ReqId,
+    /// Core-microseconds of work.
+    pub work_us: u64,
+}
+
+/// Credit-governed CPU.
+#[derive(Debug)]
+pub struct CpuScheduler {
+    q: PacedQueue<CpuJob>,
+    cores: f64,
+}
+
+impl CpuScheduler {
+    /// Creates a CPU with `cores` of sustained capacity.
+    ///
+    /// # Panics
+    /// Panics if `cores` is not strictly positive and finite.
+    pub fn new(cores: f64) -> Self {
+        assert!(
+            cores.is_finite() && cores > 0.0,
+            "cores must be positive, got {cores}"
+        );
+        Self {
+            q: PacedQueue::new(cores, CPU_ALLOWANCE_US),
+            cores,
+        }
+    }
+
+    /// Changes the core allocation (container resize); queued bursts
+    /// dispatch at the new rate.
+    pub fn resize(&mut self, cores: f64) {
+        assert!(
+            cores.is_finite() && cores > 0.0,
+            "cores must be positive, got {cores}"
+        );
+        self.cores = cores;
+        self.q.set_rate(cores);
+    }
+
+    /// Current core allocation.
+    pub fn cores(&self) -> f64 {
+        self.cores
+    }
+
+    /// Enqueues a burst; call [`pump`](Self::pump) to dispatch.
+    pub fn submit(&mut self, req: ReqId, work_us: u64, now: SimTime) {
+        self.q.submit(
+            CpuJob { req, work_us },
+            work_us.max(1) as f64,
+            now.as_micros(),
+        );
+    }
+
+    /// Dispatches admissible bursts; returns them plus an optional ready
+    /// callback time the engine must schedule.
+    pub fn pump(&mut self, now: SimTime) -> (Vec<Dispatched<CpuJob>>, Option<u64>) {
+        self.q.pump(now.as_micros())
+    }
+
+    /// Handles a ready callback.
+    pub fn on_ready(&mut self, at_us: u64, now: SimTime) -> (Vec<Dispatched<CpuJob>>, Option<u64>) {
+        self.q.on_ready(at_us, now.as_micros())
+    }
+
+    /// Bursts queued behind the governor.
+    pub fn queued(&self) -> usize {
+        self.q.queued()
+    }
+
+    /// Throttle backlog, µs.
+    pub fn backlog_us(&self, now: SimTime) -> f64 {
+        self.q.backlog_us(now.as_micros())
+    }
+
+    /// Drains the consumed-work meter (core-µs since last call).
+    pub fn take_work_done_us(&mut self) -> f64 {
+        self.q.take_consumed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(cpu: &mut CpuScheduler, mut ready: Option<u64>) -> Vec<Dispatched<CpuJob>> {
+        let mut out = Vec::new();
+        while let Some(at) = ready {
+            let (d, r) = cpu.on_ready(at, SimTime::from_micros(at));
+            out.extend(d);
+            ready = r;
+        }
+        out
+    }
+
+    #[test]
+    fn isolated_burst_runs_unthrottled_on_small_container() {
+        // The key property: half a core does NOT delay an isolated burst
+        // (credit semantics, not speed division).
+        let mut cpu = CpuScheduler::new(0.5);
+        cpu.submit(1, 20_000, SimTime::from_secs(10));
+        let (d, ready) = cpu.pump(SimTime::from_secs(10));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].queued_wait_us, 0);
+        assert!(ready.is_none());
+    }
+
+    #[test]
+    fn sustained_overload_queues_bursts() {
+        let mut cpu = CpuScheduler::new(1.0); // allowance 50 ms
+        for _ in 0..10 {
+            cpu.submit(1, 50_000, SimTime::ZERO);
+        }
+        let (d, ready) = cpu.pump(SimTime::ZERO);
+        assert_eq!(d.len(), 2, "the allowance covers ~100 ms of work");
+        assert!(ready.is_some());
+        let rest = drain(&mut cpu, ready);
+        assert_eq!(rest.len(), 8);
+        // Last burst dispatches once 8 x 50 ms of credit accrued.
+        assert_eq!(rest.last().unwrap().start_us, 400_000);
+    }
+
+    #[test]
+    fn more_cores_dispatch_backlog_faster() {
+        let last_start = |cores: f64| -> u64 {
+            let mut cpu = CpuScheduler::new(cores);
+            for _ in 0..20 {
+                cpu.submit(1, 50_000, SimTime::ZERO);
+            }
+            let (_, ready) = cpu.pump(SimTime::ZERO);
+            drain(&mut cpu, ready).last().map_or(0, |d| d.start_us)
+        };
+        assert!(last_start(8.0) < last_start(1.0) / 4);
+    }
+
+    #[test]
+    fn resize_rerates_queue() {
+        let mut cpu = CpuScheduler::new(1.0);
+        for _ in 0..20 {
+            cpu.submit(1, 100_000, SimTime::ZERO);
+        }
+        let (_, ready) = cpu.pump(SimTime::ZERO);
+        cpu.resize(10.0);
+        let rest = drain(&mut cpu, ready);
+        let last = rest.last().unwrap().start_us;
+        assert!(last < 400_000, "10x cores must drain fast: {last}");
+    }
+
+    #[test]
+    fn work_metering() {
+        let mut cpu = CpuScheduler::new(2.0);
+        cpu.submit(1, 300, SimTime::ZERO);
+        cpu.submit(1, 700, SimTime::ZERO);
+        let _ = cpu.pump(SimTime::ZERO);
+        assert_eq!(cpu.take_work_done_us(), 1_000.0);
+        assert_eq!(cpu.take_work_done_us(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cores must be positive")]
+    fn zero_cores_panics() {
+        let _ = CpuScheduler::new(0.0);
+    }
+}

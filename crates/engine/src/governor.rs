@@ -1,0 +1,317 @@
+//! Credit-based rate governance (paced FIFO queues).
+//!
+//! Commercial DaaS containers enforce resource allocations the way resource
+//! governors do: an *isolated* operation runs at hardware speed, and
+//! throttling appears only when the sustained consumption rate exceeds the
+//! allocation. Modeling devices as plain FIFO servers with service time
+//! `1/rate` would make small containers slow even at idle — and would break
+//! the paper's premise that a latency goal of `1.25 × Max` is achievable on
+//! a container a fraction of `Max`'s size.
+//!
+//! [`PacedQueue`] implements the governance: operations queue FIFO and are
+//! dispatched while the governor's virtual time `vt` (cumulative admitted
+//! work at the allocated rate) has not overrun the clock; `vt` may lag the
+//! clock by a bounded *burst allowance*, so short bursts run unthrottled.
+//! Because queued work is not yet committed to `vt`, a container resize
+//! immediately re-rates the backlog — scaling up drains an overloaded
+//! queue faster, exactly like a real governor.
+
+use std::collections::VecDeque;
+
+/// An operation released by the governor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dispatched<P> {
+    /// Caller payload.
+    pub payload: P,
+    /// Dispatch time, µs.
+    pub start_us: u64,
+    /// Time spent queued behind the governor, µs.
+    pub queued_wait_us: u64,
+}
+
+/// A rate-governed FIFO queue.
+#[derive(Debug)]
+pub struct PacedQueue<P> {
+    /// Consumption units admitted per microsecond.
+    rate_per_us: f64,
+    /// How far `vt` may lag behind the clock, µs (burst allowance).
+    allowance_us: f64,
+    /// Virtual time: end of the committed (dispatched) work, µs.
+    vt: f64,
+    queue: VecDeque<(P, f64, u64)>,
+    /// Background operations, dispatched only when `queue` is empty
+    /// (foreground I/O is never starved by writeback storms).
+    low_queue: VecDeque<(P, f64, u64)>,
+    /// Ready-event outstanding at this time, if any (dedup).
+    ready_at: Option<u64>,
+    /// Cumulative dispatched work, units (metering).
+    consumed: f64,
+}
+
+impl<P: Copy> PacedQueue<P> {
+    /// Creates a governor admitting `rate_per_us` units per microsecond
+    /// with `allowance_us` of burst headroom. Starts with full credits.
+    ///
+    /// # Panics
+    /// Panics unless the rate is positive and the allowance non-negative,
+    /// both finite.
+    pub fn new(rate_per_us: f64, allowance_us: f64) -> Self {
+        assert!(
+            rate_per_us.is_finite() && rate_per_us > 0.0,
+            "rate must be positive"
+        );
+        assert!(
+            allowance_us.is_finite() && allowance_us >= 0.0,
+            "allowance must be non-negative"
+        );
+        Self {
+            rate_per_us,
+            allowance_us,
+            vt: -allowance_us,
+            queue: VecDeque::new(),
+            low_queue: VecDeque::new(),
+            ready_at: None,
+            consumed: 0.0,
+        }
+    }
+
+    /// Changes the admitted rate (container resize). Queued operations are
+    /// re-rated immediately; already-dispatched work is unaffected.
+    pub fn set_rate(&mut self, rate_per_us: f64) {
+        assert!(
+            rate_per_us.is_finite() && rate_per_us > 0.0,
+            "rate must be positive"
+        );
+        self.rate_per_us = rate_per_us;
+    }
+
+    /// Current admitted rate, units per µs.
+    pub fn rate_per_us(&self) -> f64 {
+        self.rate_per_us
+    }
+
+    /// Enqueues an operation of `cost` units. Call [`pump`](Self::pump)
+    /// afterwards to dispatch.
+    pub fn submit(&mut self, payload: P, cost: f64, now_us: u64) {
+        assert!(cost.is_finite() && cost >= 0.0, "invalid cost");
+        self.queue.push_back((payload, cost, now_us));
+    }
+
+    /// Enqueues a *background* operation: it consumes credit like any
+    /// other, but is only dispatched when no foreground operation waits.
+    pub fn submit_low(&mut self, payload: P, cost: f64, now_us: u64) {
+        assert!(cost.is_finite() && cost >= 0.0, "invalid cost");
+        self.low_queue.push_back((payload, cost, now_us));
+    }
+
+    /// Dispatches every operation the credit allows at `now_us`. Returns
+    /// the dispatched operations plus `Some(t)` when the caller must
+    /// schedule a ready callback at `t` (the queue is non-empty and
+    /// throttled, and no earlier callback is outstanding).
+    pub fn pump(&mut self, now_us: u64) -> (Vec<Dispatched<P>>, Option<u64>) {
+        let now = now_us as f64;
+        if self.vt < now - self.allowance_us {
+            self.vt = now - self.allowance_us;
+        }
+        let mut out = Vec::new();
+        while self.vt <= now {
+            let Some((payload, cost, submitted)) = self
+                .queue
+                .pop_front()
+                .or_else(|| self.low_queue.pop_front())
+            else {
+                break;
+            };
+            self.vt += cost / self.rate_per_us;
+            self.consumed += cost;
+            out.push(Dispatched {
+                payload,
+                start_us: now_us,
+                queued_wait_us: now_us.saturating_sub(submitted),
+            });
+        }
+        let ready = if self.queue.is_empty() && self.low_queue.is_empty() {
+            None
+        } else {
+            let at = self.vt.ceil() as u64;
+            match self.ready_at {
+                Some(existing) if existing <= at => None,
+                _ => {
+                    self.ready_at = Some(at);
+                    Some(at)
+                }
+            }
+        };
+        (out, ready)
+    }
+
+    /// Handles a ready callback scheduled for `at_us`: clears the dedup
+    /// marker and pumps.
+    pub fn on_ready(&mut self, at_us: u64, now_us: u64) -> (Vec<Dispatched<P>>, Option<u64>) {
+        if self.ready_at == Some(at_us) {
+            self.ready_at = None;
+        }
+        self.pump(now_us)
+    }
+
+    /// Operations waiting behind the governor (both priorities).
+    pub fn queued(&self) -> usize {
+        self.queue.len() + self.low_queue.len()
+    }
+
+    /// Throttle backlog at `now_us`: µs until credit is available again.
+    pub fn backlog_us(&self, now_us: u64) -> f64 {
+        (self.vt - now_us as f64).max(0.0)
+    }
+
+    /// Drains the dispatched-work meter (units since last call).
+    pub fn take_consumed(&mut self) -> f64 {
+        std::mem::take(&mut self.consumed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Follows ready callbacks until the queue drains, returning
+    /// `(payload, start_us)` in dispatch order.
+    fn drain_from(q: &mut PacedQueue<u32>, mut ready: Option<u64>) -> Vec<(u32, u64)> {
+        let mut out = Vec::new();
+        while let Some(at) = ready {
+            let (d, r) = q.on_ready(at, at);
+            out.extend(d.iter().map(|d| (d.payload, d.start_us)));
+            ready = r;
+        }
+        out
+    }
+
+    #[test]
+    fn isolated_work_dispatches_immediately() {
+        let mut q = PacedQueue::new(0.5, 10_000.0);
+        q.submit(1, 20_000.0, 1_000);
+        let (d, ready) = q.pump(1_000);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].start_us, 1_000);
+        assert_eq!(d[0].queued_wait_us, 0);
+        assert_eq!(ready, None);
+    }
+
+    #[test]
+    fn fresh_queue_has_full_burst_credits() {
+        // Allowance 1000 at rate 1: ~1000 units burst instantly at t=0.
+        let mut q = PacedQueue::new(1.0, 1_000.0);
+        for i in 0..3 {
+            q.submit(i, 500.0, 0);
+        }
+        let (d, ready) = q.pump(0);
+        assert_eq!(d.len(), 3);
+        assert!(ready.is_none());
+        // The 4th must wait until vt (now 500) passes.
+        q.submit(9, 500.0, 0);
+        let (d, ready) = q.pump(0);
+        assert!(d.is_empty());
+        assert_eq!(ready, Some(500));
+    }
+
+    #[test]
+    fn sustained_overload_paces_fifo() {
+        let mut q = PacedQueue::new(1.0, 0.0);
+        for i in 0..4 {
+            q.submit(i, 100.0, 0);
+        }
+        let (first, ready) = q.pump(0);
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].payload, 0);
+        let rest = drain_from(&mut q, ready);
+        assert_eq!(
+            rest.iter().map(|&(p, _)| p).collect::<Vec<_>>(),
+            vec![1, 2, 3],
+            "FIFO order"
+        );
+        assert_eq!(rest[0].1, 100);
+        assert_eq!(rest[2].1, 300);
+    }
+
+    #[test]
+    fn queued_wait_is_reported() {
+        let mut q = PacedQueue::new(1.0, 0.0);
+        q.submit(1, 500.0, 0);
+        q.submit(2, 500.0, 0);
+        let (_, ready) = q.pump(0);
+        let rest = drain_from(&mut q, ready);
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].1, 500, "dispatched at vt");
+    }
+
+    #[test]
+    fn ready_callbacks_are_deduplicated() {
+        let mut q = PacedQueue::new(1.0, 0.0);
+        q.submit(1, 1_000.0, 0);
+        q.submit(2, 1_000.0, 0);
+        let (_, r1) = q.pump(0);
+        assert_eq!(r1, Some(1_000));
+        // More submissions while throttled must not request earlier/equal
+        // callbacks again.
+        q.submit(3, 1_000.0, 0);
+        let (_, r2) = q.pump(0);
+        assert_eq!(r2, None);
+    }
+
+    #[test]
+    fn resize_rerates_queued_backlog() {
+        let mut q = PacedQueue::new(1.0, 0.0);
+        for i in 0..10 {
+            q.submit(i, 1_000.0, 0);
+        }
+        let (first, ready) = q.pump(0);
+        assert_eq!(first.len(), 1);
+        // At 1 unit/µs the last op would start at 9_000. Scale rate 10x:
+        // the queued backlog re-rates to 100 µs per op.
+        q.set_rate(10.0);
+        let order = drain_from(&mut q, ready);
+        assert_eq!(order.len(), 9);
+        let last_start = order.last().unwrap().1;
+        assert!(last_start <= 1_900, "backlog re-rated: {last_start}");
+    }
+
+    #[test]
+    fn idle_accrues_at_most_the_allowance() {
+        let mut q = PacedQueue::new(1.0, 100.0);
+        q.submit(1, 1_000.0, 0);
+        let _ = q.pump(0);
+        // Long idle: at t=1e6 only the 100-unit allowance has re-accrued.
+        q.submit(2, 50.0, 1_000_000);
+        q.submit(3, 60.0, 1_000_000);
+        q.submit(4, 60.0, 1_000_000);
+        let (d, ready) = q.pump(1_000_000);
+        assert_eq!(d.len(), 2, "allowance covers roughly 110 units");
+        assert!(ready.is_some());
+    }
+
+    #[test]
+    fn metering_counts_dispatched_only() {
+        let mut q = PacedQueue::new(1.0, 0.0);
+        q.submit(1, 100.0, 0);
+        q.submit(2, 100.0, 0);
+        let _ = q.pump(0);
+        assert_eq!(q.take_consumed(), 100.0, "second op still queued");
+        assert_eq!(q.queued(), 1);
+        assert_eq!(q.take_consumed(), 0.0);
+    }
+
+    #[test]
+    fn backlog_reporting() {
+        let mut q = PacedQueue::new(1.0, 0.0);
+        q.submit(1, 500.0, 0);
+        let _ = q.pump(0);
+        assert_eq!(q.backlog_us(0), 500.0);
+        assert_eq!(q.backlog_us(600), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_panics() {
+        let _: PacedQueue<u8> = PacedQueue::new(0.0, 1.0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Memory-grant admission control.
+//!
+//! Queries reserving workspace memory (sorts, hash joins) obtain a *memory
+//! grant* before executing; when the grant pool is exhausted they queue, and
+//! that queueing time is the memory wait class the estimator consumes
+//! (`RESOURCE_SEMAPHORE` waits in SQL Server terms). The pool is a fixed
+//! fraction of the container's memory and therefore shrinks/grows with
+//! container resizes.
+
+use crate::time::SimTime;
+use std::collections::VecDeque;
+
+/// Identifier of a request.
+pub type ReqId = u64;
+
+/// A waiter that has just received its grant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GrantedMemory {
+    /// The resumed request.
+    pub req: ReqId,
+    /// Megabytes granted.
+    pub mb: u32,
+    /// How long it waited, in microseconds.
+    pub wait_us: u64,
+}
+
+/// FIFO memory-grant pool.
+#[derive(Debug)]
+pub struct GrantPool {
+    pool_mb: u64,
+    granted_mb: u64,
+    waiters: VecDeque<(ReqId, u32, SimTime)>,
+}
+
+impl GrantPool {
+    /// Creates a pool of `pool_mb` megabytes.
+    pub fn new(pool_mb: u64) -> Self {
+        Self {
+            pool_mb,
+            granted_mb: 0,
+            waiters: VecDeque::new(),
+        }
+    }
+
+    /// Total pool size in MB.
+    pub fn pool_mb(&self) -> u64 {
+        self.pool_mb
+    }
+
+    /// Outstanding granted MB.
+    pub fn granted_mb(&self) -> u64 {
+        self.granted_mb
+    }
+
+    /// Requests queued for a grant.
+    pub fn waiting(&self) -> usize {
+        self.waiters.len()
+    }
+
+    /// Resizes the pool (container resize). Over-committed grants are
+    /// honored; new grants wait until usage drops below the new size.
+    pub fn resize(&mut self, pool_mb: u64) {
+        self.pool_mb = pool_mb;
+    }
+
+    /// Attempts to grant `mb` to `req`. Grants exceeding the entire pool are
+    /// clamped to the pool size (a query can never get more than exists).
+    /// Returns `true` when granted immediately, `false` when queued.
+    pub fn acquire(&mut self, req: ReqId, mb: u32, now: SimTime) -> bool {
+        let need = u64::from(mb).min(self.pool_mb).max(1);
+        if self.waiters.is_empty() && self.granted_mb + need <= self.pool_mb {
+            self.granted_mb += need;
+            true
+        } else {
+            self.waiters.push_back((req, need as u32, now));
+            false
+        }
+    }
+
+    /// Releases `mb` previously granted to a request, waking FIFO waiters
+    /// that now fit.
+    pub fn release(&mut self, mb: u32, now: SimTime) -> Vec<GrantedMemory> {
+        self.granted_mb = self.granted_mb.saturating_sub(u64::from(mb));
+        let mut granted = Vec::new();
+        while let Some(&(req, need, since)) = self.waiters.front() {
+            let need_clamped = u64::from(need).min(self.pool_mb).max(1);
+            if self.granted_mb + need_clamped <= self.pool_mb {
+                self.waiters.pop_front();
+                self.granted_mb += need_clamped;
+                granted.push(GrantedMemory {
+                    req,
+                    mb: need_clamped as u32,
+                    wait_us: now - since,
+                });
+            } else {
+                break;
+            }
+        }
+        granted
+    }
+
+    /// Removes `req` from the wait queue (abort).
+    pub fn cancel(&mut self, req: ReqId) {
+        self.waiters.retain(|&(r, _, _)| r != req);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T0: SimTime = SimTime(0);
+
+    #[test]
+    fn grants_until_full_then_queues() {
+        let mut g = GrantPool::new(100);
+        assert!(g.acquire(1, 60, T0));
+        assert!(!g.acquire(2, 60, T0));
+        assert_eq!(g.granted_mb(), 60);
+        assert_eq!(g.waiting(), 1);
+    }
+
+    #[test]
+    fn release_wakes_fifo() {
+        let mut g = GrantPool::new(100);
+        assert!(g.acquire(1, 80, T0));
+        assert!(!g.acquire(2, 50, SimTime(10)));
+        assert!(!g.acquire(3, 10, SimTime(20)), "no barging");
+        let woken = g.release(80, SimTime(500));
+        assert_eq!(woken.len(), 2);
+        assert_eq!(woken[0].req, 2);
+        assert_eq!(woken[0].wait_us, 490);
+        assert_eq!(woken[1].req, 3);
+        assert_eq!(g.granted_mb(), 60);
+    }
+
+    #[test]
+    fn oversized_request_is_clamped_to_pool() {
+        let mut g = GrantPool::new(50);
+        assert!(g.acquire(1, 500, T0), "clamped to pool size");
+        assert_eq!(g.granted_mb(), 50);
+    }
+
+    #[test]
+    fn resize_down_honors_existing_grants() {
+        let mut g = GrantPool::new(100);
+        assert!(g.acquire(1, 100, T0));
+        g.resize(40);
+        assert!(!g.acquire(2, 10, T0));
+        let woken = g.release(100, SimTime(100));
+        assert_eq!(woken.len(), 1);
+        assert_eq!(woken[0].mb, 10);
+        assert_eq!(g.granted_mb(), 10);
+    }
+
+    #[test]
+    fn cancel_removes_waiter() {
+        let mut g = GrantPool::new(10);
+        assert!(g.acquire(1, 10, T0));
+        assert!(!g.acquire(2, 10, T0));
+        g.cancel(2);
+        assert!(g.release(10, SimTime(5)).is_empty());
+    }
+
+    #[test]
+    fn zero_mb_grant_counts_minimum_one() {
+        let mut g = GrantPool::new(10);
+        assert!(g.acquire(1, 0, T0));
+        assert_eq!(g.granted_mb(), 1);
+    }
+}

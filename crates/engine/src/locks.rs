@@ -1,0 +1,276 @@
+//! Application-level lock manager (strict two-phase locking, FIFO grants).
+//!
+//! Lock waits are the paper's canonical example of a *bottleneck beyond
+//! resources* (Figure 13): when >90% of wait time is lock waits, adding CPU
+//! or I/O cannot improve latency, and the estimator must refuse to scale
+//! up. The table grants strictly in FIFO order (no barging): a shared
+//! request queued behind a waiting exclusive request waits, which avoids
+//! writer starvation and keeps the simulation deterministic.
+
+use crate::time::SimTime;
+use std::collections::{HashMap, VecDeque};
+
+/// Identifier of a lockable object.
+pub type LockId = u32;
+
+/// Identifier of a request (matches `cpu::ReqId`).
+pub type ReqId = u64;
+
+#[derive(Debug, Default)]
+struct LockState {
+    /// Current holders; either many shared or one exclusive.
+    holders: Vec<(ReqId, bool)>,
+    /// FIFO waiters: `(request, exclusive, since)`.
+    waiters: VecDeque<(ReqId, bool, SimTime)>,
+}
+
+impl LockState {
+    fn compatible(&self, exclusive: bool) -> bool {
+        if exclusive {
+            self.holders.is_empty()
+        } else {
+            self.holders.iter().all(|&(_, x)| !x)
+        }
+    }
+}
+
+/// A waiter that has just been granted its lock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GrantedWaiter {
+    /// The resumed request.
+    pub req: ReqId,
+    /// How long it waited, in microseconds.
+    pub wait_us: u64,
+}
+
+/// The lock table.
+#[derive(Debug, Default)]
+pub struct LockTable {
+    locks: HashMap<LockId, LockState>,
+    held: HashMap<ReqId, Vec<LockId>>,
+}
+
+impl LockTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attempts to acquire `lock` for `req`. Returns `true` when granted
+    /// immediately; otherwise the request is queued FIFO and the engine
+    /// must block it.
+    ///
+    /// Re-acquiring a lock already held by `req` is a no-op grant (no
+    /// upgrade support — workloads acquire the strongest mode first).
+    pub fn acquire(&mut self, req: ReqId, lock: LockId, exclusive: bool, now: SimTime) -> bool {
+        let state = self.locks.entry(lock).or_default();
+        if state.holders.iter().any(|&(r, _)| r == req) {
+            return true;
+        }
+        if state.waiters.is_empty() && state.compatible(exclusive) {
+            state.holders.push((req, exclusive));
+            self.held.entry(req).or_default().push(lock);
+            true
+        } else {
+            state.waiters.push_back((req, exclusive, now));
+            false
+        }
+    }
+
+    /// Releases one lock held by `req`, returning the waiters granted as a
+    /// result (the engine resumes them and charges their lock wait).
+    pub fn release(&mut self, req: ReqId, lock: LockId, now: SimTime) -> Vec<GrantedWaiter> {
+        let mut granted = Vec::new();
+        if let Some(state) = self.locks.get_mut(&lock) {
+            state.holders.retain(|&(r, _)| r != req);
+            if let Some(list) = self.held.get_mut(&req) {
+                list.retain(|&l| l != lock);
+            }
+            Self::grant_from_queue(state, now, &mut granted);
+            for g in &granted {
+                self.held.entry(g.req).or_default().push(lock);
+            }
+            if state.holders.is_empty() && state.waiters.is_empty() {
+                self.locks.remove(&lock);
+            }
+        }
+        granted
+    }
+
+    /// Releases every lock held by `req` (request completion under strict
+    /// 2PL). Returns all newly granted waiters.
+    pub fn release_all(&mut self, req: ReqId, now: SimTime) -> Vec<GrantedWaiter> {
+        let locks = self.held.remove(&req).unwrap_or_default();
+        let mut granted = Vec::new();
+        for lock in locks {
+            if let Some(state) = self.locks.get_mut(&lock) {
+                state.holders.retain(|&(r, _)| r != req);
+                let mut newly = Vec::new();
+                Self::grant_from_queue(state, now, &mut newly);
+                for g in &newly {
+                    self.held.entry(g.req).or_default().push(lock);
+                }
+                granted.extend(newly);
+                if state.holders.is_empty() && state.waiters.is_empty() {
+                    self.locks.remove(&lock);
+                }
+            }
+        }
+        granted
+    }
+
+    /// Removes `req` from every wait queue (request abort/rejection).
+    pub fn cancel_waits(&mut self, req: ReqId) {
+        for state in self.locks.values_mut() {
+            state.waiters.retain(|&(r, _, _)| r != req);
+        }
+    }
+
+    /// Number of requests currently waiting across all locks.
+    pub fn waiting(&self) -> usize {
+        self.locks.values().map(|s| s.waiters.len()).sum()
+    }
+
+    /// Locks with at least one holder or waiter.
+    pub fn active_locks(&self) -> usize {
+        self.locks.len()
+    }
+
+    fn grant_from_queue(state: &mut LockState, now: SimTime, out: &mut Vec<GrantedWaiter>) {
+        // Strict FIFO: grant from the front while compatible.
+        while let Some(&(req, exclusive, since)) = state.waiters.front() {
+            if state.compatible(exclusive) {
+                state.waiters.pop_front();
+                state.holders.push((req, exclusive));
+                out.push(GrantedWaiter {
+                    req,
+                    wait_us: now - since,
+                });
+                if exclusive {
+                    break;
+                }
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T0: SimTime = SimTime(0);
+
+    #[test]
+    fn shared_locks_coexist() {
+        let mut t = LockTable::new();
+        assert!(t.acquire(1, 10, false, T0));
+        assert!(t.acquire(2, 10, false, T0));
+        assert_eq!(t.waiting(), 0);
+    }
+
+    #[test]
+    fn exclusive_blocks_everyone() {
+        let mut t = LockTable::new();
+        assert!(t.acquire(1, 10, true, T0));
+        assert!(!t.acquire(2, 10, false, T0));
+        assert!(!t.acquire(3, 10, true, T0));
+        assert_eq!(t.waiting(), 2);
+    }
+
+    #[test]
+    fn release_grants_fifo() {
+        let mut t = LockTable::new();
+        assert!(t.acquire(1, 10, true, T0));
+        assert!(!t.acquire(2, 10, false, SimTime(100)));
+        assert!(!t.acquire(3, 10, false, SimTime(200)));
+        let granted = t.release(1, 10, SimTime(1_000));
+        // Both shared waiters are granted together, in order.
+        assert_eq!(granted.len(), 2);
+        assert_eq!(
+            granted[0],
+            GrantedWaiter {
+                req: 2,
+                wait_us: 900
+            }
+        );
+        assert_eq!(
+            granted[1],
+            GrantedWaiter {
+                req: 3,
+                wait_us: 800
+            }
+        );
+    }
+
+    #[test]
+    fn exclusive_waiter_granted_alone() {
+        let mut t = LockTable::new();
+        assert!(t.acquire(1, 10, false, T0));
+        assert!(!t.acquire(2, 10, true, SimTime(10)));
+        assert!(
+            !t.acquire(3, 10, false, SimTime(20)),
+            "no barging past X waiter"
+        );
+        let granted = t.release_all(1, SimTime(500));
+        assert_eq!(granted.len(), 1);
+        assert_eq!(granted[0].req, 2);
+        // 3 still waits until 2 releases.
+        let granted2 = t.release_all(2, SimTime(900));
+        assert_eq!(granted2.len(), 1);
+        assert_eq!(
+            granted2[0],
+            GrantedWaiter {
+                req: 3,
+                wait_us: 880
+            }
+        );
+    }
+
+    #[test]
+    fn reacquire_is_noop() {
+        let mut t = LockTable::new();
+        assert!(t.acquire(1, 10, true, T0));
+        assert!(t.acquire(1, 10, true, T0));
+        assert!(t.acquire(1, 10, false, T0));
+        t.release_all(1, SimTime(5));
+        assert_eq!(t.active_locks(), 0);
+    }
+
+    #[test]
+    fn release_all_spans_locks() {
+        let mut t = LockTable::new();
+        assert!(t.acquire(1, 10, true, T0));
+        assert!(t.acquire(1, 11, true, T0));
+        assert!(!t.acquire(2, 10, true, T0));
+        assert!(!t.acquire(3, 11, true, T0));
+        let granted = t.release_all(1, SimTime(100));
+        let reqs: Vec<ReqId> = granted.iter().map(|g| g.req).collect();
+        assert!(reqs.contains(&2) && reqs.contains(&3));
+        assert_eq!(t.waiting(), 0);
+    }
+
+    #[test]
+    fn cancel_waits_removes_from_queues() {
+        let mut t = LockTable::new();
+        assert!(t.acquire(1, 10, true, T0));
+        assert!(!t.acquire(2, 10, true, T0));
+        t.cancel_waits(2);
+        let granted = t.release_all(1, SimTime(100));
+        assert!(granted.is_empty());
+        assert_eq!(t.active_locks(), 0, "empty lock states are pruned");
+    }
+
+    #[test]
+    fn table_is_pruned_after_use() {
+        let mut t = LockTable::new();
+        for req in 0..100u64 {
+            assert!(t.acquire(req, (req % 5) as LockId, false, T0));
+        }
+        for req in 0..100u64 {
+            t.release_all(req, SimTime(10));
+        }
+        assert_eq!(t.active_locks(), 0);
+    }
+}

@@ -1,0 +1,72 @@
+//! Utilization metering helpers.
+//!
+//! The devices accumulate raw busy counters; these helpers turn them into
+//! the utilization percentages the telemetry reports (§3.1), clamped to
+//! `[0, 100]` so float dust or lumped attribution at completion time never
+//! reports impossible utilization.
+
+/// CPU utilization %: work done (core-µs) over capacity (cores × interval).
+pub fn cpu_utilization_pct(work_core_us: u64, cores: f64, interval_us: u64) -> f64 {
+    assert!(cores > 0.0, "cores must be positive");
+    if interval_us == 0 {
+        return 0.0;
+    }
+    (work_core_us as f64 / (cores * interval_us as f64) * 100.0).clamp(0.0, 100.0)
+}
+
+/// Device utilization %: busy µs over the interval.
+pub fn device_utilization_pct(busy_us: u64, interval_us: u64) -> f64 {
+    if interval_us == 0 {
+        return 0.0;
+    }
+    (busy_us as f64 / interval_us as f64 * 100.0).clamp(0.0, 100.0)
+}
+
+/// Memory utilization %: used pages over capacity.
+pub fn memory_utilization_pct(used_pages: usize, capacity_pages: usize) -> f64 {
+    if capacity_pages == 0 {
+        return 0.0;
+    }
+    (used_pages as f64 / capacity_pages as f64 * 100.0).clamp(0.0, 100.0)
+}
+
+/// Average operation rate over the interval, per second.
+pub fn ops_per_sec(ops: u64, interval_us: u64) -> f64 {
+    if interval_us == 0 {
+        return 0.0;
+    }
+    ops as f64 * 1_000_000.0 / interval_us as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_utilization() {
+        // 2 cores, 1 s interval, 1 core-second of work => 50%.
+        assert_eq!(cpu_utilization_pct(1_000_000, 2.0, 1_000_000), 50.0);
+        assert_eq!(cpu_utilization_pct(0, 2.0, 1_000_000), 0.0);
+        // Lumped attribution can exceed capacity momentarily; clamped.
+        assert_eq!(cpu_utilization_pct(10_000_000, 1.0, 1_000_000), 100.0);
+    }
+
+    #[test]
+    fn device_utilization() {
+        assert_eq!(device_utilization_pct(250_000, 1_000_000), 25.0);
+        assert_eq!(device_utilization_pct(0, 0), 0.0);
+    }
+
+    #[test]
+    fn memory_utilization() {
+        assert_eq!(memory_utilization_pct(50, 100), 50.0);
+        assert_eq!(memory_utilization_pct(5, 0), 0.0);
+        assert_eq!(memory_utilization_pct(200, 100), 100.0);
+    }
+
+    #[test]
+    fn rates() {
+        assert_eq!(ops_per_sec(600, 60_000_000), 10.0);
+        assert_eq!(ops_per_sec(5, 0), 0.0);
+    }
+}

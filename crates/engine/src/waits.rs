@@ -1,0 +1,200 @@
+//! Wait-statistics accounting — the simulator's `sys.dm_os_wait_stats`.
+//!
+//! Mature engines report hundreds of wait types; the paper maps them with
+//! rules onto a broad set of classes for the key physical and logical
+//! resources (§3.1): CPU (signal waits), memory, disk I/O, log I/O, locks,
+//! and system. We keep that classification (plus latches, shown separately
+//! in Figure 13(c)).
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Broad wait classes (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum WaitClass {
+    /// Signal wait: time between a task becoming runnable and getting a CPU.
+    Cpu,
+    /// Memory-grant waits (query workspace memory).
+    Memory,
+    /// Data-file I/O waits (queue + service).
+    DiskIo,
+    /// Transaction-log write waits.
+    LogIo,
+    /// Application-level lock waits.
+    Lock,
+    /// Page-latch waits.
+    Latch,
+    /// Everything else (system, sleeps we classify as waits, …).
+    Other,
+}
+
+/// All wait classes, in canonical order.
+pub const WAIT_CLASSES: [WaitClass; 7] = [
+    WaitClass::Cpu,
+    WaitClass::Memory,
+    WaitClass::DiskIo,
+    WaitClass::LogIo,
+    WaitClass::Lock,
+    WaitClass::Latch,
+    WaitClass::Other,
+];
+
+impl WaitClass {
+    /// Canonical index (order of [`WAIT_CLASSES`]).
+    pub fn index(self) -> usize {
+        match self {
+            WaitClass::Cpu => 0,
+            WaitClass::Memory => 1,
+            WaitClass::DiskIo => 2,
+            WaitClass::LogIo => 3,
+            WaitClass::Lock => 4,
+            WaitClass::Latch => 5,
+            WaitClass::Other => 6,
+        }
+    }
+
+    /// Short name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            WaitClass::Cpu => "cpu",
+            WaitClass::Memory => "memory",
+            WaitClass::DiskIo => "disk_io",
+            WaitClass::LogIo => "log_io",
+            WaitClass::Lock => "lock",
+            WaitClass::Latch => "latch",
+            WaitClass::Other => "other",
+        }
+    }
+}
+
+impl fmt::Display for WaitClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Cumulative wait microseconds per class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WaitStats {
+    us: [u64; WAIT_CLASSES.len()],
+}
+
+impl WaitStats {
+    /// All-zero stats.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `us` microseconds of wait to `class`.
+    pub fn add(&mut self, class: WaitClass, us: u64) {
+        self.us[class.index()] += us;
+    }
+
+    /// Total wait microseconds across all classes.
+    pub fn total(&self) -> u64 {
+        self.us.iter().sum()
+    }
+
+    /// Per-class wait as a fraction of the total (zeros when total is 0).
+    pub fn percentages(&self) -> [f64; WAIT_CLASSES.len()] {
+        let total = self.total();
+        let mut out = [0.0; WAIT_CLASSES.len()];
+        if total > 0 {
+            for (o, &v) in out.iter_mut().zip(self.us.iter()) {
+                *o = v as f64 / total as f64 * 100.0;
+            }
+        }
+        out
+    }
+
+    /// The difference `self - earlier`, class-wise (saturating).
+    pub fn delta_since(&self, earlier: &WaitStats) -> WaitStats {
+        let mut out = WaitStats::new();
+        for (i, o) in out.us.iter_mut().enumerate() {
+            *o = self.us[i].saturating_sub(earlier.us[i]);
+        }
+        out
+    }
+
+    /// Adds every class of `other` into `self`.
+    pub fn merge(&mut self, other: &WaitStats) {
+        for (s, o) in self.us.iter_mut().zip(other.us.iter()) {
+            *s += o;
+        }
+    }
+}
+
+impl Index<WaitClass> for WaitStats {
+    type Output = u64;
+
+    fn index(&self, class: WaitClass) -> &u64 {
+        &self.us[class.index()]
+    }
+}
+
+impl IndexMut<WaitClass> for WaitStats {
+    fn index_mut(&mut self, class: WaitClass) -> &mut u64 {
+        &mut self.us[class.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_total() {
+        let mut w = WaitStats::new();
+        w.add(WaitClass::Cpu, 100);
+        w.add(WaitClass::Lock, 300);
+        w.add(WaitClass::Cpu, 50);
+        assert_eq!(w[WaitClass::Cpu], 150);
+        assert_eq!(w.total(), 450);
+    }
+
+    #[test]
+    fn percentages_sum_to_100() {
+        let mut w = WaitStats::new();
+        w.add(WaitClass::DiskIo, 250);
+        w.add(WaitClass::LogIo, 750);
+        let p = w.percentages();
+        assert_eq!(p[WaitClass::DiskIo.index()], 25.0);
+        assert_eq!(p[WaitClass::LogIo.index()], 75.0);
+        assert!((p.iter().sum::<f64>() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_percentages_are_zero() {
+        assert_eq!(WaitStats::new().percentages(), [0.0; 7]);
+    }
+
+    #[test]
+    fn delta_and_merge() {
+        let mut a = WaitStats::new();
+        a.add(WaitClass::Memory, 500);
+        let mut b = a;
+        b.add(WaitClass::Memory, 200);
+        b.add(WaitClass::Latch, 10);
+        let d = b.delta_since(&a);
+        assert_eq!(d[WaitClass::Memory], 200);
+        assert_eq!(d[WaitClass::Latch], 10);
+
+        let mut m = WaitStats::new();
+        m.merge(&a);
+        m.merge(&d);
+        assert_eq!(m[WaitClass::Memory], 700);
+    }
+
+    #[test]
+    fn class_indices_match_order() {
+        for (i, class) in WAIT_CLASSES.into_iter().enumerate() {
+            assert_eq!(class.index(), i);
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(WaitClass::DiskIo.to_string(), "disk_io");
+        assert_eq!(WaitClass::Lock.to_string(), "lock");
+    }
+}

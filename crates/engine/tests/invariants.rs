@@ -1,0 +1,131 @@
+//! Property-based invariants of the simulated database server.
+
+use dasr_containers::ResourceVector;
+use dasr_engine::request::{Op, RequestSpec};
+use dasr_engine::{Engine, EngineConfig, SimTime};
+use proptest::prelude::*;
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u64..20_000).prop_map(|us| Op::CpuBurst { us }),
+        (0u64..2_000, any::<bool>()).prop_map(|(page, write)| Op::PageAccess { page, write }),
+        (1u32..8_192).prop_map(|bytes| Op::LogWrite { bytes }),
+        (0u32..4, any::<bool>()).prop_map(|(lock, exclusive)| Op::LockAcquire { lock, exclusive }),
+        (1u32..32).prop_map(|mb| Op::MemoryGrant { mb }),
+        (1u64..5_000).prop_map(|us| Op::Think { us }),
+    ]
+}
+
+fn arb_spec() -> impl Strategy<Value = RequestSpec> {
+    prop::collection::vec(arb_op(), 1..10).prop_map(|mut ops| {
+        // Enforce the engine's documented deadlock-avoidance discipline:
+        // grants before locks, and locks in increasing id order. We sort
+        // the *blocking acquisition* ops to the discipline while leaving
+        // the rest of the op sequence as generated.
+        let mut lock_ids: Vec<u32> = ops
+            .iter()
+            .filter_map(|op| match op {
+                Op::LockAcquire { lock, .. } => Some(*lock),
+                _ => None,
+            })
+            .collect();
+        lock_ids.sort_unstable();
+        lock_ids.dedup();
+        let mut next = 0;
+        let mut seen = std::collections::HashSet::new();
+        for op in ops.iter_mut() {
+            if let Op::LockAcquire { lock, .. } = op {
+                // Rewrite to the next unseen id in increasing order.
+                while next < lock_ids.len() && seen.contains(&lock_ids[next]) {
+                    next += 1;
+                }
+                if next < lock_ids.len() {
+                    *lock = lock_ids[next];
+                    seen.insert(lock_ids[next]);
+                }
+            }
+        }
+        // Move any grant op to the front (one grant per request anyway).
+        ops.sort_by_key(|op| !matches!(op, Op::MemoryGrant { .. }));
+        RequestSpec::new(ops)
+    })
+}
+
+fn container() -> ResourceVector {
+    ResourceVector::new(2.0, 256.0, 400.0, 20.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every submitted request either completes or is rejected; none are
+    /// lost, and all latencies are positive and finite.
+    #[test]
+    fn requests_are_conserved(specs in prop::collection::vec(arb_spec(), 1..60)) {
+        let mut e = Engine::new(EngineConfig::default(), container());
+        let n = specs.len() as u64;
+        for (i, spec) in specs.into_iter().enumerate() {
+            e.submit_at(SimTime::from_micros(i as u64 * 731), spec);
+        }
+        e.run_until(SimTime::from_secs(600));
+        let s = e.end_interval();
+        prop_assert_eq!(s.completed + s.rejected, n, "lost requests");
+        prop_assert_eq!(s.outstanding, 0, "everything must drain");
+        prop_assert!(s.latencies_ms.iter().all(|l| l.is_finite() && *l >= 0.0));
+    }
+
+    /// Utilization percentages stay in [0, 100] and wait accounting is
+    /// non-negative under arbitrary mixes.
+    #[test]
+    fn telemetry_stays_in_range(specs in prop::collection::vec(arb_spec(), 1..40)) {
+        let mut e = Engine::new(EngineConfig::default(), container());
+        for (i, spec) in specs.into_iter().enumerate() {
+            e.submit_at(SimTime::from_micros(i as u64 * 997), spec);
+        }
+        e.run_until(SimTime::from_mins(1));
+        let s = e.end_interval();
+        for v in [s.cpu_util_pct, s.mem_util_pct, s.disk_util_pct, s.log_util_pct] {
+            prop_assert!((0.0..=100.0).contains(&v), "utilization {v}");
+        }
+        prop_assert!(s.waits.total() < u64::MAX / 2);
+    }
+
+    /// Resizing mid-run (any direction) never loses requests or panics.
+    #[test]
+    fn resize_under_random_load_is_safe(
+        specs in prop::collection::vec(arb_spec(), 1..40),
+        up in any::<bool>(),
+    ) {
+        let mut e = Engine::new(EngineConfig::default(), container());
+        let n = specs.len() as u64;
+        for (i, spec) in specs.into_iter().enumerate() {
+            e.submit_at(SimTime::from_micros(i as u64 * 499), spec);
+        }
+        e.run_until(SimTime::from_millis(10));
+        let target = if up {
+            ResourceVector::new(16.0, 4_096.0, 3_200.0, 160.0)
+        } else {
+            ResourceVector::new(0.5, 64.0, 100.0, 5.0)
+        };
+        e.apply_resources(target);
+        e.run_until(SimTime::from_secs(600));
+        let s = e.end_interval();
+        prop_assert_eq!(s.completed + s.rejected, n);
+        prop_assert_eq!(s.outstanding, 0);
+    }
+
+    /// Determinism: identical inputs yield identical telemetry.
+    #[test]
+    fn deterministic_under_random_specs(specs in prop::collection::vec(arb_spec(), 1..30)) {
+        let run = |specs: &[RequestSpec]| {
+            let mut e = Engine::new(EngineConfig::default(), container());
+            for (i, spec) in specs.iter().enumerate() {
+                e.submit_at(SimTime::from_micros(i as u64 * 613), spec.clone());
+            }
+            e.run_until(SimTime::from_secs(300));
+            let s = e.end_interval();
+            (s.completed, s.waits, s.latencies_ms.clone(), s.disk_reads)
+        };
+        prop_assert_eq!(run(&specs), run(&specs));
+    }
+}

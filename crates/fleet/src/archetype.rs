@@ -1,0 +1,247 @@
+//! Tenant demand archetypes.
+//!
+//! Each archetype generates a week of per-5-minute resource *requirements*
+//! (the demand a perfectly informed observer would provision for). The
+//! mixture in [`crate::population`] is tuned so the change-event analysis
+//! reproduces Figure 2's published shape.
+
+use dasr_containers::ResourceVector;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Demand-shape archetypes observed in production fleets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TenantArchetype {
+    /// Flat demand with mild noise; rarely crosses container boundaries.
+    Steady,
+    /// Day/night cycle with business-hours peaks.
+    Diurnal,
+    /// Frequent short bursts over a low baseline.
+    Bursty,
+    /// Nearly idle with occasional activity.
+    Idle,
+    /// Slow growth through the week (on-boarding tenants).
+    Growing,
+}
+
+/// All archetypes.
+pub const ARCHETYPES: [TenantArchetype; 5] = [
+    TenantArchetype::Steady,
+    TenantArchetype::Diurnal,
+    TenantArchetype::Bursty,
+    TenantArchetype::Idle,
+    TenantArchetype::Growing,
+];
+
+impl TenantArchetype {
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            TenantArchetype::Steady => "steady",
+            TenantArchetype::Diurnal => "diurnal",
+            TenantArchetype::Bursty => "bursty",
+            TenantArchetype::Idle => "idle",
+            TenantArchetype::Growing => "growing",
+        }
+    }
+
+    /// Generates `intervals` of CPU-core demand at 5-minute resolution,
+    /// smoothed with an AR(1) filter — 5-minute aggregates of real tenants
+    /// are temporally correlated, not i.i.d. noise. Other resources are
+    /// derived in [`demand_vector`].
+    pub fn cpu_demand_series(self, rng: &mut StdRng, intervals: usize) -> Vec<f64> {
+        let raw = self.raw_cpu_series(rng, intervals);
+        // AR(1): x_t = 0.75 x_{t-1} + 0.25 raw_t.
+        let mut out = Vec::with_capacity(raw.len());
+        let mut prev = raw[0];
+        for r in raw {
+            prev = 0.75 * prev + 0.25 * r;
+            out.push(prev);
+        }
+        out
+    }
+
+    fn raw_cpu_series(self, rng: &mut StdRng, intervals: usize) -> Vec<f64> {
+        // Base scale: how big this tenant is (0.3 .. 8 cores typical).
+        let scale = 0.3 * 10f64.powf(rng.gen_range(0.0..1.45));
+        let mut out = Vec::with_capacity(intervals);
+        match self {
+            TenantArchetype::Steady => {
+                for _ in 0..intervals {
+                    out.push(scale * rng.gen_range(0.85..1.15));
+                }
+            }
+            TenantArchetype::Diurnal => {
+                let phase: f64 = rng.gen_range(0.0..24.0);
+                let night_floor = rng.gen_range(0.1..0.3);
+                for i in 0..intervals {
+                    let hour = (i as f64 * 5.0 / 60.0 + phase) % 24.0;
+                    // Business-hours bump between 8 and 18.
+                    let day = if (8.0..18.0).contains(&hour) {
+                        1.0
+                    } else {
+                        night_floor
+                    };
+                    out.push(scale * day * rng.gen_range(0.8..1.2));
+                }
+            }
+            TenantArchetype::Bursty => {
+                let baseline = scale * 0.2;
+                let mut i = 0;
+                while i < intervals {
+                    // Quiet stretch then a burst.
+                    let quiet = rng.gen_range(3..18); // 15..90 minutes
+                    for _ in 0..quiet {
+                        if out.len() == intervals {
+                            break;
+                        }
+                        out.push(baseline * rng.gen_range(0.7..1.3));
+                    }
+                    let burst = rng.gen_range(2..12); // 10..60 minutes
+                    let height = scale * rng.gen_range(1.0..3.0);
+                    for _ in 0..burst {
+                        if out.len() == intervals {
+                            break;
+                        }
+                        out.push(height * rng.gen_range(0.85..1.15));
+                    }
+                    i = out.len();
+                }
+                out.truncate(intervals);
+            }
+            TenantArchetype::Idle => {
+                for _ in 0..intervals {
+                    let active = rng.gen_bool(0.05);
+                    out.push(if active {
+                        scale * rng.gen_range(0.5..1.5)
+                    } else {
+                        scale * 0.02
+                    });
+                }
+            }
+            TenantArchetype::Growing => {
+                for i in 0..intervals {
+                    let growth = 0.3 + 0.7 * i as f64 / intervals as f64;
+                    out.push(scale * growth * rng.gen_range(0.85..1.15));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Expands a CPU-core demand into a full resource vector with
+/// tenant-specific resource ratios: memory follows demand sub-linearly
+/// (caches), disk and log follow roughly linearly. Per-interval noise is
+/// small (±2%) — tenant-to-tenant shape differences live in the *ratios*,
+/// which are fixed per tenant.
+pub fn demand_vector(rng: &mut StdRng, cpu_cores: f64, ratios: &ResourceRatios) -> ResourceVector {
+    let cpu = cpu_cores.max(0.01);
+    ResourceVector::new(
+        cpu,
+        (ratios.mem_mb_per_core * cpu.powf(0.7) * rng.gen_range(0.98..1.02)).max(16.0),
+        (ratios.iops_per_core * cpu * rng.gen_range(0.98..1.02)).max(1.0),
+        (ratios.log_mbps_per_core * cpu * rng.gen_range(0.98..1.02)).max(0.1),
+    )
+}
+
+/// Tenant-specific resource ratios (workloads differ in shape).
+#[derive(Debug, Clone, Copy)]
+pub struct ResourceRatios {
+    /// Memory per unit of CPU demand.
+    pub mem_mb_per_core: f64,
+    /// IOPS per core.
+    pub iops_per_core: f64,
+    /// Log MB/s per core.
+    pub log_mbps_per_core: f64,
+}
+
+impl ResourceRatios {
+    /// Samples ratios for a tenant (some CPU-bound, some I/O-bound).
+    pub fn sample(rng: &mut StdRng) -> Self {
+        Self {
+            mem_mb_per_core: rng.gen_range(800.0..2_600.0),
+            iops_per_core: rng.gen_range(80.0..260.0),
+            log_mbps_per_core: rng.gen_range(3.0..13.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn series_have_requested_length() {
+        let mut r = rng();
+        for a in ARCHETYPES {
+            assert_eq!(a.cpu_demand_series(&mut r, 500).len(), 500, "{}", a.name());
+        }
+    }
+
+    #[test]
+    fn steady_has_low_variation() {
+        let mut r = rng();
+        let s = TenantArchetype::Steady.cpu_demand_series(&mut r, 1_000);
+        let mean = s.iter().sum::<f64>() / s.len() as f64;
+        let max = s.iter().copied().fold(0.0, f64::max);
+        let min = s.iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(max / min < 1.6, "steady ratio {}", max / min);
+        assert!(mean > 0.0);
+    }
+
+    #[test]
+    fn bursty_has_wide_dynamic_range() {
+        let mut r = rng();
+        let s = TenantArchetype::Bursty.cpu_demand_series(&mut r, 2_000);
+        let max = s.iter().copied().fold(0.0, f64::max);
+        let min = s.iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(max / min > 4.0, "bursty ratio {}", max / min);
+    }
+
+    #[test]
+    fn growing_trends_upward() {
+        let mut r = rng();
+        let s = TenantArchetype::Growing.cpu_demand_series(&mut r, 2_000);
+        let first: f64 = s[..200].iter().sum();
+        let last: f64 = s[s.len() - 200..].iter().sum();
+        assert!(last > first * 1.5);
+    }
+
+    #[test]
+    fn idle_is_mostly_tiny() {
+        let mut r = rng();
+        let s = TenantArchetype::Idle.cpu_demand_series(&mut r, 2_000);
+        let mut sorted = s.clone();
+        sorted.sort_by(f64::total_cmp);
+        let p50 = sorted[s.len() / 2];
+        let max = sorted[s.len() - 1];
+        assert!(max / p50 > 10.0, "idle contrast {}", max / p50);
+    }
+
+    #[test]
+    fn demand_vector_is_positive_and_scales() {
+        let mut r = rng();
+        let ratios = ResourceRatios::sample(&mut r);
+        let small = demand_vector(&mut r, 0.5, &ratios);
+        let large = demand_vector(&mut r, 8.0, &ratios);
+        assert!(large.cpu_cores > small.cpu_cores);
+        assert!(large.memory_mb > small.memory_mb);
+        assert!(large.disk_iops > small.disk_iops);
+        assert!(small.log_mbps > 0.0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let gen = || {
+            let mut r = rng();
+            TenantArchetype::Diurnal.cpu_demand_series(&mut r, 300)
+        };
+        assert_eq!(gen(), gen());
+    }
+}

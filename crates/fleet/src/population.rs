@@ -1,0 +1,133 @@
+//! Synthetic tenant populations.
+
+use crate::archetype::{demand_vector, ResourceRatios, TenantArchetype, ARCHETYPES};
+use crate::WEEK_INTERVALS;
+use dasr_containers::ResourceVector;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A tenant's week of per-interval resource requirements.
+#[derive(Debug, Clone)]
+pub struct TenantTrace {
+    /// The tenant's archetype.
+    pub archetype: TenantArchetype,
+    /// Per-5-minute-interval resource requirement.
+    pub intervals: Vec<ResourceVector>,
+}
+
+/// A synthetic fleet of tenants.
+#[derive(Debug, Clone)]
+pub struct TenantPopulation {
+    /// All tenant traces.
+    pub tenants: Vec<TenantTrace>,
+}
+
+/// Archetype mixture calibrated so change-event statistics reproduce the
+/// shape of Figure 2: production fleets are dominated by tenants whose
+/// demand crosses container boundaries within minutes to hours.
+const MIXTURE: [(TenantArchetype, f64); 5] = [
+    (TenantArchetype::Steady, 0.17),
+    (TenantArchetype::Diurnal, 0.26),
+    (TenantArchetype::Bursty, 0.34),
+    (TenantArchetype::Idle, 0.11),
+    (TenantArchetype::Growing, 0.12),
+];
+
+impl TenantPopulation {
+    /// Generates `n` tenants for a full week (2016 5-minute intervals).
+    pub fn generate(n: usize, seed: u64) -> Self {
+        Self::generate_with_len(n, WEEK_INTERVALS, seed)
+    }
+
+    /// Generates `n` tenants over `intervals` 5-minute intervals.
+    pub fn generate_with_len(n: usize, intervals: usize, seed: u64) -> Self {
+        assert!(n > 0 && intervals > 1, "population must be non-trivial");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tenants = (0..n)
+            .map(|_| {
+                let archetype = sample_archetype(&mut rng);
+                let ratios = ResourceRatios::sample(&mut rng);
+                let cpu = archetype.cpu_demand_series(&mut rng, intervals);
+                let intervals = cpu
+                    .iter()
+                    .map(|&c| demand_vector(&mut rng, c, &ratios))
+                    .collect();
+                TenantTrace {
+                    archetype,
+                    intervals,
+                }
+            })
+            .collect();
+        Self { tenants }
+    }
+
+    /// Number of tenants.
+    pub fn len(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// True when the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tenants.is_empty()
+    }
+}
+
+fn sample_archetype(rng: &mut StdRng) -> TenantArchetype {
+    let x: f64 = rng.gen_range(0.0..1.0);
+    let mut acc = 0.0;
+    for &(a, w) in &MIXTURE {
+        acc += w;
+        if x < acc {
+            return a;
+        }
+    }
+    ARCHETYPES[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_shape() {
+        let p = TenantPopulation::generate_with_len(50, 288, 7);
+        assert_eq!(p.len(), 50);
+        assert!(p.tenants.iter().all(|t| t.intervals.len() == 288));
+    }
+
+    #[test]
+    fn mixture_weights_sum_to_one() {
+        let total: f64 = MIXTURE.iter().map(|&(_, w)| w).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mixture_is_represented() {
+        let p = TenantPopulation::generate_with_len(400, 50, 3);
+        let mut seen = std::collections::HashSet::new();
+        for t in &p.tenants {
+            seen.insert(t.archetype);
+        }
+        assert!(seen.len() >= 4, "archetypes present: {seen:?}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = TenantPopulation::generate_with_len(10, 100, 11);
+        let b = TenantPopulation::generate_with_len(10, 100, 11);
+        for (x, y) in a.tenants.iter().zip(b.tenants.iter()) {
+            assert_eq!(x.archetype, y.archetype);
+            assert_eq!(x.intervals, y.intervals);
+        }
+    }
+
+    #[test]
+    fn demands_are_positive() {
+        let p = TenantPopulation::generate_with_len(20, 100, 13);
+        for t in &p.tenants {
+            for v in &t.intervals {
+                assert!(v.cpu_cores > 0.0 && v.memory_mb > 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Fleet-driven threshold derivation (§4.1).
+//!
+//! "We use production telemetry collected from thousands of real tenants'
+//! databases across the service to determine these thresholds." This module
+//! glues the generative fleet model to
+//! [`dasr_telemetry::thresholds::derive_wait_thresholds`]: generate
+//! observations per resource, split them at the utilization boundaries, and
+//! read the category cut-offs off the conditional distributions.
+
+use crate::waitmodel::WaitModel;
+use dasr_containers::RESOURCE_KINDS;
+use dasr_telemetry::thresholds::derive_wait_thresholds;
+use dasr_telemetry::ThresholdConfig;
+
+/// Derives a full [`ThresholdConfig`] from `observations_per_resource`
+/// synthetic fleet observations.
+///
+/// `interval_scale` rescales the derived wait thresholds from the fleet's
+/// 5-minute observation interval to the auto-scaler's billing interval
+/// (e.g. `1.0 / 5.0` for one-minute intervals) — wait magnitudes are
+/// cumulative over the interval, so they scale linearly with its length.
+pub fn derive_threshold_config(
+    observations_per_resource: usize,
+    interval_scale: f64,
+    seed: u64,
+) -> ThresholdConfig {
+    assert!(
+        observations_per_resource >= 100,
+        "need a meaningful fleet sample"
+    );
+    assert!(interval_scale > 0.0, "scale must be positive");
+    let mut cfg = ThresholdConfig::default();
+    for kind in RESOURCE_KINDS {
+        let mut model = WaitModel::new(kind, seed);
+        let obs = model.generate(observations_per_resource);
+        let mut wait_low = Vec::new();
+        let mut wait_high = Vec::new();
+        let mut pct_low = Vec::new();
+        let mut pct_high = Vec::new();
+        for o in &obs {
+            if o.util_pct < cfg.util_low_pct {
+                wait_low.push(o.wait_ms);
+                pct_low.push(o.wait_pct);
+            } else if o.util_pct > cfg.util_high_pct {
+                wait_high.push(o.wait_ms);
+                pct_high.push(o.wait_pct);
+            }
+        }
+        if let Some(mut derived) =
+            derive_wait_thresholds(&wait_low, &wait_high, &pct_low, &pct_high)
+        {
+            derived.low_ms *= interval_scale;
+            derived.high_ms *= interval_scale;
+            *cfg.waits_for_mut(kind) = derived;
+        }
+    }
+    cfg.validated()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dasr_containers::ResourceKind;
+
+    #[test]
+    fn derived_config_is_valid_and_separated() {
+        let cfg = derive_threshold_config(20_000, 1.0, 7);
+        for kind in RESOURCE_KINDS {
+            let w = cfg.waits_for(kind);
+            assert!(w.low_ms > 0.0);
+            assert!(
+                w.high_ms > 5.0 * w.low_ms,
+                "{kind}: low {} high {} insufficiently separated",
+                w.low_ms,
+                w.high_ms
+            );
+            assert!((10.0..90.0).contains(&w.significant_pct));
+        }
+    }
+
+    #[test]
+    fn cpu_low_threshold_matches_paper_magnitude() {
+        let cfg = derive_threshold_config(30_000, 1.0, 42);
+        let w = cfg.waits_for(ResourceKind::Cpu);
+        // Figure 6(a): ~20s per 5-minute interval.
+        assert!(
+            (5_000.0..60_000.0).contains(&w.low_ms),
+            "low_ms {}",
+            w.low_ms
+        );
+        // Figure 6(b): hundreds of seconds.
+        assert!(
+            (100_000.0..4_000_000.0).contains(&w.high_ms),
+            "high_ms {}",
+            w.high_ms
+        );
+    }
+
+    #[test]
+    fn interval_scaling_is_linear() {
+        let full = derive_threshold_config(10_000, 1.0, 3);
+        let scaled = derive_threshold_config(10_000, 0.2, 3);
+        let f = full.waits_for(ResourceKind::DiskIo);
+        let s = scaled.waits_for(ResourceKind::DiskIo);
+        assert!((s.low_ms - f.low_ms * 0.2).abs() < 1e-6);
+        assert!((s.high_ms - f.high_ms * 0.2).abs() < 1e-6);
+        assert_eq!(s.significant_pct, f.significant_pct);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = derive_threshold_config(5_000, 1.0, 11);
+        let b = derive_threshold_config(5_000, 1.0, 11);
+        assert_eq!(a, b);
+    }
+}

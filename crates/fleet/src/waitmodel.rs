@@ -1,0 +1,232 @@
+//! Generative wait-vs-utilization model (Figures 4 and 6).
+//!
+//! Figure 4 plots per-interval resource waits against utilization for
+//! thousands of tenants: an increasing trend with a very wide band — waits
+//! of 1,000 s at 20% utilization and of 1 s at 80% both occur, which is
+//! exactly why neither signal suffices alone. We model the joint
+//! distribution as log-normal around a utilization-dependent location:
+//!
+//! ```text
+//! log10(wait_ms) = a + b · util/100 + σ · N(0,1)
+//! wait_pct       = clamp(c + d · util/100 + σp · N(0,1), 0, 100)
+//! ```
+//!
+//! with `σ` large (≈1 decade). The location parameters are calibrated so
+//! the *conditional* distributions reproduce Figure 6's published
+//! percentiles (low-util p90 ≈ 20 s; high-util p75 ≈ 500–1500 s per
+//! 5-minute interval).
+
+use dasr_containers::ResourceKind;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One fleet observation: a tenant-interval's utilization and waits for a
+/// resource.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WaitObservation {
+    /// Resource utilization %.
+    pub util_pct: f64,
+    /// Wait magnitude, ms per 5-minute interval.
+    pub wait_ms: f64,
+    /// This resource's share of total waits, %.
+    pub wait_pct: f64,
+}
+
+/// Log-linear wait model parameters for one resource.
+#[derive(Debug, Clone, Copy)]
+pub struct WaitModelParams {
+    /// Intercept of `log10(wait_ms)` at zero utilization.
+    pub log_wait_at_zero: f64,
+    /// Increase of `log10(wait_ms)` from 0 to 100% utilization.
+    pub log_wait_span: f64,
+    /// Standard deviation of the log-wait noise (decades).
+    pub log_noise: f64,
+    /// Wait-percentage intercept at zero utilization.
+    pub pct_at_zero: f64,
+    /// Wait-percentage span from 0 to 100% utilization.
+    pub pct_span: f64,
+    /// Wait-percentage noise (percentage points).
+    pub pct_noise: f64,
+}
+
+impl WaitModelParams {
+    /// Calibrated parameters per resource (CPU waits run hotter than disk
+    /// at high utilization, per Figure 6(b)).
+    pub fn for_resource(kind: ResourceKind) -> Self {
+        match kind {
+            ResourceKind::Cpu => Self {
+                log_wait_at_zero: 2.3,
+                log_wait_span: 3.5,
+                log_noise: 1.0,
+                pct_at_zero: 8.0,
+                pct_span: 62.0,
+                pct_noise: 12.0,
+            },
+            ResourceKind::DiskIo => Self {
+                log_wait_at_zero: 2.4,
+                log_wait_span: 3.0,
+                log_noise: 1.0,
+                pct_at_zero: 10.0,
+                pct_span: 52.0,
+                pct_noise: 12.0,
+            },
+            ResourceKind::Memory | ResourceKind::LogIo => Self {
+                log_wait_at_zero: 2.0,
+                log_wait_span: 2.8,
+                log_noise: 1.0,
+                pct_at_zero: 5.0,
+                pct_span: 40.0,
+                pct_noise: 10.0,
+            },
+        }
+    }
+}
+
+/// The generative model.
+#[derive(Debug)]
+pub struct WaitModel {
+    params: WaitModelParams,
+    rng: StdRng,
+}
+
+impl WaitModel {
+    /// Creates a model for `kind` with the given seed.
+    pub fn new(kind: ResourceKind, seed: u64) -> Self {
+        Self {
+            params: WaitModelParams::for_resource(kind),
+            rng: StdRng::seed_from_u64(seed ^ (kind.index() as u64) << 32),
+        }
+    }
+
+    /// Samples the waits of one tenant-interval at `util_pct`.
+    pub fn sample_at(&mut self, util_pct: f64) -> WaitObservation {
+        let u = util_pct.clamp(0.0, 100.0) / 100.0;
+        let p = self.params;
+        let z = gaussian(&mut self.rng);
+        let log_wait = p.log_wait_at_zero + p.log_wait_span * u + p.log_noise * z;
+        let zp = gaussian(&mut self.rng);
+        let pct = (p.pct_at_zero + p.pct_span * u + p.pct_noise * zp).clamp(0.0, 100.0);
+        WaitObservation {
+            util_pct,
+            wait_ms: 10f64.powf(log_wait),
+            wait_pct: pct,
+        }
+    }
+
+    /// Generates `n` observations with a production-like utilization
+    /// distribution: most tenant-intervals idle-to-moderate, a tail of hot
+    /// ones.
+    pub fn generate(&mut self, n: usize) -> Vec<WaitObservation> {
+        (0..n)
+            .map(|_| {
+                let r: f64 = self.rng.gen_range(0.0..1.0);
+                let util = if r < 0.5 {
+                    self.rng.gen_range(0.0..30.0)
+                } else if r < 0.8 {
+                    self.rng.gen_range(30.0..70.0)
+                } else {
+                    self.rng.gen_range(70.0..100.0)
+                };
+                self.sample_at(util)
+            })
+            .collect()
+    }
+}
+
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dasr_stats::{percentile, spearman};
+
+    fn observations(kind: ResourceKind) -> Vec<WaitObservation> {
+        WaitModel::new(kind, 42).generate(30_000)
+    }
+
+    #[test]
+    fn conditional_distributions_match_figure6() {
+        let obs = observations(ResourceKind::Cpu);
+        let low: Vec<f64> = obs
+            .iter()
+            .filter(|o| o.util_pct < 30.0)
+            .map(|o| o.wait_ms)
+            .collect();
+        let high: Vec<f64> = obs
+            .iter()
+            .filter(|o| o.util_pct > 70.0)
+            .map(|o| o.wait_ms)
+            .collect();
+        assert!(low.len() > 1_000 && high.len() > 1_000);
+        let low_p90 = percentile(&low, 90.0).unwrap();
+        let high_p75 = percentile(&high, 75.0).unwrap();
+        // Figure 6(a): p90 of low-util waits ≈ 20s (accept 5–60s).
+        assert!(
+            (5_000.0..60_000.0).contains(&low_p90),
+            "low-util p90 = {low_p90} ms"
+        );
+        // Figure 6(b): p75 of high-util CPU waits ≈ 1500s (accept 300s–4000s).
+        assert!(
+            (300_000.0..4_000_000.0).contains(&high_p75),
+            "high-util p75 = {high_p75} ms"
+        );
+        // And the separation the paper relies on.
+        assert!(high_p75 > 10.0 * low_p90);
+    }
+
+    #[test]
+    fn wait_pct_separates_like_figure6cd() {
+        let obs = observations(ResourceKind::DiskIo);
+        let low: Vec<f64> = obs
+            .iter()
+            .filter(|o| o.util_pct < 30.0)
+            .map(|o| o.wait_pct)
+            .collect();
+        let high: Vec<f64> = obs
+            .iter()
+            .filter(|o| o.util_pct > 70.0)
+            .map(|o| o.wait_pct)
+            .collect();
+        let low_p80 = percentile(&low, 80.0).unwrap();
+        let high_p50 = percentile(&high, 50.0).unwrap();
+        // Fig 6(c): p80 under low util in the 20–30% range (accept 15–40).
+        assert!((15.0..40.0).contains(&low_p80), "low p80 = {low_p80}");
+        // Fig 6(d): median under high util well above it.
+        assert!(high_p50 > low_p80 + 15.0, "high p50 = {high_p50}");
+    }
+
+    #[test]
+    fn correlation_is_positive_but_weak() {
+        let obs = observations(ResourceKind::Cpu);
+        let util: Vec<f64> = obs.iter().map(|o| o.util_pct).collect();
+        let wait: Vec<f64> = obs.iter().map(|o| o.wait_ms).collect();
+        let rho = spearman(&util, &wait).unwrap();
+        // Figure 4: increasing trend, wide band — weakly predictive.
+        assert!(rho > 0.3, "rho {rho}");
+        assert!(rho < 0.9, "rho {rho} too strong for the Figure 4 band");
+    }
+
+    #[test]
+    fn band_is_wide_like_figure4() {
+        let obs = observations(ResourceKind::Cpu);
+        // There exist high waits at low utilization and low waits at high
+        // utilization.
+        let high_wait_low_util = obs
+            .iter()
+            .any(|o| o.util_pct < 30.0 && o.wait_ms > 100_000.0);
+        let low_wait_high_util = obs.iter().any(|o| o.util_pct > 70.0 && o.wait_ms < 2_000.0);
+        assert!(high_wait_low_util, "missing 1000s-at-20%-style outliers");
+        assert!(low_wait_high_util, "missing 1s-at-80%-style observations");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = WaitModel::new(ResourceKind::Cpu, 9).generate(100);
+        let b = WaitModel::new(ResourceKind::Cpu, 9).generate(100);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,116 @@
+//! Exponentially weighted moving average.
+//!
+//! Used as a light-weight smoother for display/diagnostic series (the robust
+//! demand signals themselves use medians — see the crate docs).
+
+/// An exponentially weighted moving average with smoothing factor `alpha`.
+///
+/// `value_{t} = alpha * x_t + (1 - alpha) * value_{t-1}`; the first
+/// observation initializes the average.
+#[derive(Debug, Clone, Copy)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// Creates a smoother with factor `alpha` in `(0, 1]`.
+    ///
+    /// # Panics
+    /// Panics if `alpha` is outside `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        Self { alpha, value: None }
+    }
+
+    /// Creates a smoother whose weight halves every `half_life` observations.
+    pub fn with_half_life(half_life: f64) -> Self {
+        assert!(half_life > 0.0, "half-life must be positive");
+        Self::new(1.0 - 0.5f64.powf(1.0 / half_life))
+    }
+
+    /// Feeds one observation; non-finite observations are ignored.
+    /// Returns the updated average (or the previous one if ignored).
+    pub fn update(&mut self, x: f64) -> Option<f64> {
+        if x.is_finite() {
+            self.value = Some(match self.value {
+                None => x,
+                Some(v) => self.alpha * x + (1.0 - self.alpha) * v,
+            });
+        }
+        self.value
+    }
+
+    /// Current smoothed value, `None` before any observation.
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+
+    /// Resets to the empty state.
+    pub fn reset(&mut self) {
+        self.value = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_observation_initializes() {
+        let mut e = Ewma::new(0.2);
+        assert_eq!(e.value(), None);
+        assert_eq!(e.update(10.0), Some(10.0));
+    }
+
+    #[test]
+    fn converges_to_constant_input() {
+        let mut e = Ewma::new(0.3);
+        for _ in 0..200 {
+            e.update(42.0);
+        }
+        assert!((e.value().unwrap() - 42.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn alpha_one_tracks_exactly() {
+        let mut e = Ewma::new(1.0);
+        e.update(1.0);
+        e.update(9.0);
+        assert_eq!(e.value(), Some(9.0));
+    }
+
+    #[test]
+    fn ignores_non_finite() {
+        let mut e = Ewma::new(0.5);
+        e.update(4.0);
+        assert_eq!(e.update(f64::NAN), Some(4.0));
+        assert_eq!(e.update(f64::INFINITY), Some(4.0));
+    }
+
+    #[test]
+    fn half_life_semantics() {
+        // After `h` updates toward 0 from 1, the value should be ~0.5.
+        let h = 10.0;
+        let mut e = Ewma::with_half_life(h);
+        e.update(1.0);
+        for _ in 0..10 {
+            e.update(0.0);
+        }
+        assert!((e.value().unwrap() - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in")]
+    fn zero_alpha_panics() {
+        let _ = Ewma::new(0.0);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut e = Ewma::new(0.5);
+        e.update(3.0);
+        e.reset();
+        assert_eq!(e.value(), None);
+    }
+}

@@ -1,0 +1,222 @@
+//! Fixed-bin histograms and empirical CDFs.
+//!
+//! The figure-reproduction benches (Figures 2 and 6 of the paper) report
+//! cumulative distributions — of inter-event intervals, change frequencies
+//! and wait times. [`Histogram`] accumulates counts into explicit bin edges;
+//! [`Cdf`] holds a sorted sample and answers both "fraction below x" and
+//! quantile queries.
+
+/// A histogram over explicit, strictly increasing bin *upper* edges.
+///
+/// A value `v` lands in the first bin whose upper edge satisfies
+/// `v <= edge`; values above the last edge land in an implicit overflow bin.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    edges: Vec<f64>,
+    counts: Vec<u64>,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given strictly increasing upper edges.
+    ///
+    /// # Panics
+    /// Panics if `edges` is empty or not strictly increasing.
+    pub fn new(edges: Vec<f64>) -> Self {
+        assert!(!edges.is_empty(), "histogram needs at least one edge");
+        assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "edges must be strictly increasing"
+        );
+        let n = edges.len();
+        Self {
+            edges,
+            counts: vec![0; n],
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Creates `n` uniform bins spanning `[lo, hi]`.
+    pub fn uniform(lo: f64, hi: f64, n: usize) -> Self {
+        assert!(n >= 1 && hi > lo, "invalid uniform histogram spec");
+        let width = (hi - lo) / n as f64;
+        Self::new((1..=n).map(|i| lo + width * i as f64).collect())
+    }
+
+    /// Records one observation. Non-finite observations are ignored.
+    pub fn record(&mut self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        self.total += 1;
+        match self.edges.iter().position(|&e| v <= e) {
+            Some(i) => self.counts[i] += 1,
+            None => self.overflow += 1,
+        }
+    }
+
+    /// Bin upper edges.
+    pub fn edges(&self) -> &[f64] {
+        &self.edges
+    }
+
+    /// Per-bin counts (not including overflow).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Observations above the last edge.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total recorded observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Fraction of observations in each bin, in bin order. Empty histogram
+    /// yields all zeros.
+    pub fn fractions(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / self.total as f64)
+            .collect()
+    }
+
+    /// Cumulative fraction of observations at or below each edge.
+    pub fn cumulative_fractions(&self) -> Vec<f64> {
+        let mut acc = 0u64;
+        self.counts
+            .iter()
+            .map(|&c| {
+                acc += c;
+                if self.total == 0 {
+                    0.0
+                } else {
+                    acc as f64 / self.total as f64
+                }
+            })
+            .collect()
+    }
+}
+
+/// An empirical CDF over a finite sample.
+#[derive(Debug, Clone)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from a sample; non-finite values are dropped.
+    pub fn new(mut values: Vec<f64>) -> Self {
+        values.retain(|v| v.is_finite());
+        values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        Self { sorted: values }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when the sample is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of the sample `<= x` (0.0 for an empty sample).
+    pub fn fraction_at_or_below(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// The `p`-th percentile of the sample (nearest-rank); `None` if empty.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        if self.sorted.is_empty() {
+            None
+        } else {
+            Some(crate::quantile::nearest_rank_sorted(&self.sorted, p))
+        }
+    }
+
+    /// The underlying sorted sample.
+    pub fn sorted(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_correct_bins() {
+        let mut h = Histogram::new(vec![1.0, 2.0, 3.0]);
+        for v in [0.5, 1.0, 1.5, 2.5, 9.0] {
+            h.record(v);
+        }
+        assert_eq!(h.counts(), &[2, 1, 1]);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn cumulative_fractions_monotone() {
+        let mut h = Histogram::uniform(0.0, 10.0, 5);
+        for i in 0..100 {
+            h.record((i % 10) as f64);
+        }
+        let cum = h.cumulative_fractions();
+        assert!(cum.windows(2).all(|w| w[0] <= w[1]));
+        assert!((cum.last().unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fractions_sum_with_overflow() {
+        let mut h = Histogram::new(vec![10.0]);
+        h.record(5.0);
+        h.record(50.0);
+        assert_eq!(h.fractions(), vec![0.5]);
+        assert_eq!(h.overflow(), 1);
+    }
+
+    #[test]
+    fn ignores_non_finite() {
+        let mut h = Histogram::uniform(0.0, 1.0, 2);
+        h.record(f64::NAN);
+        assert_eq!(h.total(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn bad_edges_panic() {
+        let _ = Histogram::new(vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn cdf_fraction_and_percentile() {
+        let c = Cdf::new(vec![4.0, 1.0, 3.0, 2.0]);
+        assert_eq!(c.fraction_at_or_below(0.5), 0.0);
+        assert_eq!(c.fraction_at_or_below(2.0), 0.5);
+        assert_eq!(c.fraction_at_or_below(99.0), 1.0);
+        assert_eq!(c.percentile(50.0), Some(2.0));
+        assert_eq!(c.percentile(100.0), Some(4.0));
+    }
+
+    #[test]
+    fn empty_cdf() {
+        let c = Cdf::new(vec![f64::NAN]);
+        assert!(c.is_empty());
+        assert_eq!(c.fraction_at_or_below(1.0), 0.0);
+        assert_eq!(c.percentile(50.0), None);
+    }
+}

@@ -1,0 +1,58 @@
+//! # dasr-stats — robust statistics for noisy telemetry
+//!
+//! Statistical substrate for the SIGMOD'16 paper *Automated Demand-driven
+//! Resource Scaling in Relational Database-as-a-Service*.
+//!
+//! System telemetry is noisy: workload spikes, checkpoints and transient
+//! system activity inject large outliers. The paper (§3) therefore insists on
+//! estimators with a high *breakdown point* — the fraction of arbitrarily
+//! corrupted observations an estimator tolerates before producing an
+//! arbitrarily wrong answer. This crate provides:
+//!
+//! - [`quantile`] — medians and percentiles (breakdown point 50% for the
+//!   median), both nearest-rank and linearly interpolated;
+//! - [`robust`] — trimmed means, MAD, robust summaries;
+//! - [`theil_sen`] — the Theil–Sen slope estimator (breakdown point 29%) with
+//!   the paper's α-sign-agreement trend-acceptance test (§3.2.1);
+//! - [`ols`] — ordinary least squares with R², the *rejected* baseline the
+//!   paper compares against (breakdown point 0);
+//! - [`rank`] / [`spearman`] — average-rank computation and Spearman's ρ
+//!   (§3.2.2), robust to outliers because values are first mapped to ranks;
+//! - [`pearson`] — Pearson correlation (used internally by Spearman);
+//! - [`ewma`] — exponentially weighted moving averages;
+//! - [`histogram`] — fixed-bin histograms and empirical CDFs used by the
+//!   figure-reproduction benches;
+//! - [`online`] — streaming quantile estimation (P² algorithm) for
+//!   constant-memory robust aggregation of fine-grained samples;
+//! - [`token_bucket`] — the traffic-shaping token bucket the budget manager
+//!   (§5) is built on.
+//!
+//! All functions are deterministic and allocation-conscious; the hot paths
+//! (`median_of_mut`, Theil–Sen over bounded windows) avoid re-allocating.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ewma;
+pub mod histogram;
+pub mod ols;
+pub mod online;
+pub mod pearson;
+pub mod quantile;
+pub mod rank;
+pub mod robust;
+pub mod spearman;
+pub mod theil_sen;
+pub mod token_bucket;
+
+pub use ewma::Ewma;
+pub use histogram::{Cdf, Histogram};
+pub use ols::{ols_fit, OlsFit};
+pub use online::P2Quantile;
+pub use pearson::pearson;
+pub use quantile::{median, median_of_mut, percentile, percentile_interpolated};
+pub use rank::average_ranks;
+pub use robust::{mad, trimmed_mean};
+pub use spearman::spearman;
+pub use theil_sen::{theil_sen, TheilSen, Trend, TrendDirection};
+pub use token_bucket::TokenBucket;

@@ -1,0 +1,130 @@
+//! Ordinary least squares — the *rejected* trend baseline (§3.2.1).
+//!
+//! The paper explains why least-squares regression is unsuitable for noisy
+//! telemetry: its breakdown point is 0, so a single outlier can flip the
+//! fitted slope. We keep an implementation for two reasons: the R² goodness
+//! of fit is a useful diagnostic, and the ablation bench
+//! (`micro_stats`) demonstrates the robustness gap against Theil–Sen.
+
+/// Result of a least-squares line fit `y ≈ slope·x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OlsFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination in `[0, 1]` (clamped); `1.0` is a
+    /// perfect fit. For a constant `y`, R² is defined here as `1.0` when the
+    /// fit is exact.
+    pub r_squared: f64,
+}
+
+/// Fits `y = slope·x + intercept` by least squares.
+///
+/// Returns `None` when fewer than two finite points remain or all `x` are
+/// identical (vertical line).
+///
+/// # Examples
+/// ```
+/// use dasr_stats::ols_fit;
+/// let x = [0.0, 1.0, 2.0, 3.0];
+/// let y = [1.0, 3.0, 5.0, 7.0];
+/// let fit = ols_fit(&x, &y).unwrap();
+/// assert!((fit.slope - 2.0).abs() < 1e-12);
+/// assert!((fit.intercept - 1.0).abs() < 1e-12);
+/// assert_eq!(fit.r_squared, 1.0);
+/// ```
+pub fn ols_fit(x: &[f64], y: &[f64]) -> Option<OlsFit> {
+    assert_eq!(x.len(), y.len(), "x and y must have equal length");
+    let pts: Vec<(f64, f64)> = x
+        .iter()
+        .zip(y.iter())
+        .filter(|(a, b)| a.is_finite() && b.is_finite())
+        .map(|(a, b)| (*a, *b))
+        .collect();
+    let n = pts.len() as f64;
+    if pts.len() < 2 {
+        return None;
+    }
+    let mean_x = pts.iter().map(|p| p.0).sum::<f64>() / n;
+    let mean_y = pts.iter().map(|p| p.1).sum::<f64>() / n;
+    let sxx: f64 = pts.iter().map(|p| (p.0 - mean_x).powi(2)).sum();
+    if sxx == 0.0 {
+        return None;
+    }
+    let sxy: f64 = pts.iter().map(|p| (p.0 - mean_x) * (p.1 - mean_y)).sum();
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let ss_tot: f64 = pts.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
+    let ss_res: f64 = pts
+        .iter()
+        .map(|p| (p.1 - (slope * p.0 + intercept)).powi(2))
+        .sum();
+    let r_squared = if ss_tot == 0.0 {
+        // y constant: fit is exact iff residuals vanish.
+        if ss_res == 0.0 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        (1.0 - ss_res / ss_tot).clamp(0.0, 1.0)
+    };
+    Some(OlsFit {
+        slope,
+        intercept,
+        r_squared,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line() {
+        let x: Vec<f64> = (0..10).map(f64::from).collect();
+        let y: Vec<f64> = x.iter().map(|v| -0.5 * v + 4.0).collect();
+        let fit = ols_fit(&x, &y).unwrap();
+        assert!((fit.slope + 0.5).abs() < 1e-12);
+        assert!((fit.intercept - 4.0).abs() < 1e-12);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+
+    #[test]
+    fn noisy_fit_has_lower_r2() {
+        let x: Vec<f64> = (0..10).map(f64::from).collect();
+        let y = [0.0, 5.0, 1.0, 6.0, 2.0, 7.0, 3.0, 8.0, 4.0, 9.0];
+        let fit = ols_fit(&x, &y).unwrap();
+        assert!(fit.r_squared < 0.9);
+        assert!(fit.r_squared > 0.0);
+    }
+
+    #[test]
+    fn constant_y_is_perfect_flat_fit() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [5.0, 5.0, 5.0];
+        let fit = ols_fit(&x, &y).unwrap();
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_none() {
+        assert!(ols_fit(&[], &[]).is_none());
+        assert!(ols_fit(&[1.0], &[2.0]).is_none());
+        assert!(ols_fit(&[3.0, 3.0], &[1.0, 2.0]).is_none());
+        assert!(ols_fit(&[f64::NAN, 1.0], &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn zero_breakdown_point() {
+        // Demonstrates why the paper rejects OLS: one corrupted point
+        // dominates the fit.
+        let x: Vec<f64> = (0..20).map(f64::from).collect();
+        let mut y: Vec<f64> = x.iter().map(|v| v * 1.0).collect();
+        y[19] = -1e9;
+        let fit = ols_fit(&x, &y).unwrap();
+        assert!(fit.slope < -1e6, "slope {} not dominated", fit.slope);
+    }
+}

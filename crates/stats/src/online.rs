@@ -1,0 +1,237 @@
+//! Streaming quantile estimation (P² algorithm).
+//!
+//! The telemetry manager samples counters every few seconds (§3.1); holding
+//! every sample of every counter for every tenant is wasteful at fleet
+//! scale. The P² algorithm (Jain & Chlamtac, 1985) estimates a single
+//! quantile online with five markers and O(1) memory, which is what a
+//! production telemetry pipeline would deploy. Our per-tenant interval
+//! aggregation uses exact medians; `P2Quantile` backs the fleet-scale paths
+//! and is validated against the exact quantiles in tests.
+
+/// Streaming estimator of the `q`-quantile (`0 < q < 1`) using the P²
+/// algorithm: five markers whose heights approximate the quantile curve.
+#[derive(Debug, Clone)]
+pub struct P2Quantile {
+    q: f64,
+    /// Marker heights.
+    heights: [f64; 5],
+    /// Marker positions (1-based, floating during adjustment).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired position increments per observation.
+    increments: [f64; 5],
+    /// Observations seen so far.
+    count: usize,
+    /// Initial observations buffered until five are available.
+    initial: Vec<f64>,
+}
+
+impl P2Quantile {
+    /// Creates an estimator for quantile `q` in `(0, 1)`.
+    ///
+    /// # Panics
+    /// Panics if `q` is outside `(0, 1)`.
+    pub fn new(q: f64) -> Self {
+        assert!(q > 0.0 && q < 1.0, "quantile must be in (0, 1)");
+        Self {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+            initial: Vec::with_capacity(5),
+        }
+    }
+
+    /// Convenience constructor for the median.
+    pub fn median() -> Self {
+        Self::new(0.5)
+    }
+
+    /// Number of observations ingested.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Feeds one observation; non-finite observations are ignored.
+    pub fn update(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        self.count += 1;
+        if self.initial.len() < 5 {
+            self.initial.push(x);
+            if self.initial.len() == 5 {
+                self.initial
+                    .sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                for (h, v) in self.heights.iter_mut().zip(self.initial.iter()) {
+                    *h = *v;
+                }
+            }
+            return;
+        }
+
+        // Locate the cell containing x and clamp extreme heights.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            // first i with heights[i] <= x < heights[i+1]
+            let mut cell = 0;
+            for i in 0..4 {
+                if self.heights[i] <= x && x < self.heights[i + 1] {
+                    cell = i;
+                    break;
+                }
+            }
+            cell
+        };
+
+        for p in self.positions.iter_mut().skip(k + 1) {
+            *p += 1.0;
+        }
+        for (d, inc) in self.desired.iter_mut().zip(self.increments.iter()) {
+            *d += inc;
+        }
+
+        // Adjust interior markers with parabolic (or linear) interpolation.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let right_gap = self.positions[i + 1] - self.positions[i];
+            let left_gap = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && right_gap > 1.0) || (d <= -1.0 && left_gap < -1.0) {
+                let d = d.signum();
+                let candidate = self.parabolic(i, d);
+                let new_height =
+                    if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
+                        candidate
+                    } else {
+                        self.linear(i, d)
+                    };
+                self.heights[i] = new_height;
+                self.positions[i] += d;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let p = &self.positions;
+        let h = &self.heights;
+        h[i] + d / (p[i + 1] - p[i - 1])
+            * ((p[i] - p[i - 1] + d) * (h[i + 1] - h[i]) / (p[i + 1] - p[i])
+                + (p[i + 1] - p[i] - d) * (h[i] - h[i - 1]) / (p[i] - p[i - 1]))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// Current estimate, or `None` before any observation. With fewer than
+    /// five observations the exact sample quantile is returned.
+    pub fn value(&self) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        if self.initial.len() < 5 {
+            let mut v = self.initial.clone();
+            v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            return Some(crate::quantile::interpolated_sorted(&v, self.q * 100.0));
+        }
+        Some(self.heights[2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exact_quantile(values: &mut [f64], q: f64) -> f64 {
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        crate::quantile::interpolated_sorted(values, q * 100.0)
+    }
+
+    /// Simple deterministic LCG so the test needs no rand dependency.
+    fn lcg(seed: &mut u64) -> f64 {
+        *seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((*seed >> 11) as f64) / ((1u64 << 53) as f64)
+    }
+
+    #[test]
+    fn empty_is_none() {
+        assert_eq!(P2Quantile::median().value(), None);
+    }
+
+    #[test]
+    fn small_samples_are_exact() {
+        let mut p = P2Quantile::median();
+        p.update(3.0);
+        p.update(1.0);
+        assert_eq!(p.value(), Some(2.0));
+    }
+
+    #[test]
+    fn median_of_uniform_stream() {
+        let mut p = P2Quantile::median();
+        let mut seed = 42u64;
+        let mut all = Vec::new();
+        for _ in 0..20_000 {
+            let v = lcg(&mut seed) * 100.0;
+            p.update(v);
+            all.push(v);
+        }
+        let exact = exact_quantile(&mut all, 0.5);
+        let est = p.value().unwrap();
+        assert!((est - exact).abs() < 2.0, "est {est} vs exact {exact}");
+    }
+
+    #[test]
+    fn p95_of_skewed_stream() {
+        let mut p = P2Quantile::new(0.95);
+        let mut seed = 7u64;
+        let mut all = Vec::new();
+        for _ in 0..20_000 {
+            // Exponential-ish: -ln(u)
+            let u = lcg(&mut seed).max(1e-12);
+            let v = -u.ln() * 10.0;
+            p.update(v);
+            all.push(v);
+        }
+        let exact = exact_quantile(&mut all, 0.95);
+        let est = p.value().unwrap();
+        assert!(
+            (est - exact).abs() / exact < 0.1,
+            "est {est} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn ignores_non_finite() {
+        let mut p = P2Quantile::median();
+        p.update(f64::NAN);
+        assert_eq!(p.count(), 0);
+    }
+
+    #[test]
+    fn constant_stream() {
+        let mut p = P2Quantile::new(0.9);
+        for _ in 0..100 {
+            p.update(5.0);
+        }
+        assert_eq!(p.value(), Some(5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in")]
+    fn invalid_q_panics() {
+        let _ = P2Quantile::new(1.0);
+    }
+}

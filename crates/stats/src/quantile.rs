@@ -1,0 +1,216 @@
+//! Medians and percentiles.
+//!
+//! The paper aggregates fine-grained telemetry with *robust* statistics
+//! (§3.1): the median has the best possible breakdown point (50%), whereas
+//! the mean breaks down with a single corrupted observation. Two percentile
+//! definitions are provided:
+//!
+//! - [`percentile`] — nearest-rank, matching what monitoring systems (and the
+//!   paper's threshold derivation, §4.1) typically report;
+//! - [`percentile_interpolated`] — linear interpolation between closest
+//!   ranks, used where a smoother estimate matters (latency goals).
+
+/// Returns the nearest-rank `p`-th percentile of `values` (`0.0 ..= 100.0`).
+///
+/// Returns `None` for an empty slice. Non-finite values are ignored; if all
+/// values are non-finite the result is `None`.
+///
+/// The nearest-rank definition returns an element of the input, never an
+/// interpolated value: for `p = 0` the minimum, for `p = 100` the maximum.
+///
+/// # Examples
+/// ```
+/// use dasr_stats::percentile;
+/// let v = [15.0, 20.0, 35.0, 40.0, 50.0];
+/// assert_eq!(percentile(&v, 30.0), Some(20.0));
+/// assert_eq!(percentile(&v, 100.0), Some(50.0));
+/// ```
+pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
+    let mut sorted: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if sorted.is_empty() {
+        return None;
+    }
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+    Some(nearest_rank_sorted(&sorted, p))
+}
+
+/// Nearest-rank percentile over an already sorted slice of finite values.
+///
+/// # Panics
+/// Panics if `sorted` is empty.
+pub fn nearest_rank_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty slice");
+    let p = p.clamp(0.0, 100.0);
+    if p == 0.0 {
+        return sorted[0];
+    }
+    let n = sorted.len() as f64;
+    let rank = (p / 100.0 * n).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Returns the linearly interpolated `p`-th percentile (`0.0 ..= 100.0`).
+///
+/// Uses the `(n - 1) * p` convention (NumPy's default). Returns `None` for an
+/// empty slice; non-finite values are ignored.
+///
+/// # Examples
+/// ```
+/// use dasr_stats::percentile_interpolated;
+/// let v = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(percentile_interpolated(&v, 50.0), Some(2.5));
+/// ```
+pub fn percentile_interpolated(values: &[f64], p: f64) -> Option<f64> {
+    let mut sorted: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if sorted.is_empty() {
+        return None;
+    }
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+    Some(interpolated_sorted(&sorted, p))
+}
+
+/// Interpolated percentile over an already sorted slice of finite values.
+///
+/// # Panics
+/// Panics if `sorted` is empty.
+pub fn interpolated_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty slice");
+    let p = p.clamp(0.0, 100.0);
+    let idx = (sorted.len() - 1) as f64 * p / 100.0;
+    let lo = idx.floor() as usize;
+    let hi = idx.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = idx - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Returns the median (50th percentile, interpolated for even lengths).
+///
+/// Returns `None` for an empty slice; non-finite values are ignored.
+///
+/// # Examples
+/// ```
+/// use dasr_stats::median;
+/// assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+/// assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), Some(2.5));
+/// ```
+pub fn median(values: &[f64]) -> Option<f64> {
+    percentile_interpolated(values, 50.0)
+}
+
+/// In-place median via partial selection — avoids the extra allocation of
+/// [`median`] for hot paths. Reorders `values`.
+///
+/// Returns `None` if the slice is empty or contains non-finite values.
+pub fn median_of_mut(values: &mut [f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|v| !v.is_finite()) {
+        return None;
+    }
+    let n = values.len();
+    let mid = n / 2;
+    let (_, upper_mid, _) =
+        values.select_nth_unstable_by(mid, |a, b| a.partial_cmp(b).expect("finite"));
+    let upper = *upper_mid;
+    if n % 2 == 1 {
+        Some(upper)
+    } else {
+        // Even length: the lower-middle element is the max of the left part.
+        let lower = values[..mid]
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+        Some((lower + upper) / 2.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_inputs_yield_none() {
+        assert_eq!(percentile(&[], 50.0), None);
+        assert_eq!(percentile_interpolated(&[], 50.0), None);
+        assert_eq!(median(&[]), None);
+        assert_eq!(median_of_mut(&mut []), None);
+    }
+
+    #[test]
+    fn single_element() {
+        assert_eq!(percentile(&[7.0], 0.0), Some(7.0));
+        assert_eq!(percentile(&[7.0], 100.0), Some(7.0));
+        assert_eq!(median(&[7.0]), Some(7.0));
+        assert_eq!(median_of_mut(&mut [7.0]), Some(7.0));
+    }
+
+    #[test]
+    fn nearest_rank_matches_wikipedia_example() {
+        // Canonical nearest-rank example.
+        let v = [15.0, 20.0, 35.0, 40.0, 50.0];
+        assert_eq!(percentile(&v, 5.0), Some(15.0));
+        assert_eq!(percentile(&v, 30.0), Some(20.0));
+        assert_eq!(percentile(&v, 40.0), Some(20.0));
+        assert_eq!(percentile(&v, 50.0), Some(35.0));
+        assert_eq!(percentile(&v, 95.0), Some(50.0));
+    }
+
+    #[test]
+    fn interpolated_percentiles() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile_interpolated(&v, 0.0), Some(1.0));
+        assert_eq!(percentile_interpolated(&v, 25.0), Some(2.0));
+        assert_eq!(percentile_interpolated(&v, 100.0), Some(5.0));
+        assert_eq!(percentile_interpolated(&[1.0, 2.0], 75.0), Some(1.75));
+    }
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[5.0, 1.0, 9.0]), Some(5.0));
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), Some(2.5));
+    }
+
+    #[test]
+    fn median_of_mut_matches_median() {
+        let cases: Vec<Vec<f64>> = vec![
+            vec![1.0],
+            vec![2.0, 1.0],
+            vec![10.0, -5.0, 3.0, 3.0, 7.0],
+            vec![0.0; 8],
+            (0..101).map(f64::from).collect(),
+        ];
+        for case in cases {
+            let expected = median(&case);
+            let mut buf = case.clone();
+            assert_eq!(median_of_mut(&mut buf), expected, "case {case:?}");
+        }
+    }
+
+    #[test]
+    fn non_finite_values_are_ignored() {
+        assert_eq!(median(&[1.0, f64::NAN, 3.0]), Some(2.0));
+        assert_eq!(percentile(&[f64::INFINITY, 2.0], 100.0), Some(2.0));
+        assert_eq!(percentile(&[f64::NAN], 50.0), None);
+    }
+
+    #[test]
+    fn median_breakdown_point_is_high() {
+        // Corrupting < 50% of observations cannot drag the median beyond the
+        // range of the clean data.
+        let mut data: Vec<f64> = (0..100).map(|i| 50.0 + (i % 7) as f64).collect();
+        for slot in data.iter_mut().take(49) {
+            *slot = 1.0e12; // arbitrarily large corruption
+        }
+        let m = median(&data).unwrap();
+        assert!((50.0..=56.0).contains(&m), "median {m} dragged by outliers");
+    }
+
+    #[test]
+    fn out_of_range_p_is_clamped() {
+        let v = [1.0, 2.0, 3.0];
+        assert_eq!(percentile(&v, -5.0), Some(1.0));
+        assert_eq!(percentile(&v, 250.0), Some(3.0));
+    }
+}

@@ -1,0 +1,82 @@
+//! Rank transforms with average-rank tie handling.
+//!
+//! Spearman's ρ (§3.2.2) is the Pearson correlation of *ranks*. Mapping
+//! values to ranks bounds how far an outlier can deviate, which is exactly
+//! why the paper picks a rank correlation for telemetry.
+
+/// Returns the 1-based average ranks of `values`.
+///
+/// Ties receive the average of the ranks they span (the standard "fractional
+/// ranking" used for Spearman's ρ). Non-finite values receive rank `NAN` and
+/// do not influence the ranks of finite values.
+///
+/// # Examples
+/// ```
+/// use dasr_stats::average_ranks;
+/// assert_eq!(average_ranks(&[10.0, 30.0, 20.0]), vec![1.0, 3.0, 2.0]);
+/// // Tie at 20.0 spans ranks 2 and 3 → both get 2.5.
+/// assert_eq!(average_ranks(&[10.0, 20.0, 20.0, 40.0]), vec![1.0, 2.5, 2.5, 4.0]);
+/// ```
+pub fn average_ranks(values: &[f64]) -> Vec<f64> {
+    let mut order: Vec<usize> = (0..values.len())
+        .filter(|&i| values[i].is_finite())
+        .collect();
+    order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("finite"));
+
+    let mut ranks = vec![f64::NAN; values.len()];
+    let mut i = 0;
+    while i < order.len() {
+        // Find the extent of the tie group starting at i.
+        let mut j = i + 1;
+        while j < order.len() && values[order[j]] == values[order[i]] {
+            j += 1;
+        }
+        // Average of 1-based ranks i+1 ..= j.
+        let avg = (i + 1 + j) as f64 / 2.0;
+        for &idx in &order[i..j] {
+            ranks[idx] = avg;
+        }
+        i = j;
+    }
+    ranks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_values() {
+        assert_eq!(
+            average_ranks(&[5.0, 1.0, 3.0, 2.0, 4.0]),
+            vec![5.0, 1.0, 3.0, 2.0, 4.0]
+        );
+    }
+
+    #[test]
+    fn all_tied() {
+        assert_eq!(average_ranks(&[7.0, 7.0, 7.0]), vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn empty() {
+        assert!(average_ranks(&[]).is_empty());
+    }
+
+    #[test]
+    fn nan_gets_nan_rank_and_does_not_shift_others() {
+        let r = average_ranks(&[2.0, f64::NAN, 1.0]);
+        assert_eq!(r[0], 2.0);
+        assert!(r[1].is_nan());
+        assert_eq!(r[2], 1.0);
+    }
+
+    #[test]
+    fn ranks_sum_is_invariant() {
+        // Sum of ranks of n distinct-or-tied finite values is n(n+1)/2.
+        let v = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let sum: f64 = average_ranks(&v).iter().sum();
+        let n = v.len() as f64;
+        assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,161 @@
+//! Robust location and scale estimators.
+//!
+//! Complements [`crate::quantile`] with the trimmed mean (a location
+//! estimator with tunable breakdown point) and the median absolute deviation
+//! (MAD — the robust analogue of the standard deviation). The telemetry
+//! manager uses these to summarize noisy per-second counters into
+//! per-interval signals (§3.1).
+
+use crate::quantile::median;
+
+/// Returns the `trim`-fraction trimmed mean: the mean after discarding the
+/// lowest and highest `trim` fraction of observations.
+///
+/// `trim` must be in `[0.0, 0.5)`; a trim of `0.0` is the ordinary mean. The
+/// breakdown point of the trimmed mean equals `trim`.
+///
+/// Returns `None` for an empty slice (after filtering non-finite values).
+///
+/// # Examples
+/// ```
+/// use dasr_stats::trimmed_mean;
+/// // One huge outlier is discarded by a 10% trim on 10 points.
+/// let v = [1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1_000_000.0];
+/// assert_eq!(trimmed_mean(&v, 0.1), Some(1.0));
+/// ```
+pub fn trimmed_mean(values: &[f64], trim: f64) -> Option<f64> {
+    assert!((0.0..0.5).contains(&trim), "trim must be in [0, 0.5)");
+    let mut sorted: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if sorted.is_empty() {
+        return None;
+    }
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let k = (sorted.len() as f64 * trim).floor() as usize;
+    let kept = &sorted[k..sorted.len() - k];
+    if kept.is_empty() {
+        return None;
+    }
+    Some(kept.iter().sum::<f64>() / kept.len() as f64)
+}
+
+/// Returns the median absolute deviation (MAD) about the median.
+///
+/// `mad = median(|x_i - median(x)|)`. Unscaled — multiply by ≈1.4826 for a
+/// consistent estimate of a Gaussian σ. Breakdown point 50%.
+///
+/// Returns `None` for an empty slice.
+pub fn mad(values: &[f64]) -> Option<f64> {
+    let m = median(values)?;
+    let deviations: Vec<f64> = values
+        .iter()
+        .copied()
+        .filter(|v| v.is_finite())
+        .map(|v| (v - m).abs())
+        .collect();
+    median(&deviations)
+}
+
+/// A compact five-number-style robust summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RobustSummary {
+    /// Number of finite observations summarized.
+    pub count: usize,
+    /// Minimum finite observation.
+    pub min: f64,
+    /// Median (interpolated).
+    pub median: f64,
+    /// 95th percentile (nearest-rank).
+    pub p95: f64,
+    /// Maximum finite observation.
+    pub max: f64,
+    /// Median absolute deviation.
+    pub mad: f64,
+}
+
+impl RobustSummary {
+    /// Summarizes `values`, ignoring non-finite entries. Returns `None` if no
+    /// finite values remain.
+    pub fn of(values: &[f64]) -> Option<Self> {
+        let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+        if finite.is_empty() {
+            return None;
+        }
+        let mut sorted = finite.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        Some(Self {
+            count: sorted.len(),
+            min: sorted[0],
+            median: crate::quantile::interpolated_sorted(&sorted, 50.0),
+            p95: crate::quantile::nearest_rank_sorted(&sorted, 95.0),
+            max: *sorted.last().expect("non-empty"),
+            mad: mad(&finite).expect("non-empty"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trimmed_mean_zero_trim_is_mean() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(trimmed_mean(&v, 0.0), Some(2.5));
+    }
+
+    #[test]
+    fn trimmed_mean_discards_tails() {
+        let v = [0.0, 10.0, 10.0, 10.0, 10.0, 10.0, 10.0, 10.0, 10.0, 1e9];
+        assert_eq!(trimmed_mean(&v, 0.1), Some(10.0));
+    }
+
+    #[test]
+    fn trimmed_mean_empty() {
+        assert_eq!(trimmed_mean(&[], 0.1), None);
+        assert_eq!(trimmed_mean(&[f64::NAN], 0.1), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "trim must be in")]
+    fn trimmed_mean_rejects_half_trim() {
+        let _ = trimmed_mean(&[1.0], 0.5);
+    }
+
+    #[test]
+    fn mad_of_constant_is_zero() {
+        assert_eq!(mad(&[4.0; 10]), Some(0.0));
+    }
+
+    #[test]
+    fn mad_is_outlier_resistant() {
+        let clean: Vec<f64> = (0..100).map(|i| (i % 5) as f64).collect();
+        let clean_mad = mad(&clean).unwrap();
+        let mut dirty = clean.clone();
+        for slot in dirty.iter_mut().take(20) {
+            *slot = 1e12;
+        }
+        let dirty_mad = mad(&dirty).unwrap();
+        assert!(
+            dirty_mad <= clean_mad + 2.0,
+            "MAD blew up: {clean_mad} -> {dirty_mad}"
+        );
+    }
+
+    #[test]
+    fn summary_fields_are_consistent() {
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        let s = RobustSummary::of(&v).unwrap();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert_eq!(s.median, 50.5);
+        assert_eq!(s.p95, 95.0);
+        assert!(s.min <= s.median && s.median <= s.p95 && s.p95 <= s.max);
+    }
+
+    #[test]
+    fn summary_of_empty_is_none() {
+        assert!(RobustSummary::of(&[]).is_none());
+        assert!(RobustSummary::of(&[f64::NAN, f64::INFINITY]).is_none());
+    }
+}

@@ -1,0 +1,97 @@
+//! Spearman rank correlation (§3.2.2).
+//!
+//! Spearman's ρ assesses how well the relation between two variables is
+//! described by *any monotonic* function — not just a linear one. The paper
+//! chooses it because the dependence between utilization, waits and latency
+//! in a database engine is usually non-linear, and because the rank transform
+//! bounds outlier influence.
+
+use crate::pearson::pearson;
+use crate::rank::average_ranks;
+
+/// Spearman rank correlation coefficient of paired samples.
+///
+/// Computed as the Pearson correlation of average ranks (correct under
+/// ties). Pairs with a non-finite member are dropped before ranking. Returns
+/// `None` when fewer than two pairs remain or either variable is constant.
+///
+/// # Examples
+/// ```
+/// use dasr_stats::spearman;
+/// // A monotone but non-linear relation is perfectly rank-correlated.
+/// let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+/// let y = [1.0, 8.0, 27.0, 64.0, 125.0];
+/// assert!((spearman(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+/// ```
+pub fn spearman(x: &[f64], y: &[f64]) -> Option<f64> {
+    assert_eq!(x.len(), y.len(), "x and y must have equal length");
+    // Drop pairs with non-finite members so both rank vectors align.
+    let (xs, ys): (Vec<f64>, Vec<f64>) = x
+        .iter()
+        .zip(y.iter())
+        .filter(|(a, b)| a.is_finite() && b.is_finite())
+        .map(|(a, b)| (*a, *b))
+        .unzip();
+    if xs.len() < 2 {
+        return None;
+    }
+    let rx = average_ranks(&xs);
+    let ry = average_ranks(&ys);
+    pearson(&rx, &ry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_monotone_decreasing() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [100.0, 10.0, 1.0, 0.1];
+        assert!((spearman(&x, &y).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invariant_under_monotone_transform() {
+        let x: Vec<f64> = (1..=30).map(f64::from).collect();
+        let y: Vec<f64> = x.iter().map(|v| v * 2.0 + 3.0).collect();
+        let y_exp: Vec<f64> = y.iter().map(|v| v.exp2().min(1e300)).collect();
+        let a = spearman(&x, &y).unwrap();
+        let b = spearman(&x, &y_exp).unwrap();
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn outlier_influence_is_bounded() {
+        // One enormous outlier changes ρ only slightly, unlike Pearson.
+        let x: Vec<f64> = (0..50).map(f64::from).collect();
+        let mut y: Vec<f64> = x.iter().map(|v| v + ((v * 0.7).sin())).collect();
+        let clean = spearman(&x, &y).unwrap();
+        y[25] = 1e12;
+        let dirty = spearman(&x, &y).unwrap();
+        assert!((clean - dirty).abs() < 0.15, "{clean} vs {dirty}");
+    }
+
+    #[test]
+    fn handles_ties() {
+        let x = [1.0, 2.0, 2.0, 3.0];
+        let y = [1.0, 2.0, 2.0, 3.0];
+        assert!((spearman(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_input_is_none() {
+        assert!(spearman(&[1.0; 5], &[1.0, 2.0, 3.0, 4.0, 5.0]).is_none());
+    }
+
+    #[test]
+    fn textbook_value() {
+        // Classic example: ranks differ by a known amount.
+        let x = [
+            106.0, 86.0, 100.0, 101.0, 99.0, 103.0, 97.0, 113.0, 112.0, 110.0,
+        ];
+        let y = [7.0, 0.0, 27.0, 50.0, 28.0, 29.0, 20.0, 12.0, 6.0, 17.0];
+        let rho = spearman(&x, &y).unwrap();
+        assert!((rho + 0.17575757575757575).abs() < 1e-9, "rho = {rho}");
+    }
+}

@@ -1,0 +1,331 @@
+//! Theil–Sen trend estimation with the paper's acceptance test (§3.2.1).
+//!
+//! Given `n` points `(x_i, y_i)`, the Theil–Sen estimator computes the slope
+//! of the line through every pair and takes the **median** of those
+//! `O(n²)` pairwise slopes. Its breakdown point is ≈29.3%, which makes it
+//! robust to the outliers endemic to system telemetry, unlike least-squares
+//! regression (breakdown point 0 — a single corrupted sample can flip the
+//! slope sign).
+//!
+//! The paper uses the pairwise slopes a second way: a trend is only
+//! **accepted** if at least `α%` of the pairwise slopes agree in sign
+//! (α = 70 in the paper's implementation). A noisy, trendless series
+//! produces a near-even split of positive and negative slopes and is
+//! rejected; this prevents the auto-scaler from chasing noise.
+
+/// Direction of an accepted trend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrendDirection {
+    /// Values increase with time.
+    Increasing,
+    /// Values decrease with time.
+    Decreasing,
+}
+
+/// Result of a Theil–Sen trend test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Trend {
+    /// Too few points, or the sign-agreement test failed: no statistically
+    /// significant trend. The auto-scaler must ignore it.
+    None,
+    /// A significant trend with the given direction and median slope
+    /// (units of y per unit of x).
+    Significant {
+        /// Whether the trend is increasing or decreasing.
+        direction: TrendDirection,
+        /// Median pairwise slope (y units per x unit).
+        slope: f64,
+        /// Fraction of pairwise slopes agreeing with the dominant sign, in
+        /// `[0.5, 1.0]`.
+        agreement: f64,
+    },
+}
+
+impl Trend {
+    /// True if this is a significant increasing trend.
+    pub fn is_increasing(&self) -> bool {
+        matches!(
+            self,
+            Trend::Significant {
+                direction: TrendDirection::Increasing,
+                ..
+            }
+        )
+    }
+
+    /// True if this is a significant decreasing trend.
+    pub fn is_decreasing(&self) -> bool {
+        matches!(
+            self,
+            Trend::Significant {
+                direction: TrendDirection::Decreasing,
+                ..
+            }
+        )
+    }
+
+    /// True if no significant trend was detected.
+    pub fn is_none(&self) -> bool {
+        matches!(self, Trend::None)
+    }
+
+    /// Median slope of the trend, or `0.0` when no trend was accepted.
+    pub fn slope(&self) -> f64 {
+        match self {
+            Trend::None => 0.0,
+            Trend::Significant { slope, .. } => *slope,
+        }
+    }
+}
+
+/// Theil–Sen trend estimator.
+///
+/// Construct with [`TheilSen::new`], configure the acceptance threshold with
+/// [`TheilSen::with_alpha`], and evaluate series with [`TheilSen::trend`].
+#[derive(Debug, Clone, Copy)]
+pub struct TheilSen {
+    /// Minimum fraction (in `[0.5, 1.0]`) of pairwise slopes that must share
+    /// a sign for a trend to be accepted. Paper value: 0.70.
+    alpha: f64,
+    /// Minimum number of points to attempt estimation.
+    min_points: usize,
+    /// Slopes with absolute value at or below this are treated as flat
+    /// (neither positive nor negative) in the agreement test.
+    flat_eps: f64,
+}
+
+impl Default for TheilSen {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TheilSen {
+    /// Estimator with the paper's defaults: α = 0.70, at least 4 points.
+    pub fn new() -> Self {
+        Self {
+            alpha: 0.70,
+            min_points: 4,
+            flat_eps: 1e-12,
+        }
+    }
+
+    /// Sets the sign-agreement acceptance threshold `alpha` (`0.5 ..= 1.0`).
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        assert!((0.5..=1.0).contains(&alpha), "alpha must be in [0.5, 1.0]");
+        self.alpha = alpha;
+        self
+    }
+
+    /// Sets the minimum number of points required to attempt estimation.
+    pub fn with_min_points(mut self, min_points: usize) -> Self {
+        assert!(min_points >= 2, "need at least two points for a slope");
+        self.min_points = min_points;
+        self
+    }
+
+    /// Sets the flatness epsilon: pairwise slopes with `|m| <= eps` count as
+    /// flat and vote for neither direction.
+    pub fn with_flat_epsilon(mut self, eps: f64) -> Self {
+        assert!(eps >= 0.0, "epsilon must be non-negative");
+        self.flat_eps = eps;
+        self
+    }
+
+    /// Computes the trend of `y` sampled at equally *indexed* positions
+    /// `x = 0, 1, 2, …` (the common telemetry case: one sample per interval).
+    pub fn trend_indexed(&self, y: &[f64]) -> Trend {
+        let xs: Vec<f64> = (0..y.len()).map(|i| i as f64).collect();
+        self.trend(&xs, y)
+    }
+
+    /// Computes the trend of points `(x[i], y[i])`.
+    ///
+    /// Pairs with equal `x` are skipped (vertical slope). Returns
+    /// [`Trend::None`] if fewer than `min_points` finite points are supplied,
+    /// if no valid pairwise slope exists, or if the sign-agreement test
+    /// fails.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != y.len()`.
+    pub fn trend(&self, x: &[f64], y: &[f64]) -> Trend {
+        assert_eq!(x.len(), y.len(), "x and y must have equal length");
+        let pts: Vec<(f64, f64)> = x
+            .iter()
+            .zip(y.iter())
+            .filter(|(a, b)| a.is_finite() && b.is_finite())
+            .map(|(a, b)| (*a, *b))
+            .collect();
+        if pts.len() < self.min_points {
+            return Trend::None;
+        }
+        let mut slopes = Vec::with_capacity(pts.len() * (pts.len() - 1) / 2);
+        for i in 0..pts.len() {
+            for j in (i + 1)..pts.len() {
+                let dx = pts[j].0 - pts[i].0;
+                if dx != 0.0 {
+                    slopes.push((pts[j].1 - pts[i].1) / dx);
+                }
+            }
+        }
+        if slopes.is_empty() {
+            return Trend::None;
+        }
+        let (mut pos, mut neg) = (0usize, 0usize);
+        for &m in &slopes {
+            if m > self.flat_eps {
+                pos += 1;
+            } else if m < -self.flat_eps {
+                neg += 1;
+            }
+        }
+        let total = slopes.len() as f64;
+        let slope =
+            crate::quantile::median_of_mut(&mut slopes).expect("slopes are finite and non-empty");
+        let (dominant, direction) = if pos >= neg {
+            (pos, TrendDirection::Increasing)
+        } else {
+            (neg, TrendDirection::Decreasing)
+        };
+        let agreement = dominant as f64 / total;
+        if agreement >= self.alpha {
+            Trend::Significant {
+                direction,
+                slope,
+                agreement,
+            }
+        } else {
+            Trend::None
+        }
+    }
+
+    /// Returns only the median pairwise slope (no acceptance test), or
+    /// `None` when no slope can be formed.
+    pub fn slope(&self, x: &[f64], y: &[f64]) -> Option<f64> {
+        match self.with_alpha(0.5).trend(x, y) {
+            Trend::Significant { slope, .. } => Some(slope),
+            Trend::None => None,
+        }
+    }
+}
+
+/// Convenience: median pairwise slope of `(x, y)` with default settings.
+///
+/// Returns `None` when fewer than two distinct-x finite points exist.
+pub fn theil_sen(x: &[f64], y: &[f64]) -> Option<f64> {
+    TheilSen::new().with_min_points(2).slope(x, y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_line_recovers_slope() {
+        let x: Vec<f64> = (0..20).map(f64::from).collect();
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v + 7.0).collect();
+        let slope = theil_sen(&x, &y).unwrap();
+        assert!((slope - 3.0).abs() < 1e-12);
+        assert!(TheilSen::new().trend(&x, &y).is_increasing());
+    }
+
+    #[test]
+    fn decreasing_line_detected() {
+        let y: Vec<f64> = (0..10).map(|i| 100.0 - 2.0 * i as f64).collect();
+        let t = TheilSen::new().trend_indexed(&y);
+        assert!(t.is_decreasing());
+        assert!((t.slope() + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn too_few_points_is_none() {
+        assert_eq!(TheilSen::new().trend_indexed(&[1.0, 2.0, 3.0]), Trend::None);
+    }
+
+    #[test]
+    fn constant_series_has_no_trend() {
+        let y = [5.0; 16];
+        assert!(TheilSen::new().trend_indexed(&y).is_none());
+    }
+
+    #[test]
+    fn alternating_noise_is_rejected() {
+        // +1/-1 alternating: roughly half the pairwise slopes are positive,
+        // half negative — must fail the 70% agreement test.
+        let y: Vec<f64> = (0..20)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        assert!(TheilSen::new().trend_indexed(&y).is_none());
+    }
+
+    #[test]
+    fn tolerates_outliers_up_to_breakdown() {
+        // 20 points on slope 2, with 4 (20%) wildly corrupted: the median
+        // slope must stay near 2 and the trend remain increasing.
+        let x: Vec<f64> = (0..20).map(f64::from).collect();
+        let mut y: Vec<f64> = x.iter().map(|v| 2.0 * v).collect();
+        y[3] = 1e9;
+        y[8] = -1e9;
+        y[15] = 1e9;
+        y[19] = -1e9;
+        let t = TheilSen::new().with_alpha(0.6).trend(&x, &y);
+        assert!(t.is_increasing(), "trend lost to 20% outliers: {t:?}");
+        assert!((t.slope() - 2.0).abs() < 0.5, "slope {}", t.slope());
+    }
+
+    #[test]
+    fn least_squares_would_break_where_theil_sen_does_not() {
+        // Contrast case from the paper: one large outlier flips OLS but not
+        // Theil–Sen.
+        let x: Vec<f64> = (0..12).map(f64::from).collect();
+        let mut y: Vec<f64> = x.iter().map(|v| v + 1.0).collect();
+        y[0] = 1e6; // single corrupted point
+        let ts = theil_sen(&x, &y).unwrap();
+        let ols = crate::ols::ols_fit(&x, &y).unwrap();
+        assert!((ts - 1.0).abs() < 0.2, "Theil-Sen slope {ts}");
+        assert!(
+            ols.slope < 0.0,
+            "OLS should be dragged negative: {}",
+            ols.slope
+        );
+    }
+
+    #[test]
+    fn vertical_pairs_are_skipped() {
+        let x = [1.0, 1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [0.0, 100.0, 2.0, 3.0, 4.0, 5.0];
+        // Slope still computable from non-vertical pairs.
+        assert!(theil_sen(&x, &y).is_some());
+    }
+
+    #[test]
+    fn all_same_x_is_none() {
+        let x = [2.0; 6];
+        let y = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        assert_eq!(theil_sen(&x, &y), None);
+    }
+
+    #[test]
+    fn agreement_is_reported() {
+        let y: Vec<f64> = (0..10).map(f64::from).collect();
+        match TheilSen::new().trend_indexed(&y) {
+            Trend::Significant { agreement, .. } => assert_eq!(agreement, 1.0),
+            Trend::None => panic!("expected significant trend"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in")]
+    fn invalid_alpha_panics() {
+        let _ = TheilSen::new().with_alpha(0.3);
+    }
+
+    #[test]
+    fn nan_points_are_filtered() {
+        let x: Vec<f64> = (0..10).map(f64::from).collect();
+        let mut y: Vec<f64> = x.iter().map(|v| 2.0 * v).collect();
+        y[4] = f64::NAN;
+        let t = TheilSen::new().trend(&x, &y);
+        assert!(t.is_increasing());
+    }
+}

@@ -1,0 +1,159 @@
+//! Property-based tests for the robust-statistics substrate.
+
+use dasr_stats::{
+    average_ranks, median, pearson, percentile, percentile_interpolated, spearman, theil_sen, Cdf,
+    P2Quantile, TheilSen, TokenBucket,
+};
+use proptest::prelude::*;
+
+fn finite_vec(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1.0e6..1.0e6f64, 1..max_len)
+}
+
+proptest! {
+    /// The median lies within the sample range.
+    #[test]
+    fn median_within_range(v in finite_vec(200)) {
+        let m = median(&v).unwrap();
+        let lo = v.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= lo && m <= hi);
+    }
+
+    /// Nearest-rank percentiles are monotone in p and are sample elements.
+    #[test]
+    fn percentile_monotone_and_elemental(v in finite_vec(100), p1 in 0.0..100.0f64, p2 in 0.0..100.0f64) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        let a = percentile(&v, lo).unwrap();
+        let b = percentile(&v, hi).unwrap();
+        prop_assert!(a <= b);
+        prop_assert!(v.contains(&a));
+        prop_assert!(v.contains(&b));
+    }
+
+    /// Interpolated percentiles are bounded by min/max.
+    #[test]
+    fn interpolated_bounded(v in finite_vec(100), p in 0.0..100.0f64) {
+        let q = percentile_interpolated(&v, p).unwrap();
+        let lo = v.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(q >= lo - 1e-9 && q <= hi + 1e-9);
+    }
+
+    /// Theil–Sen recovers the slope of a clean line exactly (up to fp error)
+    /// regardless of intercept and spacing.
+    #[test]
+    fn theil_sen_exact_on_lines(
+        slope in -100.0..100.0f64,
+        intercept in -1.0e4..1.0e4f64,
+        n in 4usize..40,
+    ) {
+        let x: Vec<f64> = (0..n).map(|i| i as f64 * 1.5).collect();
+        let y: Vec<f64> = x.iter().map(|v| slope * v + intercept).collect();
+        let est = theil_sen(&x, &y).unwrap();
+        prop_assert!((est - slope).abs() < 1e-6 * (1.0 + slope.abs()));
+    }
+
+    /// Theil–Sen trend direction survives corruption of up to 20% of points
+    /// on a steep clean line (breakdown point is ~29%).
+    #[test]
+    fn theil_sen_robust_to_minority_corruption(
+        corrupt_at in prop::collection::btree_set(0usize..30, 1..6),
+        magnitude in 1.0e6..1.0e9f64,
+    ) {
+        let n = 30usize;
+        let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let mut y: Vec<f64> = x.iter().map(|v| 10.0 * v).collect();
+        for &i in &corrupt_at {
+            y[i] = if i % 2 == 0 { magnitude } else { -magnitude };
+        }
+        let t = TheilSen::new().with_alpha(0.6).trend(&x, &y);
+        prop_assert!(t.is_increasing(), "trend lost: {:?}", t);
+    }
+
+    /// Spearman is invariant under strictly increasing transforms of either
+    /// variable.
+    #[test]
+    fn spearman_monotone_invariance(v in prop::collection::vec(-1.0e3..1.0e3f64, 5..60)) {
+        let x: Vec<f64> = (0..v.len()).map(|i| i as f64).collect();
+        let rho = spearman(&x, &v);
+        let transformed: Vec<f64> = v.iter().map(|&t| (t / 2000.0).tanh() * 3.0 + 5.0).collect();
+        let rho2 = spearman(&x, &transformed);
+        match (rho, rho2) {
+            (Some(a), Some(b)) => prop_assert!((a - b).abs() < 1e-9, "{a} vs {b}"),
+            // tanh can collapse distinct values only by underflow; with the
+            // bounded input range both should be Some or both None.
+            (None, None) => {},
+            other => prop_assert!(false, "mismatch: {:?}", other),
+        }
+    }
+
+    /// Spearman and Pearson both lie in [-1, 1].
+    #[test]
+    fn correlations_bounded(
+        x in prop::collection::vec(-1.0e3..1.0e3f64, 3..50),
+        y_seed in prop::collection::vec(-1.0e3..1.0e3f64, 3..50),
+    ) {
+        let n = x.len().min(y_seed.len());
+        if let Some(r) = pearson(&x[..n], &y_seed[..n]) {
+            prop_assert!((-1.0..=1.0).contains(&r));
+        }
+        if let Some(r) = spearman(&x[..n], &y_seed[..n]) {
+            prop_assert!((-1.0..=1.0).contains(&r));
+        }
+    }
+
+    /// Ranks are a permutation-ish: sum equals n(n+1)/2 for finite inputs.
+    #[test]
+    fn rank_sum_invariant(v in finite_vec(100)) {
+        let ranks = average_ranks(&v);
+        let sum: f64 = ranks.iter().sum();
+        let n = v.len() as f64;
+        prop_assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-6);
+    }
+
+    /// The token bucket never spends more than initial + refills, and a
+    /// consumer of exactly fill_rate per period never starves.
+    #[test]
+    fn token_bucket_conservation(
+        depth in 1.0..1.0e4f64,
+        rate in 0.0..100.0f64,
+        demands in prop::collection::vec(0.0..500.0f64, 1..200),
+    ) {
+        let mut b = TokenBucket::new(depth, rate, depth);
+        let mut spent = 0.0;
+        let n = demands.len() as f64;
+        for d in &demands {
+            if b.try_consume(*d) {
+                spent += d;
+            }
+            b.refill();
+        }
+        prop_assert!(spent <= depth + n * rate + 1e-6);
+        prop_assert!(b.available() <= depth + 1e-9);
+    }
+
+    /// P² estimates stay within the observed sample range.
+    #[test]
+    fn p2_within_range(v in finite_vec(500), q in 0.01..0.99f64) {
+        let mut p = P2Quantile::new(q);
+        for &x in &v {
+            p.update(x);
+        }
+        let est = p.value().unwrap();
+        let lo = v.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(est >= lo - 1e-9 && est <= hi + 1e-9, "{est} outside [{lo}, {hi}]");
+    }
+
+    /// CDF fraction is monotone and hits 1.0 at the max.
+    #[test]
+    fn cdf_monotone(v in finite_vec(200), probe in -1.0e6..1.0e6f64) {
+        let c = Cdf::new(v.clone());
+        let max = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!((c.fraction_at_or_below(max) - 1.0).abs() < 1e-12);
+        let f1 = c.fraction_at_or_below(probe);
+        let f2 = c.fraction_at_or_below(probe + 1.0);
+        prop_assert!(f1 <= f2);
+    }
+}

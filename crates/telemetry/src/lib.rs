@@ -1,0 +1,37 @@
+//! # dasr-telemetry — the Telemetry Manager (paper §3)
+//!
+//! Mature database engines monitor hundreds of counters; the Telemetry
+//! Manager transforms that raw *production telemetry* into a small set of
+//! statistically-robust **signals** usable for demand estimation:
+//!
+//! 1. **Raw signals** (§3.1) — latency (average or 95th percentile, per the
+//!    tenant's goal), per-resource utilization (robust medians over
+//!    windows), and per-class wait statistics, both *magnitude* (wait ms)
+//!    and *percentage* (share of total waits);
+//! 2. **Derived signals** (§3.2) — Theil–Sen trends accepted only with
+//!    ≥70% slope-sign agreement, and Spearman rank correlations between
+//!    latency and each resource's utilization/waits;
+//! 3. **Categorization** (§4.1) — thresholds turn continuous signals into
+//!    categories with semantics (`LOW`/`MEDIUM`/`HIGH` utilization and
+//!    waits, `SIGNIFICANT` wait percentages, `GOOD`/`BAD` latency). The
+//!    wait thresholds are *derived from service-wide telemetry* — see
+//!    [`thresholds::derive_wait_thresholds`] and the `dasr-fleet` crate.
+//!
+//! The output is a [`SignalSet`](signals::SignalSet), the sole input of the
+//! resource demand estimator in `dasr-core`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod categorize;
+pub mod counters;
+pub mod manager;
+pub mod signals;
+pub mod thresholds;
+pub mod window;
+
+pub use categorize::{LatencyVerdict, UtilLevel, WaitPctLevel, WaitTimeLevel};
+pub use counters::{LatencyGoal, TelemetrySample};
+pub use manager::{TelemetryConfig, TelemetryManager};
+pub use signals::{LatencySignals, ResourceSignals, SignalSet};
+pub use thresholds::{ThresholdConfig, WaitThresholds};

@@ -1,0 +1,327 @@
+//! The Telemetry Manager: samples in, robust signal sets out (§3).
+
+use crate::categorize::{
+    categorize_latency, categorize_util, categorize_wait_ms, categorize_wait_pct,
+};
+use crate::counters::{LatencyGoal, TelemetrySample};
+use crate::signals::{wait_class_for, LatencySignals, ResourceSignals, SignalSet};
+use crate::thresholds::ThresholdConfig;
+use crate::window::SampleWindow;
+use dasr_containers::{ResourceKind, RESOURCE_KINDS};
+use dasr_engine::WaitClass;
+use dasr_stats::{median, spearman, TheilSen};
+
+/// Telemetry-manager tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct TelemetryConfig {
+    /// Samples retained for analysis.
+    pub window_cap: usize,
+    /// Samples medianed for the level signals (robust aggregation, §3.1).
+    pub smoothing_window: usize,
+    /// Samples fed to the Theil–Sen trend detector (§3.2.1).
+    pub trend_window: usize,
+    /// Samples fed to the Spearman correlation (§3.2.2).
+    pub corr_window: usize,
+    /// Theil–Sen sign-agreement acceptance threshold α (paper: 0.70).
+    pub trend_alpha: f64,
+    /// Materiality guard: a trend is also rejected when its projected
+    /// change over the window is below this fraction of the series'
+    /// median level — flat-but-noisy series occasionally pass the sign
+    /// test, and chasing a 2% drift would thrash containers.
+    pub trend_min_relative_change: f64,
+    /// Thresholds for categorization (§4.1).
+    pub thresholds: ThresholdConfig,
+    /// Normalize wait magnitudes to ms per completed request before
+    /// categorization and trend detection (throughput-invariant signals;
+    /// see `ThresholdConfig::default`). The fleet analyses use absolute
+    /// magnitudes instead.
+    pub waits_per_request: bool,
+    /// The tenant's latency goal, if any (§2.3).
+    pub latency_goal: Option<LatencyGoal>,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        Self {
+            window_cap: 60,
+            smoothing_window: 3,
+            trend_window: 10,
+            corr_window: 15,
+            trend_alpha: 0.70,
+            trend_min_relative_change: 0.10,
+            thresholds: ThresholdConfig::default(),
+            waits_per_request: true,
+            latency_goal: None,
+        }
+    }
+}
+
+/// Transforms raw interval telemetry into [`SignalSet`]s.
+#[derive(Debug)]
+pub struct TelemetryManager {
+    cfg: TelemetryConfig,
+    window: SampleWindow,
+    estimator: TheilSen,
+}
+
+impl TelemetryManager {
+    /// Creates a manager.
+    pub fn new(cfg: TelemetryConfig) -> Self {
+        Self {
+            window: SampleWindow::new(cfg.window_cap),
+            estimator: TheilSen::new().with_alpha(cfg.trend_alpha),
+            cfg,
+        }
+    }
+
+    /// Current configuration.
+    pub fn config(&self) -> &TelemetryConfig {
+        &self.cfg
+    }
+
+    /// Replaces the threshold configuration (service-wide re-tuning, §4.1).
+    pub fn set_thresholds(&mut self, thresholds: ThresholdConfig) {
+        self.cfg.thresholds = thresholds.validated();
+    }
+
+    /// Ingests one interval's sample and returns the refreshed signal set.
+    pub fn observe(&mut self, sample: TelemetrySample) -> SignalSet {
+        self.window.push(sample);
+        self.signals()
+    }
+
+    /// Computes the signal set from the current window.
+    ///
+    /// # Panics
+    /// Panics if no sample has been observed yet.
+    pub fn signals(&self) -> SignalSet {
+        let latest = self
+            .window
+            .latest()
+            .expect("signals() before any observe()");
+        let smoothing = self.cfg.smoothing_window;
+        let latency_series = self.window.latency_series(self.cfg.corr_window);
+
+        let resources: [ResourceSignals; RESOURCE_KINDS.len()] =
+            RESOURCE_KINDS.map(|kind| self.resource_signals(kind, &latency_series));
+
+        let latency_recent = self.window.latency_series(smoothing);
+        let observed_ms = median(&latency_recent).or(latest.latency_ms);
+        let goal_ms = self.cfg.latency_goal.map(|g| g.target_ms());
+        let latency = LatencySignals {
+            observed_ms,
+            goal_ms,
+            verdict: categorize_latency(observed_ms, goal_ms),
+            trend: {
+                let series = self.window.latency_series(self.cfg.trend_window);
+                self.material_trend(self.estimator.trend_indexed(&series), &series)
+            },
+        };
+
+        SignalSet {
+            interval: latest.interval,
+            resources,
+            latency,
+            lock_wait_pct: self.median_wait_pct(WaitClass::Lock, smoothing),
+            latch_wait_pct: self.median_wait_pct(WaitClass::Latch, smoothing),
+            other_wait_pct: self.median_wait_pct(WaitClass::Other, smoothing),
+            total_wait_ms: latest.total_wait_ms(),
+            mem_used_mb: latest.mem_used_mb,
+            mem_capacity_mb: latest.mem_capacity_mb,
+            disk_reads_per_sec: latest.disk_reads_per_sec,
+            completed: latest.completed,
+            rejected: latest.rejected,
+        }
+    }
+
+    fn median_wait_pct(&self, class: WaitClass, n: usize) -> f64 {
+        median(&self.window.wait_pct_series(class, n)).unwrap_or(0.0)
+    }
+
+    /// Applies the materiality guard to an accepted trend.
+    fn material_trend(&self, trend: dasr_stats::Trend, series: &[f64]) -> dasr_stats::Trend {
+        if let dasr_stats::Trend::Significant { slope, .. } = trend {
+            let level = median(series).unwrap_or(0.0).abs();
+            let projected = slope.abs() * (series.len().saturating_sub(1)) as f64;
+            if projected < self.cfg.trend_min_relative_change * level {
+                return dasr_stats::Trend::None;
+            }
+        }
+        trend
+    }
+
+    fn wait_series(&self, class: WaitClass, n: usize) -> Vec<f64> {
+        if self.cfg.waits_per_request {
+            self.window.wait_per_request_series(class, n)
+        } else {
+            self.window.wait_series(class, n)
+        }
+    }
+
+    fn resource_signals(&self, kind: ResourceKind, latency_series: &[f64]) -> ResourceSignals {
+        let class = wait_class_for(kind);
+        let smoothing = self.cfg.smoothing_window;
+        let thresholds = self.cfg.thresholds.waits_for(kind);
+
+        let util_pct = median(&self.window.util_series(kind, smoothing)).unwrap_or(0.0);
+        let wait_ms = median(&self.wait_series(class, smoothing)).unwrap_or(0.0);
+        let wait_pct = self.median_wait_pct(class, smoothing);
+
+        let util_series_t = self.window.util_series(kind, self.cfg.trend_window);
+        let util_trend =
+            self.material_trend(self.estimator.trend_indexed(&util_series_t), &util_series_t);
+        let wait_series_t = self.wait_series(class, self.cfg.trend_window);
+        let wait_trend =
+            self.material_trend(self.estimator.trend_indexed(&wait_series_t), &wait_series_t);
+
+        let n = self.cfg.corr_window;
+        let wait_series = self.wait_series(class, n);
+        let util_series = self.window.util_series(kind, n);
+        let corr_latency_wait = spearman(latency_series, &wait_series);
+        let corr_latency_util = spearman(latency_series, &util_series);
+
+        ResourceSignals {
+            kind,
+            util_pct,
+            util_level: categorize_util(&self.cfg.thresholds, util_pct),
+            wait_ms,
+            wait_level: categorize_wait_ms(thresholds, wait_ms),
+            wait_pct,
+            wait_pct_level: categorize_wait_pct(thresholds, wait_pct),
+            util_trend,
+            wait_trend,
+            corr_latency_wait,
+            corr_latency_util,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::categorize::{LatencyVerdict, UtilLevel, WaitTimeLevel};
+
+    fn sample(
+        interval: u64,
+        cpu_util: f64,
+        cpu_wait_ms: f64,
+        lock_wait_ms: f64,
+        latency: Option<f64>,
+    ) -> TelemetrySample {
+        let mut util_pct = [0.0; 4];
+        util_pct[ResourceKind::Cpu.index()] = cpu_util;
+        util_pct[ResourceKind::Memory.index()] = 85.0;
+        let mut wait_ms = [0.0; 7];
+        wait_ms[WaitClass::Cpu.index()] = cpu_wait_ms;
+        wait_ms[WaitClass::Lock.index()] = lock_wait_ms;
+        TelemetrySample {
+            interval,
+            util_pct,
+            wait_ms,
+            latency_ms: latency,
+            avg_latency_ms: latency,
+            completed: 100,
+            arrivals: 100,
+            rejected: 0,
+            mem_used_mb: 500.0,
+            mem_capacity_mb: 1_000.0,
+            disk_reads_per_sec: 10.0,
+        }
+    }
+
+    fn manager(goal: Option<LatencyGoal>) -> TelemetryManager {
+        TelemetryManager::new(TelemetryConfig {
+            latency_goal: goal,
+            ..TelemetryConfig::default()
+        })
+    }
+
+    #[test]
+    fn categorizes_high_pressure() {
+        let mut m = manager(Some(LatencyGoal::P95(100.0)));
+        let mut set = m.observe(sample(0, 95.0, 200_000.0, 0.0, Some(250.0)));
+        for i in 1..5 {
+            set = m.observe(sample(i, 95.0, 200_000.0, 0.0, Some(250.0)));
+        }
+        let cpu = set.resource(ResourceKind::Cpu);
+        assert_eq!(cpu.util_level, UtilLevel::High);
+        assert_eq!(cpu.wait_level, WaitTimeLevel::High);
+        assert_eq!(set.latency.verdict, LatencyVerdict::Bad);
+        assert!(set.lock_wait_pct < 1.0);
+    }
+
+    #[test]
+    fn detects_increasing_trend() {
+        let mut m = manager(None);
+        let mut set = m.observe(sample(0, 10.0, 0.0, 0.0, None));
+        for i in 1..12 {
+            set = m.observe(sample(i, 10.0 + 6.0 * i as f64, 0.0, 0.0, None));
+        }
+        assert!(set.resource(ResourceKind::Cpu).util_trend.is_increasing());
+    }
+
+    #[test]
+    fn noisy_series_has_no_trend() {
+        let mut m = manager(None);
+        let mut set = m.observe(sample(0, 50.0, 0.0, 0.0, None));
+        for i in 1..12 {
+            let u = if i % 2 == 0 { 20.0 } else { 80.0 };
+            set = m.observe(sample(i, u, 0.0, 0.0, None));
+        }
+        assert!(set.resource(ResourceKind::Cpu).util_trend.is_none());
+    }
+
+    #[test]
+    fn lock_dominated_waits_flagged() {
+        let mut m = manager(None);
+        let mut set = m.observe(sample(0, 20.0, 10.0, 990.0, Some(50.0)));
+        for i in 1..4 {
+            set = m.observe(sample(i, 20.0, 10.0, 990.0, Some(50.0)));
+        }
+        assert!(set.lock_wait_pct > 90.0);
+        assert!(set.lock_bottleneck(90.0));
+    }
+
+    #[test]
+    fn correlation_between_latency_and_waits() {
+        let mut m = manager(None);
+        let mut set = m.observe(sample(0, 10.0, 0.0, 0.0, Some(1.0)));
+        for i in 1..15 {
+            // Latency rises monotonically with CPU wait.
+            let w = 1_000.0 * i as f64;
+            set = m.observe(sample(i, 30.0, w, 0.0, Some(10.0 + i as f64 * 5.0)));
+        }
+        let cpu = set.resource(ResourceKind::Cpu);
+        assert!(
+            cpu.corr_latency_wait.unwrap() > 0.9,
+            "rho {:?}",
+            cpu.corr_latency_wait
+        );
+    }
+
+    #[test]
+    fn no_goal_means_latency_good() {
+        let mut m = manager(None);
+        let set = m.observe(sample(0, 10.0, 0.0, 0.0, Some(1e6)));
+        assert_eq!(set.latency.verdict, LatencyVerdict::Good);
+        assert_eq!(set.latency.goal_ms, None);
+    }
+
+    #[test]
+    fn smoothing_uses_median_not_latest() {
+        let mut m = manager(None);
+        m.observe(sample(0, 10.0, 0.0, 0.0, None));
+        m.observe(sample(1, 12.0, 0.0, 0.0, None));
+        // One outlier spike must not flip the level to HIGH.
+        let set = m.observe(sample(2, 100.0, 0.0, 0.0, None));
+        assert_eq!(set.resource(ResourceKind::Cpu).util_pct, 12.0);
+        assert_eq!(set.resource(ResourceKind::Cpu).util_level, UtilLevel::Low);
+    }
+
+    #[test]
+    #[should_panic(expected = "before any observe")]
+    fn signals_before_observe_panics() {
+        let m = manager(None);
+        let _ = m.signals();
+    }
+}

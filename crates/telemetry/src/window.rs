@@ -1,0 +1,171 @@
+//! Bounded history of telemetry samples with series extraction.
+
+use crate::counters::TelemetrySample;
+use dasr_containers::ResourceKind;
+use dasr_engine::WaitClass;
+use std::collections::VecDeque;
+
+/// A bounded FIFO window of [`TelemetrySample`]s.
+#[derive(Debug, Clone)]
+pub struct SampleWindow {
+    cap: usize,
+    samples: VecDeque<TelemetrySample>,
+}
+
+impl SampleWindow {
+    /// Creates a window keeping the last `cap` samples.
+    ///
+    /// # Panics
+    /// Panics if `cap` is zero.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "window capacity must be positive");
+        Self {
+            cap,
+            samples: VecDeque::with_capacity(cap),
+        }
+    }
+
+    /// Appends a sample, evicting the oldest when full.
+    pub fn push(&mut self, sample: TelemetrySample) {
+        if self.samples.len() == self.cap {
+            self.samples.pop_front();
+        }
+        self.samples.push_back(sample);
+    }
+
+    /// Number of samples held.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples are held.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The most recent sample.
+    pub fn latest(&self) -> Option<&TelemetrySample> {
+        self.samples.back()
+    }
+
+    /// Iterates oldest → newest.
+    pub fn iter(&self) -> impl Iterator<Item = &TelemetrySample> {
+        self.samples.iter()
+    }
+
+    /// The last `n` samples (oldest → newest), fewer if not enough history.
+    pub fn recent(&self, n: usize) -> impl Iterator<Item = &TelemetrySample> {
+        let skip = self.samples.len().saturating_sub(n);
+        self.samples.iter().skip(skip)
+    }
+
+    /// Utilization series of one resource over the last `n` samples.
+    pub fn util_series(&self, kind: ResourceKind, n: usize) -> Vec<f64> {
+        self.recent(n).map(|s| s.util(kind)).collect()
+    }
+
+    /// Wait-ms series of one class over the last `n` samples.
+    pub fn wait_series(&self, class: WaitClass, n: usize) -> Vec<f64> {
+        self.recent(n).map(|s| s.wait(class)).collect()
+    }
+
+    /// Wait-percentage series of one class over the last `n` samples.
+    pub fn wait_pct_series(&self, class: WaitClass, n: usize) -> Vec<f64> {
+        self.recent(n).map(|s| s.wait_pct(class)).collect()
+    }
+
+    /// Wait-ms-per-completed-request series of one class over the last `n`
+    /// samples (throughput-invariant magnitudes; idle intervals yield 0).
+    pub fn wait_per_request_series(&self, class: WaitClass, n: usize) -> Vec<f64> {
+        self.recent(n)
+            .map(|s| s.wait(class) / (s.completed.max(1) as f64))
+            .collect()
+    }
+
+    /// Aggregated-latency series over the last `n` samples (idle intervals
+    /// yield `NAN`, which the robust statistics ignore).
+    pub fn latency_series(&self, n: usize) -> Vec<f64> {
+        self.recent(n)
+            .map(|s| s.latency_ms.unwrap_or(f64::NAN))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(
+        interval: u64,
+        cpu_util: f64,
+        cpu_wait: f64,
+        latency: Option<f64>,
+    ) -> TelemetrySample {
+        let mut util_pct = [0.0; 4];
+        util_pct[ResourceKind::Cpu.index()] = cpu_util;
+        let mut wait_ms = [0.0; 7];
+        wait_ms[WaitClass::Cpu.index()] = cpu_wait;
+        TelemetrySample {
+            interval,
+            util_pct,
+            wait_ms,
+            latency_ms: latency,
+            avg_latency_ms: latency,
+            completed: 1,
+            arrivals: 1,
+            rejected: 0,
+            mem_used_mb: 0.0,
+            mem_capacity_mb: 1.0,
+            disk_reads_per_sec: 0.0,
+        }
+    }
+
+    #[test]
+    fn bounded_eviction() {
+        let mut w = SampleWindow::new(3);
+        for i in 0..5 {
+            w.push(sample(i, i as f64, 0.0, None));
+        }
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.latest().unwrap().interval, 4);
+        let series = w.util_series(ResourceKind::Cpu, 10);
+        assert_eq!(series, vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn recent_takes_tail() {
+        let mut w = SampleWindow::new(10);
+        for i in 0..6 {
+            w.push(sample(i, i as f64, 10.0 * i as f64, Some(i as f64)));
+        }
+        assert_eq!(w.util_series(ResourceKind::Cpu, 2), vec![4.0, 5.0]);
+        assert_eq!(w.wait_series(WaitClass::Cpu, 2), vec![40.0, 50.0]);
+        assert_eq!(w.latency_series(2), vec![4.0, 5.0]);
+    }
+
+    #[test]
+    fn idle_latency_is_nan() {
+        let mut w = SampleWindow::new(4);
+        w.push(sample(0, 0.0, 0.0, None));
+        w.push(sample(1, 0.0, 0.0, Some(7.0)));
+        let lat = w.latency_series(4);
+        assert!(lat[0].is_nan());
+        assert_eq!(lat[1], 7.0);
+    }
+
+    #[test]
+    fn wait_pct_series_computed_per_sample() {
+        let mut w = SampleWindow::new(4);
+        let mut s = sample(0, 0.0, 30.0, None);
+        s.wait_ms[WaitClass::Lock.index()] = 70.0;
+        w.push(s);
+        assert_eq!(w.wait_pct_series(WaitClass::Cpu, 4), vec![30.0]);
+        assert_eq!(w.wait_pct_series(WaitClass::Lock, 4), vec![70.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_cap_panics() {
+        let _ = SampleWindow::new(0);
+    }
+}

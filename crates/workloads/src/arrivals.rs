@@ -1,0 +1,157 @@
+//! Open-loop arrival generation bound to a trace (§7.1).
+//!
+//! "At every step, the workload generator reads the number of requests from
+//! the trace to set the target number of requests/sec … and maintains the
+//! offered load as close as possible to the specified target." We realize
+//! that as a Poisson arrival process whose rate follows the trace minute by
+//! minute.
+
+use crate::dist::exponential;
+use crate::traces::Trace;
+use crate::Workload;
+use dasr_engine::{Engine, RequestSpec, SimTime};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Drives a workload through a trace, submitting Poisson arrivals to the
+/// engine one minute at a time.
+pub struct TraceDriver<W: Workload> {
+    trace: Trace,
+    workload: W,
+    rng: StdRng,
+}
+
+impl<W: Workload> TraceDriver<W> {
+    /// Creates a driver; all randomness derives from `seed`.
+    pub fn new(trace: Trace, workload: W, seed: u64) -> Self {
+        Self {
+            trace,
+            workload,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The trace being driven.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// The workload's name.
+    pub fn workload_name(&self) -> &'static str {
+        self.workload.name()
+    }
+
+    /// Number of minutes in the trace.
+    pub fn minutes(&self) -> usize {
+        self.trace.minutes()
+    }
+
+    /// Generates the arrivals for `minute` (0-based) without an engine —
+    /// returns `(arrival_time, spec)` pairs.
+    pub fn arrivals_for_minute(&mut self, minute: usize) -> Vec<(SimTime, RequestSpec)> {
+        let rate = self.trace.target_rps(minute);
+        let start_us = minute as u64 * 60_000_000;
+        let mut out = Vec::new();
+        if rate < 1e-3 {
+            return out;
+        }
+        // Exponential gaps in seconds at `rate` events/s.
+        let mut t = exponential(&mut self.rng, rate);
+        while t < 60.0 {
+            let at = SimTime::from_micros(start_us + (t * 1_000_000.0) as u64);
+            out.push((at, self.workload.next_request(&mut self.rng)));
+            t += exponential(&mut self.rng, rate);
+        }
+        out
+    }
+
+    /// Submits the arrivals for `minute` directly into `engine`.
+    ///
+    /// # Panics
+    /// Panics if the engine's clock is already past the start of `minute`.
+    pub fn submit_minute(&mut self, minute: usize, engine: &mut Engine) -> usize {
+        let arrivals = self.arrivals_for_minute(minute);
+        let n = arrivals.len();
+        for (at, spec) in arrivals {
+            engine.submit_at(at, spec);
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpuio::{CpuIoConfig, CpuIoWorkload};
+
+    fn driver(rps: f64) -> TraceDriver<CpuIoWorkload> {
+        TraceDriver::new(
+            Trace::new("t", vec![rps; 10]),
+            CpuIoWorkload::new(CpuIoConfig::small()),
+            42,
+        )
+    }
+
+    #[test]
+    fn arrival_count_tracks_rate() {
+        let mut d = driver(50.0);
+        let total: usize = (0..10).map(|m| d.arrivals_for_minute(m).len()).sum();
+        // 50 rps * 600 s = 30000 expected; Poisson sd ~ 173.
+        assert!(
+            (29_000..31_000).contains(&total),
+            "got {total} arrivals for 50 rps x 10 min"
+        );
+    }
+
+    #[test]
+    fn arrivals_fall_within_their_minute() {
+        let mut d = driver(20.0);
+        let arrivals = d.arrivals_for_minute(3);
+        for (at, _) in &arrivals {
+            let us = at.as_micros();
+            assert!((180_000_000..240_000_000).contains(&us), "at {us}");
+        }
+    }
+
+    #[test]
+    fn arrivals_are_sorted() {
+        let mut d = driver(100.0);
+        let arrivals = d.arrivals_for_minute(0);
+        assert!(arrivals.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn zero_rate_minute_is_silent() {
+        let mut d = driver(0.0);
+        assert!(d.arrivals_for_minute(0).is_empty());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let collect = || {
+            let mut d = driver(30.0);
+            d.arrivals_for_minute(0)
+                .into_iter()
+                .map(|(t, s)| (t, s.ops.len()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    fn submit_minute_feeds_engine() {
+        use dasr_containers::ResourceVector;
+        use dasr_engine::EngineConfig;
+
+        let mut d = driver(10.0);
+        let mut engine = Engine::new(
+            EngineConfig::default(),
+            ResourceVector::new(2.0, 256.0, 400.0, 20.0),
+        );
+        let n = d.submit_minute(0, &mut engine);
+        engine.run_until(SimTime::from_mins(1));
+        let stats = engine.end_interval();
+        assert_eq!(stats.arrivals as usize, n);
+        assert!(stats.completed > 0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Samplers used by the workload generators.
+//!
+//! Implemented in-repo (rather than pulling `rand_distr`) to keep the
+//! dependency set minimal; each sampler is exercised against its analytic
+//! moments in tests.
+
+use rand::Rng;
+
+/// Samples an exponential inter-arrival gap with the given `rate` (events
+/// per unit time). Returns the gap in the same time unit.
+///
+/// # Panics
+/// Panics if `rate` is not strictly positive and finite.
+pub fn exponential<R: Rng>(rng: &mut R, rate: f64) -> f64 {
+    assert!(rate.is_finite() && rate > 0.0, "rate must be positive");
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    -u.ln() / rate
+}
+
+/// Samples from a normal distribution via Box–Muller, truncated to
+/// `[lo, hi]` by clamping.
+pub fn bounded_normal<R: Rng>(rng: &mut R, mean: f64, std_dev: f64, lo: f64, hi: f64) -> f64 {
+    assert!(std_dev >= 0.0, "std_dev must be non-negative");
+    assert!(lo <= hi, "invalid bounds");
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (mean + std_dev * z).clamp(lo, hi)
+}
+
+/// A hotspot page sampler: with probability `hot_prob` draws uniformly from
+/// the first `hot_pages` pages (the working set), otherwise uniformly from
+/// the cold remainder. This is the paper's "hotspot in data accesses"
+/// working-set control (§7.1).
+#[derive(Debug, Clone, Copy)]
+pub struct Hotspot {
+    /// Total pages in the database.
+    pub total_pages: u64,
+    /// Pages in the hot set (must be ≤ `total_pages`).
+    pub hot_pages: u64,
+    /// Probability of drawing from the hot set.
+    pub hot_prob: f64,
+}
+
+impl Hotspot {
+    /// Creates a hotspot sampler.
+    ///
+    /// # Panics
+    /// Panics on invalid parameters.
+    pub fn new(total_pages: u64, hot_pages: u64, hot_prob: f64) -> Self {
+        assert!(total_pages > 0, "need at least one page");
+        assert!(hot_pages > 0 && hot_pages <= total_pages, "invalid hot set");
+        assert!((0.0..=1.0).contains(&hot_prob), "invalid probability");
+        Self {
+            total_pages,
+            hot_pages,
+            hot_prob,
+        }
+    }
+
+    /// Samples a page id.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+        if self.hot_pages == self.total_pages || rng.gen_bool(self.hot_prob) {
+            rng.gen_range(0..self.hot_pages)
+        } else {
+            rng.gen_range(self.hot_pages..self.total_pages)
+        }
+    }
+}
+
+/// Picks an index from `weights` proportionally (roulette wheel).
+///
+/// # Panics
+/// Panics if `weights` is empty or sums to zero.
+pub fn weighted_index<R: Rng>(rng: &mut R, weights: &[f64]) -> usize {
+    assert!(!weights.is_empty(), "weights must be non-empty");
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "weights must sum to a positive value");
+    let mut x = rng.gen_range(0.0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if x < w {
+            return i;
+        }
+        x -= w;
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xDA5A)
+    }
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let mut r = rng();
+        let rate = 4.0;
+        let n = 50_000;
+        let sum: f64 = (0..n).map(|_| exponential(&mut r, rate)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 1.0 / rate).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn exponential_is_positive() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(exponential(&mut r, 100.0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn bounded_normal_moments_and_bounds() {
+        let mut r = rng();
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n)
+            .map(|_| bounded_normal(&mut r, 10.0, 2.0, 0.0, 20.0))
+            .collect();
+        let mean: f64 = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        assert!(samples.iter().all(|&s| (0.0..=20.0).contains(&s)));
+    }
+
+    #[test]
+    fn hotspot_respects_probability() {
+        let mut r = rng();
+        let h = Hotspot::new(1_000, 100, 0.95);
+        let n = 100_000;
+        let hot_hits = (0..n).filter(|_| h.sample(&mut r) < 100).count();
+        let frac = hot_hits as f64 / n as f64;
+        assert!((frac - 0.95).abs() < 0.01, "hot fraction {frac}");
+    }
+
+    #[test]
+    fn hotspot_all_hot() {
+        let mut r = rng();
+        let h = Hotspot::new(10, 10, 0.0);
+        for _ in 0..100 {
+            assert!(h.sample(&mut r) < 10);
+        }
+    }
+
+    #[test]
+    fn weighted_index_proportions() {
+        let mut r = rng();
+        let weights = [1.0, 3.0, 6.0];
+        let n = 100_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            counts[weighted_index(&mut r, &weights)] += 1;
+        }
+        assert!((counts[0] as f64 / n as f64 - 0.1).abs() < 0.01);
+        assert!((counts[1] as f64 / n as f64 - 0.3).abs() < 0.01);
+        assert!((counts[2] as f64 / n as f64 - 0.6).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid hot set")]
+    fn hotspot_validation() {
+        let _ = Hotspot::new(10, 11, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to a positive")]
+    fn zero_weights_panic() {
+        let mut r = rng();
+        let _ = weighted_index(&mut r, &[0.0, 0.0]);
+    }
+}

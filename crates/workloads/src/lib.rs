@@ -1,0 +1,55 @@
+//! # dasr-workloads — benchmark workloads, traces and arrival processes
+//!
+//! The paper drives its evaluation (§7.1) with three workload families under
+//! time-varying offered load derived from production traces:
+//!
+//! - **CPUIO** ([`cpuio`]) — a micro-benchmark generating queries that are
+//!   CPU-, disk-I/O- and/or log-I/O-intensive, with a controllable hotspot
+//!   working set;
+//! - **TPC-C-lite** ([`tpcc`]) — five transaction types over a small number
+//!   of warehouses; the hot warehouse rows create the *application-level
+//!   lock bottleneck* of Figure 13;
+//! - **DS2-lite** ([`ds2`]) — a Dell-DVD-Store-style browse/login/purchase
+//!   mix.
+//!
+//! [`traces`] re-synthesizes the four production-derived load shapes of
+//! Figure 8 (steady, one long burst, one short burst, many bursts), and
+//! [`arrivals`] turns a trace + workload into an open-loop Poisson arrival
+//! stream for the engine. [`dist`] holds the needed samplers (exponential,
+//! Zipf-like hotspot, bounded normal) so the external dependency set stays
+//! minimal.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arrivals;
+pub mod cpuio;
+pub mod dist;
+pub mod ds2;
+pub mod tpcc;
+pub mod traces;
+
+pub use arrivals::TraceDriver;
+pub use cpuio::{CpuIoConfig, CpuIoWorkload};
+pub use ds2::{Ds2Config, Ds2Workload};
+pub use tpcc::{TpccConfig, TpccWorkload};
+pub use traces::Trace;
+
+use dasr_engine::RequestSpec;
+use rand::rngs::StdRng;
+
+/// A workload: a deterministic (given the RNG) source of request specs.
+pub trait Workload {
+    /// Short name for reports (`cpuio`, `tpcc`, `ds2`).
+    fn name(&self) -> &'static str;
+
+    /// Draws the next request.
+    fn next_request(&mut self, rng: &mut StdRng) -> RequestSpec;
+
+    /// Size of the workload's hot set in pages (page ids `0..hot_pages()`),
+    /// used to prewarm the buffer pool when simulating an already-running
+    /// database. Defaults to 0 (no prewarm).
+    fn hot_pages(&self) -> u64 {
+        0
+    }
+}

@@ -1,0 +1,274 @@
+//! Offered-load traces (paper Figure 8).
+//!
+//! Each trace gives a target offered load (requests per second) for every
+//! minute of the experiment. The paper derives four traces from production
+//! workloads, each targeting a demand scenario (§7.1):
+//!
+//! 1. **steady** — validates that auto-scaling is at least competitive with
+//!    a well-chosen static container;
+//! 2. **one long burst** — mostly idle, a single sustained burst;
+//! 3. **one short burst** — mostly idle, a single brief burst;
+//! 4. **many bursts** — frequent short bursts, the stress test.
+//!
+//! We re-synthesize the shapes at the same scale (0–200 req/s, 1440 min).
+//! Traces are deterministic given the seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Trapezoidal envelope: 0 outside `[lo, hi)`, ramping linearly to 1 over
+/// `ramp` minutes at both edges.
+fn trapezoid(i: usize, lo: usize, hi: usize, ramp: usize) -> f64 {
+    if i < lo || i >= hi {
+        return 0.0;
+    }
+    let up = (i - lo) as f64 / ramp as f64;
+    let down = (hi - i) as f64 / ramp as f64;
+    up.min(down).min(1.0)
+}
+
+fn moving_average(values: &[f64], window: usize) -> Vec<f64> {
+    let w = window.max(1);
+    (0..values.len())
+        .map(|i| {
+            let lo = i.saturating_sub(w / 2);
+            let hi = (i + w / 2 + 1).min(values.len());
+            values[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+        })
+        .collect()
+}
+
+/// A per-minute offered-load trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// Short name (`trace1`…`trace4` for the paper's shapes).
+    pub name: String,
+    /// Target requests/second for each minute.
+    pub rps: Vec<f64>,
+}
+
+impl Trace {
+    /// Creates a trace from explicit per-minute targets.
+    ///
+    /// # Panics
+    /// Panics if `rps` is empty or contains negative/non-finite values.
+    pub fn new(name: impl Into<String>, rps: Vec<f64>) -> Self {
+        assert!(!rps.is_empty(), "trace must have at least one minute");
+        assert!(
+            rps.iter().all(|v| v.is_finite() && *v >= 0.0),
+            "trace values must be finite and non-negative"
+        );
+        Self {
+            name: name.into(),
+            rps,
+        }
+    }
+
+    /// The paper's trace `n` (1–4) at full 1440-minute length.
+    ///
+    /// # Panics
+    /// Panics for `n` outside `1..=4`.
+    pub fn paper(n: usize) -> Self {
+        Self::paper_with_len(n, 1440)
+    }
+
+    /// The paper's trace `n` (1–4) synthesized over `minutes` minutes —
+    /// shorter lengths compress the time scale, which the paper itself does
+    /// to make the problem harder and the experiments shorter (§7.1).
+    pub fn paper_with_len(n: usize, minutes: usize) -> Self {
+        assert!(minutes >= 10, "trace too short to be meaningful");
+        let mut rng = StdRng::seed_from_u64(0x7ace_0000 + n as u64);
+        let m = minutes as f64;
+        let rps: Vec<f64> = match n {
+            1 => (0..minutes)
+                .map(|_| 100.0 + rng.gen_range(-8.0..8.0))
+                .collect(),
+            2 => {
+                // Idle ~5 rps with one long trapezoidal burst
+                // (~30%..62% of the trace, ramping over a sixth of it).
+                let (lo, hi) = ((0.30 * m) as usize, (0.62 * m) as usize);
+                let ramp = ((hi - lo) / 6).max(2);
+                (0..minutes)
+                    .map(|i| {
+                        let base = 5.0 + rng.gen_range(0.0..3.0);
+                        let peak = 155.0 + rng.gen_range(-10.0..10.0);
+                        base + (peak - base) * trapezoid(i, lo, hi, ramp)
+                    })
+                    .collect()
+            }
+            3 => {
+                // Idle with one short, roughly triangular burst
+                // (~43%..53%).
+                let (lo, hi) = ((0.43 * m) as usize, (0.53 * m) as usize);
+                let ramp = ((hi - lo) / 3).max(2);
+                (0..minutes)
+                    .map(|i| {
+                        let base = 5.0 + rng.gen_range(0.0..3.0);
+                        let peak = 180.0 + rng.gen_range(-10.0..10.0);
+                        base + (peak - base) * trapezoid(i, lo, hi, ramp)
+                    })
+                    .collect()
+            }
+            4 => {
+                // Many short bursts of varying height over a low baseline.
+                let mut rps = vec![0.0; minutes];
+                for slot in rps.iter_mut() {
+                    *slot = 15.0 + rng.gen_range(0.0..5.0);
+                }
+                let bursts = (minutes / 45).max(4);
+                for _ in 0..bursts {
+                    let start = rng.gen_range(0..minutes);
+                    let len = rng.gen_range(minutes / 140 + 2..minutes / 24 + 4);
+                    let height = rng.gen_range(60.0..200.0);
+                    for slot in rps.iter_mut().skip(start).take(len) {
+                        *slot = height + rng.gen_range(-8.0..8.0);
+                    }
+                }
+                rps
+            }
+            other => panic!("paper trace {other} does not exist (1..=4)"),
+        };
+        // Real production load ramps rather than stepping; a short moving
+        // average softens the synthetic edges (and gives trend detection
+        // something to see, as in the real traces).
+        let smoothed = moving_average(&rps, 3);
+        Self::new(format!("trace{n}"), smoothed)
+    }
+
+    /// Length in minutes.
+    pub fn minutes(&self) -> usize {
+        self.rps.len()
+    }
+
+    /// Target offered load for `minute` (clamped to the last minute).
+    pub fn target_rps(&self, minute: usize) -> f64 {
+        let idx = minute.min(self.rps.len() - 1);
+        self.rps[idx]
+    }
+
+    /// Peak offered load.
+    pub fn peak_rps(&self) -> f64 {
+        self.rps.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Mean offered load.
+    pub fn mean_rps(&self) -> f64 {
+        self.rps.iter().sum::<f64>() / self.rps.len() as f64
+    }
+
+    /// Resamples the trace to `minutes` minutes by linear interpolation,
+    /// preserving the shape (time-scale compression, §7.1).
+    pub fn resampled(&self, minutes: usize) -> Trace {
+        assert!(minutes >= 2, "resample target too short");
+        let n = self.rps.len();
+        let rps = (0..minutes)
+            .map(|i| {
+                let pos = i as f64 / (minutes - 1) as f64 * (n - 1) as f64;
+                let lo = pos.floor() as usize;
+                let hi = pos.ceil() as usize;
+                let frac = pos - lo as f64;
+                self.rps[lo] * (1.0 - frac) + self.rps[hi.min(n - 1)] * frac
+            })
+            .collect();
+        Trace::new(self.name.clone(), rps)
+    }
+
+    /// Scales every minute's target by `factor`.
+    pub fn scaled(&self, factor: f64) -> Trace {
+        assert!(factor.is_finite() && factor >= 0.0, "invalid factor");
+        Trace::new(
+            self.name.clone(),
+            self.rps.iter().map(|v| v * factor).collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_traces_have_documented_shapes() {
+        let t1 = Trace::paper(1);
+        assert_eq!(t1.minutes(), 1440);
+        assert!(t1.rps.iter().all(|&v| (80.0..=120.0).contains(&v)));
+
+        let t2 = Trace::paper(2);
+        // Long burst: a substantial fraction of minutes are high.
+        let high = t2.rps.iter().filter(|&&v| v > 100.0).count();
+        assert!(
+            (0.25..0.40).contains(&(high as f64 / 1440.0)),
+            "long burst covers {high} minutes"
+        );
+
+        let t3 = Trace::paper(3);
+        let high3 = t3.rps.iter().filter(|&&v| v > 100.0).count();
+        assert!(
+            (0.03..0.10).contains(&(high3 as f64 / 1440.0)),
+            "short burst covers {high3} minutes"
+        );
+
+        let t4 = Trace::paper(4);
+        // Multiple separated bursts: count rising edges above 50.
+        let edges = t4
+            .rps
+            .windows(2)
+            .filter(|w| w[0] <= 50.0 && w[1] > 50.0)
+            .count();
+        assert!(edges >= 3, "trace 4 must have several bursts, got {edges}");
+    }
+
+    #[test]
+    fn traces_are_deterministic() {
+        assert_eq!(Trace::paper(2), Trace::paper(2));
+        assert_ne!(Trace::paper(2), Trace::paper(3));
+    }
+
+    #[test]
+    fn target_rps_clamps_past_end() {
+        let t = Trace::new("t", vec![1.0, 2.0, 3.0]);
+        assert_eq!(t.target_rps(0), 1.0);
+        assert_eq!(t.target_rps(2), 3.0);
+        assert_eq!(t.target_rps(99), 3.0);
+    }
+
+    #[test]
+    fn resample_preserves_range_and_shape() {
+        let t = Trace::paper(2);
+        let short = t.resampled(180);
+        assert_eq!(short.minutes(), 180);
+        assert!(short.peak_rps() <= t.peak_rps() + 1e-9);
+        // The burst survives compression.
+        assert!(short.peak_rps() > 120.0);
+        let high = short.rps.iter().filter(|&&v| v > 100.0).count();
+        assert!(
+            (0.2..0.45).contains(&(high as f64 / 180.0)),
+            "burst fraction preserved: {high}/180"
+        );
+    }
+
+    #[test]
+    fn scaled_multiplies() {
+        let t = Trace::new("t", vec![10.0, 20.0]);
+        assert_eq!(t.scaled(0.5).rps, vec![5.0, 10.0]);
+    }
+
+    #[test]
+    fn stats() {
+        let t = Trace::new("t", vec![0.0, 10.0, 20.0]);
+        assert_eq!(t.peak_rps(), 20.0);
+        assert_eq!(t.mean_rps(), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist")]
+    fn unknown_paper_trace_panics() {
+        let _ = Trace::paper(5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one minute")]
+    fn empty_trace_panics() {
+        let _ = Trace::new("t", vec![]);
+    }
+}

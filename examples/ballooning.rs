@@ -1,0 +1,78 @@
+//! Ballooning walkthrough (§4.3, Figure 14) at the engine API level.
+//!
+//! Shows the probe mechanics directly: deflate the pool toward the next
+//! smaller container's memory while watching disk reads; abort and restore
+//! when the working set stops fitting.
+//!
+//! ```text
+//! cargo run --release --example ballooning
+//! ```
+
+use dasr::containers::ResourceVector;
+use dasr::engine::request::RequestBuilder;
+use dasr::engine::{Engine, EngineConfig, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    // A container with 4 GB of memory hosting a ~2.5 GB working set.
+    let container = ResourceVector::new(2.0, 4_096.0, 400.0, 20.0);
+    let working_set_pages: u64 = 320_000; // ~2.5 GB at 8 KB pages
+    let mut engine = Engine::new(EngineConfig::default(), container);
+    engine.prewarm(working_set_pages);
+
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut submit_minute = |engine: &mut Engine, minute: u64| {
+        // 20 requests/s, each touching 20 working-set pages.
+        for s in 0..60u64 {
+            for r in 0..20u64 {
+                let mut b = RequestBuilder::new().cpu(3_000);
+                for _ in 0..20 {
+                    b = b.read(rng.gen_range(0..working_set_pages));
+                }
+                engine.submit_at(
+                    SimTime::from_mins(minute) + (s * 1_000_000 + r * 47_000),
+                    b.build(),
+                );
+            }
+        }
+    };
+
+    println!("minute | pool MB | disk reads/s | balloon");
+    let mut baseline_reads = 0.0;
+    for minute in 0..12u64 {
+        submit_minute(&mut engine, minute);
+        engine.run_until(SimTime::from_mins(minute + 1));
+        let stats = engine.end_interval();
+        let reads = stats.disk_reads_per_sec();
+
+        // Controller logic, inlined for clarity (the real controller is
+        // `dasr::core::estimator::BalloonController`):
+        let state = if minute == 1 {
+            baseline_reads = reads;
+            // Probe toward the next smaller container's memory (2 GB).
+            engine.start_balloon(2_048.0);
+            "start probe -> 2048 MB"
+        } else if engine.balloon_active() && reads > baseline_reads * 1.5 + 10.0 {
+            engine.abort_balloon();
+            "ABORT: disk I/O rose — working set no longer fits"
+        } else if engine.balloon_active() {
+            "deflating…"
+        } else {
+            ""
+        };
+
+        println!(
+            "{:>6} | {:>7.0} | {:>12.1} | {}",
+            minute,
+            engine.pool_capacity_mb(),
+            reads,
+            state
+        );
+    }
+    println!(
+        "\nThe pool deflates slowly; once it cannot hold the working set, misses rise and the \
+         probe aborts, restoring the full pool (Figure 14). Had I/O stayed flat, the probe \
+         would have confirmed low memory demand and the container could shrink."
+    );
+}

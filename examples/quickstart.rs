@@ -1,0 +1,67 @@
+//! Quickstart: wire a simulated tenant database to the auto-scaler and
+//! watch it react to a demand burst, with explanations.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use dasr::core::policy::AutoPolicy;
+use dasr::core::runner::ClosedLoop;
+use dasr::core::{RunConfig, TenantKnobs};
+use dasr::telemetry::LatencyGoal;
+use dasr::workloads::{CpuIoConfig, CpuIoWorkload, Trace};
+
+fn main() {
+    // 1. The tenant's knobs (§2.3): think in latency and money, not cores.
+    let knobs = TenantKnobs::none().with_latency_goal(LatencyGoal::P95(200.0));
+
+    // 2. A workload and a demand pattern: idle, then a burst, then idle.
+    let workload = CpuIoWorkload::new(CpuIoConfig::default());
+    let mut rps = vec![5.0; 70];
+    for minute in 20..45 {
+        // Ramp up over five minutes, plateau, ramp down.
+        let ramp_in = (minute - 19) as f64 / 5.0;
+        let ramp_out = (45 - minute) as f64 / 5.0;
+        rps[minute] = 5.0 + 135.0 * ramp_in.min(ramp_out).min(1.0);
+    }
+    let trace = Trace::new("burst-demo", rps);
+
+    // 3. The service side: container catalog, engine, telemetry — all
+    //    defaults — plus a prewarmed buffer pool (the tenant is an
+    //    already-running database).
+    let cfg = RunConfig {
+        knobs,
+        prewarm_pages: workload.config().hot_pages,
+        ..RunConfig::default()
+    };
+
+    // 4. Run the closed loop with the paper's Auto policy.
+    let mut policy = AutoPolicy::with_knobs(knobs);
+    let report = ClosedLoop::run(&cfg, &trace, workload, &mut policy);
+
+    // 5. Inspect: one line per billing interval, with the explanation the
+    //    auto-scaler gives for its action (§4).
+    println!("minute | container | cost | p95 ms | decision");
+    println!("-------+-----------+------+--------+---------");
+    for i in &report.intervals {
+        println!(
+            "{:>6} | C{:<8} | {:>4.0} | {:>6.0} | {}",
+            i.minute,
+            i.rung,
+            i.cost,
+            i.latency_ms.unwrap_or(f64::NAN),
+            i.explanations.join("; ")
+        );
+    }
+    println!();
+    println!("{}", report.summary());
+    println!(
+        "total cost {:.0} units — a static container sized for the burst would have cost {:.0}",
+        report.total_cost(),
+        cfg.catalog
+            .iter()
+            .find(|c| c.rung == 7)
+            .map(|c| c.cost * report.intervals.len() as f64)
+            .unwrap_or(f64::NAN),
+    );
+}

@@ -1,0 +1,26 @@
+//! # dasr — Demand-driven Auto-Scaling for Relational DaaS
+//!
+//! Facade crate re-exporting the full workspace — a reproduction of
+//! *Automated Demand-driven Resource Scaling in Relational
+//! Database-as-a-Service* (SIGMOD 2016). See the individual crates:
+//!
+//! - [`stats`] — robust statistics (Theil–Sen, Spearman, quantiles, token
+//!   bucket);
+//! - [`containers`] — the DaaS container catalog and cost model;
+//! - [`engine`] — the discrete-event database-server simulator;
+//! - [`workloads`] — benchmark workloads (CPUIO, TPC-C-lite, DS2-lite) and
+//!   load traces;
+//! - [`telemetry`] — raw counters → robust signals → categorized signals;
+//! - [`fleet`] — service-wide telemetry synthesis and threshold derivation;
+//! - [`core`] — the paper's contribution: demand estimator, budget manager
+//!   and the closed-loop auto-scaler, plus all baseline policies.
+
+#![forbid(unsafe_code)]
+
+pub use dasr_containers as containers;
+pub use dasr_core as core;
+pub use dasr_engine as engine;
+pub use dasr_fleet as fleet;
+pub use dasr_stats as stats;
+pub use dasr_telemetry as telemetry;
+pub use dasr_workloads as workloads;

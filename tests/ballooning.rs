@@ -1,0 +1,95 @@
+//! Integration tests for the §4.3 ballooning flow across engine, telemetry
+//! and policy.
+
+use dasr::core::policy::auto::AutoConfig;
+use dasr::core::policy::AutoPolicy;
+use dasr::core::runner::ClosedLoop;
+use dasr::core::{RunConfig, RunReport, TenantKnobs};
+use dasr::telemetry::LatencyGoal;
+use dasr::workloads::{CpuIoConfig, CpuIoWorkload, Trace, Workload};
+
+/// A page-heavy workload whose working set fills most of the initial
+/// container's pool but not the next smaller one.
+fn working_set_workload() -> CpuIoWorkload {
+    CpuIoWorkload::new(CpuIoConfig {
+        cpu_us_mean: 8_000.0,
+        pages_per_request: 32,
+        log_bytes: 512,
+        db_pages: 524_288,  // 4 GB
+        hot_pages: 393_216, // 3 GB
+        hot_prob: 0.98,
+        mix: [0.0, 0.0, 0.0, 1.0],
+        grant_prob: 0.0,
+        grant_mb: 0,
+    })
+}
+
+fn run(balloon_enabled: bool, minutes: usize) -> RunReport {
+    let knobs = TenantKnobs::none().with_latency_goal(LatencyGoal::P95(400.0));
+    let cfg = RunConfig {
+        knobs,
+        prewarm_pages: working_set_workload().hot_pages(),
+        ..RunConfig::default()
+    };
+    let trace = Trace::new("steady", vec![10.0; minutes]);
+    let mut policy = AutoPolicy::new(AutoConfig {
+        balloon_enabled,
+        ..AutoConfig::with_knobs(knobs)
+    });
+    ClosedLoop::run(&cfg, &trace, working_set_workload(), &mut policy)
+}
+
+#[test]
+fn ballooning_protects_the_working_set() {
+    let with = run(true, 40);
+    let worst_with = with
+        .intervals
+        .iter()
+        .filter_map(|i| i.latency_ms)
+        .fold(0.0, f64::max);
+    // The probe may start and abort; latency must never blow past the goal
+    // by orders of magnitude.
+    assert!(
+        worst_with < 2_000.0,
+        "worst interval with ballooning: {worst_with} ms"
+    );
+    // The container's memory floor holds: it never drops below the rung
+    // whose pool fits the 3 GB working set (C2 = 4 GB).
+    assert!(
+        with.intervals.iter().all(|i| i.rung >= 2),
+        "must not shrink below the working set"
+    );
+}
+
+#[test]
+fn without_ballooning_the_memory_trap_springs() {
+    let without = run(false, 40);
+    let worst = without
+        .intervals
+        .iter()
+        .filter_map(|i| i.latency_ms)
+        .fold(0.0, f64::max);
+    let dipped = without.intervals.iter().any(|i| i.rung < 2);
+    assert!(
+        dipped,
+        "the no-balloon variant must mistakenly shrink below the working set"
+    );
+    assert!(
+        worst > 2_000.0,
+        "eviction of the working set must hurt latency, got {worst} ms"
+    );
+}
+
+#[test]
+fn balloon_probes_are_explained() {
+    let with = run(true, 40);
+    let mentions_balloon = with.intervals.iter().any(|i| {
+        i.explanations
+            .iter()
+            .any(|e| e.contains("Balloon") || e.contains("ballooning"))
+    });
+    assert!(
+        mentions_balloon,
+        "balloon activity must surface in explanations"
+    );
+}

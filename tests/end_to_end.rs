@@ -1,0 +1,151 @@
+//! End-to-end integration tests: the full closed loop over all crates.
+
+use dasr::containers::Catalog;
+use dasr::core::policy::offline::UsageProfile;
+use dasr::core::policy::{AutoPolicy, StaticPolicy, UtilPolicy};
+use dasr::core::runner::ClosedLoop;
+use dasr::core::{RunConfig, RunReport, TenantKnobs};
+use dasr::telemetry::LatencyGoal;
+use dasr::workloads::{CpuIoConfig, CpuIoWorkload, Trace, Workload};
+
+fn small_workload() -> CpuIoWorkload {
+    CpuIoWorkload::new(CpuIoConfig::small())
+}
+
+fn cfg_with(knobs: TenantKnobs) -> RunConfig {
+    RunConfig {
+        knobs,
+        prewarm_pages: small_workload().hot_pages(),
+        ..RunConfig::default()
+    }
+}
+
+fn burst_trace(minutes: usize) -> Trace {
+    let mut rps = vec![3.0; minutes];
+    let (lo, hi) = (minutes / 3, 2 * minutes / 3);
+    for (i, slot) in rps.iter_mut().enumerate() {
+        if i >= lo && i < hi {
+            *slot = 120.0;
+        }
+    }
+    Trace::new("burst", rps)
+}
+
+fn run_auto(trace: &Trace, goal_ms: f64) -> RunReport {
+    let knobs = TenantKnobs::none().with_latency_goal(LatencyGoal::P95(goal_ms));
+    let cfg = cfg_with(knobs);
+    let mut policy = AutoPolicy::with_knobs(knobs);
+    ClosedLoop::run(&cfg, trace, small_workload(), &mut policy)
+}
+
+#[test]
+fn auto_scales_up_during_burst_and_down_after() {
+    let trace = burst_trace(45);
+    let report = run_auto(&trace, 100.0);
+    let rung_at = |minute: usize| report.intervals[minute].rung;
+    let burst_peak = (20..30).map(rung_at).max().unwrap();
+    let idle_start = rung_at(3);
+    let idle_end = rung_at(44);
+    assert!(
+        burst_peak > idle_start,
+        "must scale up during the burst: {burst_peak} vs {idle_start}"
+    );
+    assert!(
+        idle_end < burst_peak,
+        "must scale back down after the burst: {idle_end} vs {burst_peak}"
+    );
+    assert!(report.resizes >= 2);
+}
+
+#[test]
+fn auto_is_cheaper_than_max_at_comparable_latency() {
+    let trace = burst_trace(40);
+    let cfg = cfg_with(TenantKnobs::none());
+    let mut max_policy = StaticPolicy::max(&cfg.catalog);
+    let max_report = ClosedLoop::run(&cfg, &trace, small_workload(), &mut max_policy);
+    let goal = 1.5 * max_report.p95_ms().unwrap();
+
+    let auto_report = run_auto(&trace, goal);
+    assert!(
+        auto_report.total_cost() < 0.6 * max_report.total_cost(),
+        "auto {} should cost well below max {}",
+        auto_report.total_cost(),
+        max_report.total_cost()
+    );
+}
+
+#[test]
+fn auto_beats_util_on_cost_without_losing_the_goal_badly() {
+    let trace = burst_trace(60);
+    let knobs = TenantKnobs::none().with_latency_goal(LatencyGoal::P95(120.0));
+    let cfg = cfg_with(knobs);
+
+    let mut auto = AutoPolicy::with_knobs(knobs);
+    let auto_report = ClosedLoop::run(&cfg, &trace, small_workload(), &mut auto);
+    let mut util = UtilPolicy::new();
+    let util_report = ClosedLoop::run(&cfg, &trace, small_workload(), &mut util);
+
+    assert!(
+        auto_report.avg_cost_per_interval() <= 1.1 * util_report.avg_cost_per_interval(),
+        "auto cost {} vs util cost {}",
+        auto_report.avg_cost_per_interval(),
+        util_report.avg_cost_per_interval()
+    );
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let trace = burst_trace(20);
+    let a = run_auto(&trace, 100.0);
+    let b = run_auto(&trace, 100.0);
+    assert_eq!(a.total_cost(), b.total_cost());
+    assert_eq!(a.resizes, b.resizes);
+    assert_eq!(a.p95_ms(), b.p95_ms());
+    let rungs_a: Vec<u8> = a.intervals.iter().map(|i| i.rung).collect();
+    let rungs_b: Vec<u8> = b.intervals.iter().map(|i| i.rung).collect();
+    assert_eq!(rungs_a, rungs_b);
+}
+
+#[test]
+fn offline_profile_baselines_are_ordered() {
+    let trace = burst_trace(30);
+    let cfg = cfg_with(TenantKnobs::none());
+    let (profile, max_report) = UsageProfile::profile(&cfg, &trace, small_workload());
+    assert_eq!(profile.usage.len(), 30);
+    assert_eq!(max_report.policy, "max");
+
+    let catalog = Catalog::azure_like();
+    let peak = catalog.get(profile.peak_container(&catalog)).unwrap();
+    let avg = catalog.get(profile.avg_container(&catalog)).unwrap();
+    assert!(peak.cost >= avg.cost, "peak must cover at least avg");
+
+    let schedule = profile.trace_schedule(&catalog);
+    let burst_rung = catalog.get(schedule[15]).unwrap().rung;
+    let idle_rung = catalog.get(schedule[2]).unwrap().rung;
+    assert!(burst_rung >= idle_rung);
+}
+
+#[test]
+fn explanations_accompany_every_interval() {
+    let trace = burst_trace(25);
+    let report = run_auto(&trace, 100.0);
+    assert!(report.intervals.iter().all(|i| !i.explanations.is_empty()));
+    // At least one scale-up explanation mentions a bottleneck during the burst.
+    assert!(report
+        .intervals
+        .iter()
+        .any(|i| i.explanations.iter().any(|e| e.contains("Scale-up"))));
+}
+
+#[test]
+fn latency_goal_trades_cost() {
+    let trace = burst_trace(45);
+    let tight = run_auto(&trace, 60.0);
+    let loose = run_auto(&trace, 2_000.0);
+    assert!(
+        loose.avg_cost_per_interval() <= tight.avg_cost_per_interval() + 1e-9,
+        "loose goal {} must not cost more than tight {}",
+        loose.avg_cost_per_interval(),
+        tight.avg_cost_per_interval()
+    );
+}
