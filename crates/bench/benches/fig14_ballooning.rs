@@ -13,7 +13,7 @@ use dasr_bench::table::ascii_series;
 use dasr_core::policy::auto::AutoConfig;
 use dasr_core::policy::AutoPolicy;
 use dasr_core::runner::ClosedLoop;
-use dasr_core::{RunConfig, RunReport, TenantKnobs};
+use dasr_core::{FleetRunner, RunConfig, RunReport, TenantKnobs};
 use dasr_telemetry::LatencyGoal;
 use dasr_workloads::{CpuIoConfig, CpuIoWorkload, Trace};
 
@@ -90,8 +90,11 @@ fn main() {
         90
     };
     println!("=== Figure 14: ballooning vs immediate memory reduction (steady 12 rps, 3 GB working set) ===");
-    let with = run(true, minutes);
-    let without = run(false, minutes);
+    // The two arms are independent and identically seeded: run them in
+    // parallel.
+    let mut reports = FleetRunner::with_available_parallelism().map(2, |i| run(i == 0, minutes));
+    let without = reports.pop().expect("two runs");
+    let with = reports.pop().expect("two runs");
     print_run("Ballooning (Auto, §4.3)", &with);
     print_run("No Ballooning (memory dropped immediately)", &without);
 

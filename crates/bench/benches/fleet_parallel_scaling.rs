@@ -1,0 +1,109 @@
+//! Wall-clock scaling of the parallel fleet runner: the same ≥64-tenant
+//! fleet executed at 1, 2, 4 and 8 threads, verifying (a) the speedup and
+//! (b) that every thread count produces bit-identical per-tenant results
+//! (the FleetRunner determinism contract).
+//!
+//! `--test` runs a tiny fleet once per thread count (CI smoke). Set
+//! `DASR_BENCH_JSON` to append `{"bench": ..., "ns_per_iter": ...}` lines.
+
+use dasr_core::policy::{AutoPolicy, ScalingPolicy};
+use dasr_core::{tenant_seed, FleetReport, FleetRunner, RunConfig, TenantKnobs, TenantSpec};
+use dasr_telemetry::LatencyGoal;
+use dasr_workloads::{CpuIoConfig, CpuIoWorkload, Trace};
+use std::io::Write as _;
+use std::time::Instant;
+
+fn build_fleet(tenants: usize, minutes: usize) -> Vec<TenantSpec<CpuIoWorkload>> {
+    (0..tenants)
+        .map(|i| {
+            let knobs = TenantKnobs::none().with_latency_goal(LatencyGoal::P95(200.0));
+            let rps = 4.0 + (i % 7) as f64 * 3.0;
+            TenantSpec {
+                cfg: RunConfig {
+                    knobs,
+                    seed: tenant_seed(0xF1EE7, i as u64),
+                    ..RunConfig::default()
+                },
+                trace: Trace::new("fleet", vec![rps; minutes]),
+                workload: CpuIoWorkload::new(CpuIoConfig::small()),
+            }
+        })
+        .collect()
+}
+
+fn run(tenants: &[TenantSpec<CpuIoWorkload>], threads: usize) -> (FleetReport, f64) {
+    let start = Instant::now();
+    let report = FleetRunner::new(threads).run_fleet(tenants, |_, t| {
+        Box::new(AutoPolicy::with_knobs(t.cfg.knobs)) as Box<dyn ScalingPolicy>
+    });
+    (report, start.elapsed().as_secs_f64())
+}
+
+fn assert_identical(a: &FleetReport, b: &FleetReport) {
+    assert_eq!(a.reports.len(), b.reports.len());
+    for (x, y) in a.reports.iter().zip(b.reports.iter()) {
+        assert_eq!(x.all_latencies_ms, y.all_latencies_ms, "latency streams diverge");
+        assert_eq!(x.resizes, y.resizes);
+        assert_eq!(x.total_cost(), y.total_cost());
+    }
+}
+
+fn emit_json(lines: &[(usize, f64)]) {
+    let Ok(path) = std::env::var("DASR_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let Ok(mut file) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    else {
+        return;
+    };
+    for &(threads, secs) in lines {
+        let _ = writeln!(
+            file,
+            "{{\"bench\":\"fleet_parallel_scaling/threads_{threads}\",\"ns_per_iter\":{:.1},\"iters\":1}}",
+            secs * 1.0e9
+        );
+    }
+}
+
+fn main() {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let (tenants_n, minutes) = if test_mode {
+        (8, 2)
+    } else if std::env::var("DASR_FULL").is_ok() {
+        (128, 12)
+    } else {
+        (64, 6)
+    };
+    println!(
+        "=== fleet_parallel_scaling: {tenants_n} tenants x {minutes} intervals (Auto policy) ==="
+    );
+    let tenants = build_fleet(tenants_n, minutes);
+
+    let (reference, sequential_secs) = run(&tenants, 1);
+    let mut results = vec![(1usize, sequential_secs)];
+    for threads in [2, 4, 8] {
+        let (report, secs) = run(&tenants, threads);
+        assert_identical(&reference, &report);
+        results.push((threads, secs));
+    }
+
+    for &(threads, secs) in &results {
+        println!(
+            "  threads {threads:>2}: {:>7.2} s  speedup {:>5.2}x",
+            secs,
+            sequential_secs / secs
+        );
+    }
+    println!("  results bit-identical across all thread counts ✓");
+    println!("  {}", reference.summary());
+    emit_json(&results);
+    if test_mode {
+        println!("test fleet_parallel_scaling ... ok");
+    }
+}

@@ -1,0 +1,314 @@
+//! Per-interval signal-set computation: optimized (SoA ring window +
+//! scratch-buffer statistics) vs. the allocating baseline this repo shipped
+//! with (VecDeque window, freshly collected series vectors, full-sort
+//! medians, per-call rank/slope buffers).
+//!
+//! The baseline below is a faithful re-implementation of the old hot path:
+//! it computes the same medians, trends and correlations over the same
+//! windows, minus the (cheap) categorization and struct assembly the real
+//! manager also does — so the measured speedup is, if anything,
+//! understated.
+
+use criterion::{black_box, Criterion};
+use dasr_containers::{ResourceKind, RESOURCE_KINDS};
+use dasr_engine::WaitClass;
+use dasr_stats::{Trend, TrendDirection};
+use dasr_telemetry::{LatencyGoal, TelemetryConfig, TelemetryManager, TelemetrySample};
+use std::collections::VecDeque;
+
+fn sample(i: u64) -> TelemetrySample {
+    let mut util_pct = [0.0; 4];
+    util_pct[ResourceKind::Cpu.index()] = 40.0 + (i % 17) as f64;
+    util_pct[ResourceKind::Memory.index()] = 85.0;
+    util_pct[ResourceKind::DiskIo.index()] = 20.0 + (i % 7) as f64;
+    util_pct[ResourceKind::LogIo.index()] = 5.0;
+    let mut wait_ms = [0.0; 7];
+    wait_ms[WaitClass::Cpu.index()] = 500.0 + (i % 13) as f64 * 100.0;
+    wait_ms[WaitClass::DiskIo.index()] = 200.0;
+    wait_ms[WaitClass::Lock.index()] = 100.0;
+    TelemetrySample {
+        interval: i,
+        util_pct,
+        wait_ms,
+        latency_ms: Some(80.0 + (i % 11) as f64),
+        avg_latency_ms: Some(60.0),
+        completed: 5_000,
+        arrivals: 5_000,
+        rejected: 0,
+        mem_used_mb: 3_000.0,
+        mem_capacity_mb: 3_482.0,
+        disk_reads_per_sec: 50.0,
+    }
+}
+
+/// The old AoS window: VecDeque of samples, every series a fresh Vec.
+struct NaiveWindow {
+    cap: usize,
+    samples: VecDeque<TelemetrySample>,
+}
+
+impl NaiveWindow {
+    fn new(cap: usize) -> Self {
+        Self {
+            cap,
+            samples: VecDeque::with_capacity(cap),
+        }
+    }
+
+    fn push(&mut self, sample: TelemetrySample) {
+        if self.samples.len() == self.cap {
+            self.samples.pop_front();
+        }
+        self.samples.push_back(sample);
+    }
+
+    fn recent(&self, n: usize) -> impl Iterator<Item = &TelemetrySample> {
+        let skip = self.samples.len().saturating_sub(n);
+        self.samples.iter().skip(skip)
+    }
+
+    fn util_series(&self, kind: ResourceKind, n: usize) -> Vec<f64> {
+        self.recent(n).map(|s| s.util(kind)).collect()
+    }
+
+    fn wait_per_request_series(&self, class: WaitClass, n: usize) -> Vec<f64> {
+        self.recent(n)
+            .map(|s| s.wait(class) / (s.completed.max(1) as f64))
+            .collect()
+    }
+
+    fn wait_pct_series(&self, class: WaitClass, n: usize) -> Vec<f64> {
+        self.recent(n).map(|s| s.wait_pct(class)).collect()
+    }
+
+    fn latency_series(&self, n: usize) -> Vec<f64> {
+        self.recent(n)
+            .map(|s| s.latency_ms.unwrap_or(f64::NAN))
+            .collect()
+    }
+}
+
+// ---- The seed's statistics kernels, verbatim allocation patterns ----
+
+/// Seed `median`: fresh filtered copy + full (stable-ish) sort per call.
+fn naive_median(values: &[f64]) -> Option<f64> {
+    let mut v: Vec<f64> = values.iter().copied().filter(|x| x.is_finite()).collect();
+    if v.is_empty() {
+        return None;
+    }
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let idx = (v.len() - 1) as f64 * 0.5;
+    let (lo, hi) = (idx.floor() as usize, idx.ceil() as usize);
+    Some((v[lo] + v[hi]) / 2.0)
+}
+
+/// Seed `average_ranks`: fresh `Vec<usize>` order (stable sort) + rank vec.
+fn naive_average_ranks(values: &[f64]) -> Vec<f64> {
+    let mut order: Vec<usize> = (0..values.len())
+        .filter(|&i| values[i].is_finite())
+        .collect();
+    order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("finite"));
+    let mut ranks = vec![f64::NAN; values.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i + 1;
+        while j < order.len() && values[order[j]] == values[order[i]] {
+            j += 1;
+        }
+        let avg = (i + 1 + j) as f64 / 2.0;
+        for &idx in &order[i..j] {
+            ranks[idx] = avg;
+        }
+        i = j;
+    }
+    ranks
+}
+
+/// Seed `pearson`: filter into a pts vec, unzip, then the moment sums.
+fn naive_pearson(x: &[f64], y: &[f64]) -> Option<f64> {
+    let pts: Vec<(f64, f64)> = x
+        .iter()
+        .zip(y.iter())
+        .filter(|(a, b)| a.is_finite() && b.is_finite())
+        .map(|(a, b)| (*a, *b))
+        .collect();
+    if pts.len() < 2 {
+        return None;
+    }
+    let (xs, ys): (Vec<f64>, Vec<f64>) = pts.into_iter().unzip();
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let (mut sxx, mut syy, mut sxy) = (0.0, 0.0, 0.0);
+    for (a, b) in xs.iter().zip(ys.iter()) {
+        let (dx, dy) = (a - mx, b - my);
+        sxx += dx * dx;
+        syy += dy * dy;
+        sxy += dx * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    Some((sxy / (sxx.sqrt() * syy.sqrt())).clamp(-1.0, 1.0))
+}
+
+/// Seed `spearman`: unzip copy + two allocating rank transforms.
+fn naive_spearman(x: &[f64], y: &[f64]) -> Option<f64> {
+    let (xs, ys): (Vec<f64>, Vec<f64>) = x
+        .iter()
+        .zip(y.iter())
+        .filter(|(a, b)| a.is_finite() && b.is_finite())
+        .map(|(a, b)| (*a, *b))
+        .unzip();
+    if xs.len() < 2 {
+        return None;
+    }
+    naive_pearson(&naive_average_ranks(&xs), &naive_average_ranks(&ys))
+}
+
+/// Seed `TheilSen::trend_indexed`: materialize `xs = 0..n`, collect a pts
+/// vec, push every pairwise slope into a fresh vec, full-sort median.
+fn naive_trend_indexed(alpha: f64, y: &[f64]) -> Trend {
+    let xs: Vec<f64> = (0..y.len()).map(|i| i as f64).collect();
+    let pts: Vec<(f64, f64)> = xs
+        .iter()
+        .zip(y.iter())
+        .filter(|(a, b)| a.is_finite() && b.is_finite())
+        .map(|(a, b)| (*a, *b))
+        .collect();
+    if pts.len() < 2 {
+        return Trend::None;
+    }
+    let mut slopes = Vec::with_capacity(pts.len() * (pts.len() - 1) / 2);
+    for i in 0..pts.len() {
+        for j in (i + 1)..pts.len() {
+            let dx = pts[j].0 - pts[i].0;
+            if dx != 0.0 {
+                slopes.push((pts[j].1 - pts[i].1) / dx);
+            }
+        }
+    }
+    if slopes.is_empty() {
+        return Trend::None;
+    }
+    let (mut pos, mut neg) = (0usize, 0usize);
+    for &m in &slopes {
+        if m > 1e-12 {
+            pos += 1;
+        } else if m < -1e-12 {
+            neg += 1;
+        }
+    }
+    let total = slopes.len() as f64;
+    slopes.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let slope = slopes[(slopes.len() - 1) / 2];
+    let (dominant, direction) = if pos >= neg {
+        (pos, TrendDirection::Increasing)
+    } else {
+        (neg, TrendDirection::Decreasing)
+    };
+    let agreement = dominant as f64 / total;
+    if agreement >= alpha {
+        Trend::Significant {
+            direction,
+            slope,
+            agreement,
+        }
+    } else {
+        Trend::None
+    }
+}
+
+/// One interval of the old signal pipeline: same statistics over the same
+/// windows as `TelemetryManager::signals`, with the seed's allocation
+/// patterns and sort-based kernels.
+fn naive_signals(window: &NaiveWindow, cfg: &TelemetryConfig) -> f64 {
+    let latency_series = window.latency_series(cfg.corr_window);
+    let mut acc = 0.0;
+    for kind in RESOURCE_KINDS {
+        let class = match kind {
+            ResourceKind::Cpu => WaitClass::Cpu,
+            ResourceKind::Memory => WaitClass::Memory,
+            ResourceKind::DiskIo => WaitClass::DiskIo,
+            ResourceKind::LogIo => WaitClass::LogIo,
+        };
+        acc += naive_median(&window.util_series(kind, cfg.smoothing_window)).unwrap_or(0.0);
+        acc += naive_median(&window.wait_per_request_series(class, cfg.smoothing_window))
+            .unwrap_or(0.0);
+        acc += naive_median(&window.wait_pct_series(class, cfg.smoothing_window)).unwrap_or(0.0);
+
+        let util_t = window.util_series(kind, cfg.trend_window);
+        let trend = naive_trend_indexed(cfg.trend_alpha, &util_t);
+        acc += naive_median(&util_t).unwrap_or(0.0) + trend.is_increasing() as u64 as f64;
+        let wait_t = window.wait_per_request_series(class, cfg.trend_window);
+        let trend = naive_trend_indexed(cfg.trend_alpha, &wait_t);
+        acc += naive_median(&wait_t).unwrap_or(0.0) + trend.is_increasing() as u64 as f64;
+
+        let wait_c = window.wait_per_request_series(class, cfg.corr_window);
+        acc += naive_spearman(&latency_series, &wait_c).unwrap_or(0.0);
+        let util_c = window.util_series(kind, cfg.corr_window);
+        acc += naive_spearman(&latency_series, &util_c).unwrap_or(0.0);
+    }
+    acc += naive_median(&window.latency_series(cfg.smoothing_window)).unwrap_or(0.0);
+    let lat_t = window.latency_series(cfg.trend_window);
+    acc += naive_trend_indexed(cfg.trend_alpha, &lat_t).is_increasing() as u64 as f64;
+    for class in [WaitClass::Lock, WaitClass::Latch, WaitClass::Other] {
+        acc += naive_median(&window.wait_pct_series(class, cfg.smoothing_window)).unwrap_or(0.0);
+    }
+    acc
+}
+
+fn telemetry_config() -> TelemetryConfig {
+    TelemetryConfig {
+        latency_goal: Some(LatencyGoal::P95(100.0)),
+        ..TelemetryConfig::default()
+    }
+}
+
+fn bench_signals(c: &mut Criterion) {
+    let mut group = c.benchmark_group("signals");
+
+    group.bench_function("optimized_observe_plus_signals", |b| {
+        let mut tm = TelemetryManager::new(telemetry_config());
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(tm.observe(sample(i)))
+        })
+    });
+
+    group.bench_function("baseline_alloc_observe_plus_signals", |b| {
+        let cfg = telemetry_config();
+        let mut window = NaiveWindow::new(cfg.window_cap);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            window.push(sample(i));
+            black_box(naive_signals(&window, &cfg))
+        })
+    });
+
+    group.finish();
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    bench_signals(&mut c);
+    let ns = |needle: &str| {
+        c.measurements()
+            .iter()
+            .find(|m| m.id.contains(needle))
+            .map(|m| m.ns_per_iter)
+    };
+    if let (Some(opt), Some(base)) = (ns("optimized"), ns("baseline")) {
+        if opt > 0.0 {
+            println!(
+                "signal-set speedup: {:.2}x (baseline {:.0} ns → optimized {:.0} ns)",
+                base / opt,
+                base,
+                opt
+            );
+        }
+    }
+    c.emit_json();
+}

@@ -9,9 +9,9 @@
 //! 3. run the online policies **Util** and **Auto** with the goal (§7.2.2).
 
 use dasr_core::policy::offline::{avg_policy, peak_policy, trace_policy, UsageProfile};
-use dasr_core::policy::{AutoPolicy, UtilPolicy};
+use dasr_core::policy::{AutoPolicy, ScalingPolicy, UtilPolicy};
 use dasr_core::runner::ClosedLoop;
-use dasr_core::{RunConfig, RunReport, TenantKnobs};
+use dasr_core::{FleetRunner, RunConfig, RunReport, TenantKnobs};
 use dasr_telemetry::LatencyGoal;
 use dasr_workloads::{Trace, Workload};
 
@@ -83,7 +83,7 @@ impl ComparisonResult {
 /// `goal_factor` is the multiple of Max's p95 used as the latency goal
 /// (1.25 and 5 in the paper). The same seed drives every policy's workload
 /// so runs are comparable.
-pub fn run_policy_comparison<W: Workload + Clone>(
+pub fn run_policy_comparison<W: Workload + Clone + Sync>(
     trace: &Trace,
     workload: W,
     goal_factor: f64,
@@ -101,45 +101,29 @@ pub fn run_policy_comparison<W: Workload + Clone>(
     let catalog = base.catalog.clone();
     let mut reports = vec![max_report];
 
-    // 2. Offline baselines (no latency goals, §7.2.1).
-    let offline_cfg = base.clone();
-    let mut peak = peak_policy(&profile, &catalog);
-    reports.push(ClosedLoop::run(
-        &offline_cfg,
-        trace,
-        workload.clone(),
-        &mut peak,
-    ));
-    let mut avg = avg_policy(&profile, &catalog);
-    reports.push(ClosedLoop::run(
-        &offline_cfg,
-        trace,
-        workload.clone(),
-        &mut avg,
-    ));
-    let mut tr = trace_policy(&profile, &catalog);
-    reports.push(ClosedLoop::run(
-        &offline_cfg,
-        trace,
-        workload.clone(),
-        &mut tr,
-    ));
-
-    // 3. Online policies with the goal (§7.2.2).
+    // 2. + 3. The five remaining policies replay the same workload and
+    // share nothing mutable, so they run in parallel: the offline baselines
+    // built from the Max run's usage profile (no latency goals, §7.2.1)
+    // and the online policies with the goal (§7.2.2). Every policy sees
+    // the same seed, so runs stay comparable and the result is identical
+    // to the sequential order Max, Peak, Avg, Trace, Util, Auto.
     let knobs = TenantKnobs::none().with_latency_goal(LatencyGoal::P95(goal));
+    let offline_cfg = base.clone();
     let online_cfg = RunConfig {
         knobs,
         ..base.clone()
     };
-    let mut util = UtilPolicy::new();
-    reports.push(ClosedLoop::run(
-        &online_cfg,
-        trace,
-        workload.clone(),
-        &mut util,
-    ));
-    let mut auto = AutoPolicy::with_knobs(knobs);
-    reports.push(ClosedLoop::run(&online_cfg, trace, workload, &mut auto));
+    let runner = FleetRunner::with_available_parallelism();
+    reports.extend(runner.map(5, |i| {
+        let (mut policy, cfg): (Box<dyn ScalingPolicy>, &RunConfig) = match i {
+            0 => (Box::new(peak_policy(&profile, &catalog)), &offline_cfg),
+            1 => (Box::new(avg_policy(&profile, &catalog)), &offline_cfg),
+            2 => (Box::new(trace_policy(&profile, &catalog)), &offline_cfg),
+            3 => (Box::new(UtilPolicy::new()), &online_cfg),
+            _ => (Box::new(AutoPolicy::with_knobs(knobs)), &online_cfg),
+        };
+        ClosedLoop::run(cfg, trace, workload.clone(), policy.as_mut())
+    }));
 
     ComparisonResult {
         goal_ms: goal,

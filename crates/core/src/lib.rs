@@ -20,7 +20,9 @@
 //!   online scaler), **Max**, **Peak**, **Avg** (offline static) and
 //!   **Trace** (offline demand-hugging schedule);
 //! - [`runner`] — the closed loop: engine + workload + policy + billing,
-//!   producing a [`report::RunReport`];
+//!   producing a [`report::RunReport`]; [`runner::fleet`] runs N
+//!   independent tenant loops across OS threads with bit-identical results
+//!   regardless of thread count;
 //! - [`report`] — per-interval timelines and whole-run summaries (cost per
 //!   interval, 95th-percentile latency, resize counts).
 
@@ -44,4 +46,5 @@ pub use policy::{
     SchedulePolicy, StaticPolicy, UtilPolicy,
 };
 pub use report::{IntervalRecord, RunReport};
+pub use runner::fleet::{tenant_seed, FleetReport, FleetRunner, TenantSpec};
 pub use runner::{ClosedLoop, RunConfig};

@@ -1,0 +1,309 @@
+//! Parallel multi-tenant execution (§7 scale-out).
+//!
+//! A DBaaS control plane runs the paper's loop for *every* tenant on a
+//! server, every billing interval. The tenants are independent — no shared
+//! mutable state crosses the loop — so the fleet is embarrassingly
+//! parallel. [`FleetRunner`] exploits that with plain `std::thread::scope`
+//! workers over contiguous index chunks.
+//!
+//! # Determinism contract
+//!
+//! Results are **bit-identical regardless of thread count**. Each work item
+//! `i` is a pure function of the inputs at index `i` (per-tenant seeds are
+//! derived from the fleet seed with a SplitMix64 hash, never from shared
+//! RNG state), and [`FleetRunner::map`] writes each result into slot `i` of
+//! the output, so neither scheduling nor chunking can reorder or perturb
+//! anything. `FleetRunner::new(1)` is the sequential reference.
+
+use crate::policy::ScalingPolicy;
+use crate::report::RunReport;
+use crate::runner::{ClosedLoop, RunConfig};
+use dasr_stats::{percentile, percentile_interpolated};
+use dasr_workloads::{Trace, Workload};
+
+/// Executes independent per-tenant closed loops across OS threads.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetRunner {
+    threads: usize,
+}
+
+impl FleetRunner {
+    /// Creates a runner using `threads` worker threads (clamped to ≥ 1).
+    /// One thread means plain sequential execution on the caller's thread.
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Creates a runner sized to the machine's available parallelism.
+    pub fn with_available_parallelism() -> Self {
+        Self::new(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+    }
+
+    /// Worker threads this runner uses.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Computes `f(0), f(1), …, f(n-1)` across the worker threads and
+    /// returns the results in index order.
+    ///
+    /// `f` must be a pure function of its index for the determinism
+    /// contract to hold; the runner guarantees output order and exactly one
+    /// call per index either way. Work is split into at most `threads`
+    /// contiguous chunks, one scoped thread per chunk.
+    pub fn map<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if n == 0 {
+            return Vec::new();
+        }
+        let threads = self.threads.min(n);
+        if threads == 1 {
+            return (0..n).map(f).collect();
+        }
+        let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        let chunk = n.div_ceil(threads);
+        let f = &f;
+        std::thread::scope(|scope| {
+            for (c, slice) in slots.chunks_mut(chunk).enumerate() {
+                let start = c * chunk;
+                scope.spawn(move || {
+                    for (offset, slot) in slice.iter_mut().enumerate() {
+                        *slot = Some(f(start + offset));
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every index was assigned to exactly one worker"))
+            .collect()
+    }
+
+    /// Runs one closed loop per tenant and aggregates the reports.
+    ///
+    /// `make_policy` builds each tenant's policy inside the worker that
+    /// runs it (policies are stateful and not shared). Tenants are
+    /// independent by construction, so the [determinism
+    /// contract](self#determinism-contract) applies to the whole fleet run.
+    pub fn run_fleet<W, F>(&self, tenants: &[TenantSpec<W>], make_policy: F) -> FleetReport
+    where
+        W: Workload + Clone + Sync,
+        F: Fn(usize, &TenantSpec<W>) -> Box<dyn ScalingPolicy> + Sync,
+    {
+        let reports = self.map(tenants.len(), |i| {
+            let tenant = &tenants[i];
+            let mut policy = make_policy(i, tenant);
+            ClosedLoop::run(
+                &tenant.cfg,
+                &tenant.trace,
+                tenant.workload.clone(),
+                policy.as_mut(),
+            )
+        });
+        FleetReport { reports }
+    }
+}
+
+impl Default for FleetRunner {
+    fn default() -> Self {
+        Self::with_available_parallelism()
+    }
+}
+
+/// Derives tenant `index`'s seed from a fleet-wide seed.
+///
+/// SplitMix64 over `fleet_seed + index`: statistically independent streams
+/// per tenant with no shared RNG state, which is what makes fleet execution
+/// order-free (see the [determinism contract](self#determinism-contract)).
+pub fn tenant_seed(fleet_seed: u64, index: u64) -> u64 {
+    let mut z = fleet_seed
+        .wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One tenant's closed-loop inputs.
+#[derive(Debug, Clone)]
+pub struct TenantSpec<W: Workload> {
+    /// Run configuration; `cfg.seed` should already be tenant-specific
+    /// (see [`tenant_seed`]).
+    pub cfg: RunConfig,
+    /// The tenant's demand trace.
+    pub trace: Trace,
+    /// The tenant's workload (cloned into the worker).
+    pub workload: W,
+}
+
+/// Aggregated result of a fleet run, in tenant order.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Per-tenant reports, index-aligned with the input tenant slice.
+    pub reports: Vec<RunReport>,
+}
+
+impl FleetReport {
+    /// Number of tenants.
+    pub fn len(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// True when the fleet is empty.
+    pub fn is_empty(&self) -> bool {
+        self.reports.is_empty()
+    }
+
+    /// Total cost across the fleet.
+    pub fn total_cost(&self) -> f64 {
+        self.reports.iter().map(RunReport::total_cost).sum()
+    }
+
+    /// Mean per-interval cost across all tenants' intervals.
+    pub fn avg_cost_per_interval(&self) -> f64 {
+        let intervals: usize = self.reports.iter().map(|r| r.intervals.len()).sum();
+        if intervals == 0 {
+            0.0
+        } else {
+            self.total_cost() / intervals as f64
+        }
+    }
+
+    /// Completed requests across the fleet.
+    pub fn completed_total(&self) -> u64 {
+        self.reports.iter().map(RunReport::completed_total).sum()
+    }
+
+    /// Rejected requests across the fleet.
+    pub fn rejected_total(&self) -> u64 {
+        self.reports.iter().map(|r| r.rejected_total).sum()
+    }
+
+    /// Resize operations across the fleet.
+    pub fn resizes_total(&self) -> u64 {
+        self.reports.iter().map(|r| r.resizes).sum()
+    }
+
+    /// 95th-percentile latency over the *pooled* request population, ms.
+    pub fn p95_ms(&self) -> Option<f64> {
+        percentile(&self.pooled_latencies(), 95.0)
+    }
+
+    /// Interpolated pooled 95th percentile, ms.
+    pub fn p95_interpolated_ms(&self) -> Option<f64> {
+        percentile_interpolated(&self.pooled_latencies(), 95.0)
+    }
+
+    fn pooled_latencies(&self) -> Vec<f64> {
+        let total: usize = self.reports.iter().map(|r| r.all_latencies_ms.len()).sum();
+        let mut pooled = Vec::with_capacity(total);
+        for r in &self.reports {
+            pooled.extend_from_slice(&r.all_latencies_ms);
+        }
+        pooled
+    }
+
+    /// One-line fleet summary for experiment tables.
+    pub fn summary(&self) -> String {
+        format!(
+            "fleet of {:>4}: p95 {:>8.1} ms | avg cost/interval {:>7.2} | resizes {:>5} | rejected {}",
+            self.len(),
+            self.p95_ms().unwrap_or(f64::NAN),
+            self.avg_cost_per_interval(),
+            self.resizes_total(),
+            self.rejected_total(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::StaticPolicy;
+    use dasr_workloads::{CpuIoConfig, CpuIoWorkload};
+
+    #[test]
+    fn map_preserves_order_for_any_thread_count() {
+        for threads in [1, 2, 3, 8, 64] {
+            let out = FleetRunner::new(threads).map(17, |i| i * i);
+            let expect: Vec<usize> = (0..17).map(|i| i * i).collect();
+            assert_eq!(out, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn map_handles_degenerate_sizes() {
+        let r = FleetRunner::new(4);
+        assert!(r.map(0, |i| i).is_empty());
+        assert_eq!(r.map(1, |i| i + 10), vec![10]);
+        assert_eq!(FleetRunner::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn tenant_seeds_are_distinct() {
+        let seeds: std::collections::BTreeSet<u64> =
+            (0..1000).map(|i| tenant_seed(0xDA5A, i)).collect();
+        assert_eq!(seeds.len(), 1000);
+        assert_ne!(tenant_seed(1, 0), tenant_seed(2, 0));
+    }
+
+    fn small_fleet(n: usize) -> Vec<TenantSpec<CpuIoWorkload>> {
+        (0..n)
+            .map(|i| TenantSpec {
+                cfg: RunConfig {
+                    seed: tenant_seed(7, i as u64),
+                    ..RunConfig::default()
+                },
+                trace: Trace::new("t", vec![5.0 + i as f64; 3]),
+                workload: CpuIoWorkload::new(CpuIoConfig::small()),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fleet_results_are_thread_count_invariant() {
+        let tenants = small_fleet(6);
+        let run = |threads| {
+            FleetRunner::new(threads).run_fleet(&tenants, |_, t| {
+                Box::new(StaticPolicy::max(&t.cfg.catalog)) as Box<dyn ScalingPolicy>
+            })
+        };
+        let sequential = run(1);
+        for threads in [2, 4] {
+            let parallel = run(threads);
+            assert_eq!(parallel.len(), sequential.len());
+            for (a, b) in parallel.reports.iter().zip(sequential.reports.iter()) {
+                assert_eq!(a.all_latencies_ms, b.all_latencies_ms, "threads = {threads}");
+                assert_eq!(a.total_cost(), b.total_cost());
+                assert_eq!(a.resizes, b.resizes);
+            }
+        }
+    }
+
+    #[test]
+    fn fleet_report_aggregates() {
+        let tenants = small_fleet(3);
+        let report = FleetRunner::new(2).run_fleet(&tenants, |_, t| {
+            Box::new(StaticPolicy::max(&t.cfg.catalog)) as Box<dyn ScalingPolicy>
+        });
+        assert_eq!(report.len(), 3);
+        assert!(!report.is_empty());
+        assert_eq!(
+            report.completed_total(),
+            report.reports.iter().map(|r| r.completed_total()).sum::<u64>()
+        );
+        assert!(report.total_cost() > 0.0);
+        assert!(report.p95_ms().is_some());
+        assert!(report.summary().contains("fleet of"));
+    }
+}

@@ -1,5 +1,10 @@
 //! The closed loop (§6, Figure 3): engine + workload + telemetry + policy
 //! + billing, one decision per billing interval.
+//!
+//! [`fleet`] scales the loop out: N independent tenants across OS threads
+//! with bit-identical results regardless of thread count.
+
+pub mod fleet;
 
 use crate::budget::{BudgetManager, BudgetStrategy};
 use crate::knobs::TenantKnobs;

@@ -3,6 +3,7 @@
 use crate::archetype::{demand_vector, ResourceRatios, TenantArchetype, ARCHETYPES};
 use crate::WEEK_INTERVALS;
 use dasr_containers::ResourceVector;
+use dasr_core::{tenant_seed, FleetRunner};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -40,24 +41,28 @@ impl TenantPopulation {
     }
 
     /// Generates `n` tenants over `intervals` 5-minute intervals.
+    ///
+    /// Each tenant's RNG stream is derived independently from `seed` (see
+    /// [`tenant_seed`]), so generation parallelizes across cores and the
+    /// resulting population is identical for any thread count — and tenant
+    /// `i` is the same no matter how many tenants are generated around it.
     pub fn generate_with_len(n: usize, intervals: usize, seed: u64) -> Self {
         assert!(n > 0 && intervals > 1, "population must be non-trivial");
-        let mut rng = StdRng::seed_from_u64(seed);
-        let tenants = (0..n)
-            .map(|_| {
-                let archetype = sample_archetype(&mut rng);
-                let ratios = ResourceRatios::sample(&mut rng);
-                let cpu = archetype.cpu_demand_series(&mut rng, intervals);
-                let intervals = cpu
-                    .iter()
-                    .map(|&c| demand_vector(&mut rng, c, &ratios))
-                    .collect();
-                TenantTrace {
-                    archetype,
-                    intervals,
-                }
-            })
-            .collect();
+        let runner = FleetRunner::with_available_parallelism();
+        let tenants = runner.map(n, |i| {
+            let mut rng = StdRng::seed_from_u64(tenant_seed(seed, i as u64));
+            let archetype = sample_archetype(&mut rng);
+            let ratios = ResourceRatios::sample(&mut rng);
+            let cpu = archetype.cpu_demand_series(&mut rng, intervals);
+            let intervals = cpu
+                .iter()
+                .map(|&c| demand_vector(&mut rng, c, &ratios))
+                .collect();
+            TenantTrace {
+                archetype,
+                intervals,
+            }
+        });
         Self { tenants }
     }
 

@@ -9,6 +9,7 @@
 
 use crate::waitmodel::WaitModel;
 use dasr_containers::RESOURCE_KINDS;
+use dasr_core::FleetRunner;
 use dasr_telemetry::thresholds::derive_wait_thresholds;
 use dasr_telemetry::ThresholdConfig;
 
@@ -30,7 +31,12 @@ pub fn derive_threshold_config(
     );
     assert!(interval_scale > 0.0, "scale must be positive");
     let mut cfg = ThresholdConfig::default();
-    for kind in RESOURCE_KINDS {
+    // Each resource's wait model is seeded independently, so the four
+    // derivations are order-free and run in parallel (deterministically —
+    // see the FleetRunner determinism contract).
+    let runner = FleetRunner::with_available_parallelism();
+    let derived_per_kind = runner.map(RESOURCE_KINDS.len(), |i| {
+        let kind = RESOURCE_KINDS[i];
         let mut model = WaitModel::new(kind, seed);
         let obs = model.generate(observations_per_resource);
         let mut wait_low = Vec::new();
@@ -46,9 +52,10 @@ pub fn derive_threshold_config(
                 pct_high.push(o.wait_pct);
             }
         }
-        if let Some(mut derived) =
-            derive_wait_thresholds(&wait_low, &wait_high, &pct_low, &pct_high)
-        {
+        derive_wait_thresholds(&wait_low, &wait_high, &pct_low, &pct_high)
+    });
+    for (kind, derived) in RESOURCE_KINDS.into_iter().zip(derived_per_kind) {
+        if let Some(mut derived) = derived {
             derived.low_ms *= interval_scale;
             derived.high_ms *= interval_scale;
             *cfg.waits_for_mut(kind) = derived;

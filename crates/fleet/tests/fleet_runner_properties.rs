@@ -1,0 +1,87 @@
+//! Property tests for the parallel fleet runner's determinism contract:
+//! running the same seeded [`TenantPopulation`]-derived fleet at 1, 2 and 8
+//! threads must produce bit-identical per-tenant reports.
+
+use dasr_core::policy::{AutoPolicy, ScalingPolicy};
+use dasr_core::{tenant_seed, FleetRunner, RunConfig, TenantSpec};
+use dasr_fleet::TenantPopulation;
+use dasr_workloads::{CpuIoConfig, CpuIoWorkload, Trace};
+use proptest::prelude::*;
+
+/// Builds one closed-loop spec per population tenant, its request rate
+/// shaped by the tenant's CPU demand trace and its RNG stream derived from
+/// the fleet seed.
+fn fleet_from_population(
+    pop: &TenantPopulation,
+    seed: u64,
+    minutes: usize,
+) -> Vec<TenantSpec<CpuIoWorkload>> {
+    pop.tenants
+        .iter()
+        .enumerate()
+        .map(|(i, tenant)| {
+            let rps: Vec<f64> = tenant
+                .intervals
+                .iter()
+                .take(minutes)
+                .map(|v| (v.cpu_cores * 3.0).clamp(1.0, 12.0))
+                .collect();
+            TenantSpec {
+                cfg: RunConfig {
+                    seed: tenant_seed(seed, i as u64),
+                    ..RunConfig::default()
+                },
+                trace: Trace::new("population", rps),
+                workload: CpuIoWorkload::new(CpuIoConfig::small()),
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// FleetRunner output is bit-identical for 1, 2 and 8 threads on the
+    /// same seeded tenant population: latency streams, resize counts, costs
+    /// and rejection totals all match the sequential reference exactly.
+    #[test]
+    fn fleet_runner_is_thread_count_invariant(
+        seed in 0u64..1_000_000,
+        n in 2usize..6,
+    ) {
+        let pop = TenantPopulation::generate_with_len(n, 4, seed);
+        let tenants = fleet_from_population(&pop, seed, 3);
+        let run = |threads: usize| {
+            FleetRunner::new(threads).run_fleet(&tenants, |_, t| {
+                Box::new(AutoPolicy::with_knobs(t.cfg.knobs)) as Box<dyn ScalingPolicy>
+            })
+        };
+        let reference = run(1);
+        for threads in [2usize, 8] {
+            let parallel = run(threads);
+            prop_assert_eq!(parallel.reports.len(), reference.reports.len());
+            for (a, b) in parallel.reports.iter().zip(reference.reports.iter()) {
+                prop_assert_eq!(
+                    &a.all_latencies_ms, &b.all_latencies_ms,
+                    "latency streams diverge at {} threads", threads
+                );
+                prop_assert_eq!(a.resizes, b.resizes);
+                prop_assert_eq!(a.total_cost(), b.total_cost());
+                prop_assert_eq!(a.rejected_total, b.rejected_total);
+            }
+        }
+    }
+
+    /// Tenant `i` is the same tenant no matter how many tenants are
+    /// generated around it — the per-tenant seed streams are index-keyed,
+    /// not drawn from a shared sequential RNG.
+    #[test]
+    fn population_prefix_is_stable(seed in 0u64..1_000_000, n in 2usize..8) {
+        let small = TenantPopulation::generate_with_len(n, 6, seed);
+        let large = TenantPopulation::generate_with_len(n + 3, 6, seed);
+        for (a, b) in small.tenants.iter().zip(large.tenants.iter()) {
+            prop_assert_eq!(a.archetype, b.archetype);
+            prop_assert_eq!(&a.intervals, &b.intervals);
+        }
+    }
+}

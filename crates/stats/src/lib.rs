@@ -49,10 +49,13 @@ pub use ewma::Ewma;
 pub use histogram::{Cdf, Histogram};
 pub use ols::{ols_fit, OlsFit};
 pub use online::P2Quantile;
-pub use pearson::pearson;
-pub use quantile::{median, median_of_mut, percentile, percentile_interpolated};
-pub use rank::average_ranks;
+pub use pearson::{pearson, pearson_of_finite};
+pub use quantile::{
+    median, median_in, median_of_mut, percentile, percentile_in, percentile_interpolated,
+    percentile_interpolated_in,
+};
+pub use rank::{average_ranks, average_ranks_in};
 pub use robust::{mad, trimmed_mean};
-pub use spearman::spearman;
-pub use theil_sen::{theil_sen, TheilSen, Trend, TrendDirection};
+pub use spearman::{spearman, spearman_in, SpearmanScratch};
+pub use theil_sen::{theil_sen, TheilSen, Trend, TrendDirection, TrendScratch};
 pub use token_bucket::TokenBucket;

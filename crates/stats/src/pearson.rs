@@ -18,22 +18,34 @@
 /// ```
 pub fn pearson(x: &[f64], y: &[f64]) -> Option<f64> {
     assert_eq!(x.len(), y.len(), "x and y must have equal length");
+    if x.iter().zip(y.iter()).all(|(a, b)| a.is_finite() && b.is_finite()) {
+        return pearson_of_finite(x, y);
+    }
     let pts: Vec<(f64, f64)> = x
         .iter()
         .zip(y.iter())
         .filter(|(a, b)| a.is_finite() && b.is_finite())
         .map(|(a, b)| (*a, *b))
         .collect();
-    if pts.len() < 2 {
+    let (xs, ys): (Vec<f64>, Vec<f64>) = pts.into_iter().unzip();
+    pearson_of_finite(&xs, &ys)
+}
+
+/// Allocation-free Pearson correlation over slices already known to hold
+/// only finite values of equal length (e.g. rank vectors). The hot-path
+/// kernel behind [`pearson`].
+pub fn pearson_of_finite(x: &[f64], y: &[f64]) -> Option<f64> {
+    debug_assert_eq!(x.len(), y.len());
+    if x.len() < 2 {
         return None;
     }
-    let n = pts.len() as f64;
-    let mx = pts.iter().map(|p| p.0).sum::<f64>() / n;
-    let my = pts.iter().map(|p| p.1).sum::<f64>() / n;
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
     let mut sxx = 0.0;
     let mut syy = 0.0;
     let mut sxy = 0.0;
-    for (a, b) in &pts {
+    for (a, b) in x.iter().zip(y.iter()) {
         let dx = a - mx;
         let dy = b - my;
         sxx += dx * dx;

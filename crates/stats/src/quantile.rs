@@ -26,12 +26,44 @@
 /// assert_eq!(percentile(&v, 100.0), Some(50.0));
 /// ```
 pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
-    let mut sorted: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
-    if sorted.is_empty() {
+    percentile_in(values, p, &mut Vec::new())
+}
+
+/// Scratch-buffer variant of [`percentile`] for hot paths: finite values are
+/// copied into `scratch` (cleared first) and selected in place with
+/// `select_nth_unstable` — O(n) instead of a full sort, and the caller's
+/// buffer is reused across calls so steady state allocates nothing.
+pub fn percentile_in(values: &[f64], p: f64, scratch: &mut Vec<f64>) -> Option<f64> {
+    collect_finite_into(values, scratch);
+    if scratch.is_empty() {
         return None;
     }
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
-    Some(nearest_rank_sorted(&sorted, p))
+    Some(nearest_rank_select(scratch, p))
+}
+
+/// Nearest-rank percentile by in-place selection. Reorders `values`.
+///
+/// # Panics
+/// Panics if `values` is empty. All values must be finite.
+fn nearest_rank_select(values: &mut [f64], p: f64) -> f64 {
+    assert!(!values.is_empty(), "percentile of empty slice");
+    let p = p.clamp(0.0, 100.0);
+    let n = values.len();
+    let rank = if p == 0.0 {
+        1
+    } else {
+        (p / 100.0 * n as f64).ceil() as usize
+    };
+    let k = rank.clamp(1, n) - 1;
+    *values
+        .select_nth_unstable_by(k, |a, b| a.partial_cmp(b).expect("finite"))
+        .1
+}
+
+/// Clears `scratch` and fills it with the finite entries of `values`.
+fn collect_finite_into(values: &[f64], scratch: &mut Vec<f64>) {
+    scratch.clear();
+    scratch.extend(values.iter().copied().filter(|v| v.is_finite()));
 }
 
 /// Nearest-rank percentile over an already sorted slice of finite values.
@@ -61,12 +93,41 @@ pub fn nearest_rank_sorted(sorted: &[f64], p: f64) -> f64 {
 /// assert_eq!(percentile_interpolated(&v, 50.0), Some(2.5));
 /// ```
 pub fn percentile_interpolated(values: &[f64], p: f64) -> Option<f64> {
-    let mut sorted: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
-    if sorted.is_empty() {
+    percentile_interpolated_in(values, p, &mut Vec::new())
+}
+
+/// Scratch-buffer variant of [`percentile_interpolated`]; see
+/// [`percentile_in`] for the contract.
+pub fn percentile_interpolated_in(values: &[f64], p: f64, scratch: &mut Vec<f64>) -> Option<f64> {
+    collect_finite_into(values, scratch);
+    if scratch.is_empty() {
         return None;
     }
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
-    Some(interpolated_sorted(&sorted, p))
+    Some(interpolated_select(scratch, p))
+}
+
+/// Interpolated percentile by in-place selection: one `select_nth_unstable`
+/// for the lower neighbor, then the upper neighbor is the minimum of the
+/// right partition. Reorders `values`.
+///
+/// # Panics
+/// Panics if `values` is empty. All values must be finite.
+fn interpolated_select(values: &mut [f64], p: f64) -> f64 {
+    assert!(!values.is_empty(), "percentile of empty slice");
+    let p = p.clamp(0.0, 100.0);
+    let idx = (values.len() - 1) as f64 * p / 100.0;
+    let lo = idx.floor() as usize;
+    let hi = idx.ceil() as usize;
+    let (_, lo_v, right) =
+        values.select_nth_unstable_by(lo, |a, b| a.partial_cmp(b).expect("finite"));
+    let lo_v = *lo_v;
+    if lo == hi {
+        lo_v
+    } else {
+        let hi_v = right.iter().copied().fold(f64::INFINITY, f64::min);
+        let frac = idx - lo as f64;
+        lo_v * (1.0 - frac) + hi_v * frac
+    }
 }
 
 /// Interpolated percentile over an already sorted slice of finite values.
@@ -99,6 +160,12 @@ pub fn interpolated_sorted(sorted: &[f64], p: f64) -> f64 {
 /// ```
 pub fn median(values: &[f64]) -> Option<f64> {
     percentile_interpolated(values, 50.0)
+}
+
+/// Scratch-buffer variant of [`median`]; see [`percentile_in`] for the
+/// contract.
+pub fn median_in(values: &[f64], scratch: &mut Vec<f64>) -> Option<f64> {
+    percentile_interpolated_in(values, 50.0, scratch)
 }
 
 /// In-place median via partial selection — avoids the extra allocation of
@@ -212,5 +279,57 @@ mod tests {
         let v = [1.0, 2.0, 3.0];
         assert_eq!(percentile(&v, -5.0), Some(1.0));
         assert_eq!(percentile(&v, 250.0), Some(3.0));
+    }
+
+    #[test]
+    fn selection_matches_full_sort_reference() {
+        // The select_nth_unstable kernels must agree bit-for-bit with the
+        // original sort-based definition across sizes and percentiles.
+        let reference_nearest = |values: &[f64], p: f64| -> Option<f64> {
+            let mut sorted: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+            if sorted.is_empty() {
+                return None;
+            }
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            Some(nearest_rank_sorted(&sorted, p))
+        };
+        let reference_interp = |values: &[f64], p: f64| -> Option<f64> {
+            let mut sorted: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+            if sorted.is_empty() {
+                return None;
+            }
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            Some(interpolated_sorted(&sorted, p))
+        };
+        let mut scratch = Vec::new();
+        for n in [1usize, 2, 3, 7, 10, 31, 100] {
+            // Deterministic scrambled values with ties and a NaN.
+            let mut v: Vec<f64> = (0..n).map(|i| ((i * 37) % 11) as f64 - 3.0).collect();
+            if n > 4 {
+                v[2] = f64::NAN;
+            }
+            for p in [0.0, 5.0, 30.0, 50.0, 75.0, 95.0, 100.0] {
+                assert_eq!(
+                    percentile_in(&v, p, &mut scratch),
+                    reference_nearest(&v, p),
+                    "nearest n={n} p={p}"
+                );
+                assert_eq!(
+                    percentile_interpolated_in(&v, p, &mut scratch),
+                    reference_interp(&v, p),
+                    "interp n={n} p={p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_variants_reuse_buffer() {
+        let mut scratch = Vec::with_capacity(64);
+        assert_eq!(median_in(&[3.0, 1.0, 2.0], &mut scratch), Some(2.0));
+        let cap = scratch.capacity();
+        assert_eq!(median_in(&[5.0, 4.0], &mut scratch), Some(4.5));
+        assert_eq!(scratch.capacity(), cap, "no reallocation in steady state");
+        assert_eq!(median_in(&[], &mut scratch), None);
     }
 }

@@ -18,27 +18,39 @@
 /// assert_eq!(average_ranks(&[10.0, 20.0, 20.0, 40.0]), vec![1.0, 2.5, 2.5, 4.0]);
 /// ```
 pub fn average_ranks(values: &[f64]) -> Vec<f64> {
-    let mut order: Vec<usize> = (0..values.len())
-        .filter(|&i| values[i].is_finite())
-        .collect();
-    order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("finite"));
+    let mut ranks = Vec::new();
+    average_ranks_in(values, &mut Vec::new(), &mut ranks);
+    ranks
+}
 
-    let mut ranks = vec![f64::NAN; values.len()];
+/// Scratch-buffer variant of [`average_ranks`] for hot paths: `order` and
+/// `ranks` are cleared and refilled, so callers that reuse the buffers
+/// allocate nothing in steady state. `ranks` receives the result.
+pub fn average_ranks_in(values: &[f64], order: &mut Vec<u32>, ranks: &mut Vec<f64>) {
+    order.clear();
+    order.extend((0..values.len() as u32).filter(|&i| values[i as usize].is_finite()));
+    order.sort_unstable_by(|&a, &b| {
+        values[a as usize]
+            .partial_cmp(&values[b as usize])
+            .expect("finite")
+    });
+
+    ranks.clear();
+    ranks.resize(values.len(), f64::NAN);
     let mut i = 0;
     while i < order.len() {
         // Find the extent of the tie group starting at i.
         let mut j = i + 1;
-        while j < order.len() && values[order[j]] == values[order[i]] {
+        while j < order.len() && values[order[j] as usize] == values[order[i] as usize] {
             j += 1;
         }
         // Average of 1-based ranks i+1 ..= j.
         let avg = (i + 1 + j) as f64 / 2.0;
         for &idx in &order[i..j] {
-            ranks[idx] = avg;
+            ranks[idx as usize] = avg;
         }
         i = j;
     }
-    ranks
 }
 
 #[cfg(test)]

@@ -6,8 +6,8 @@
 //! in a database engine is usually non-linear, and because the rank transform
 //! bounds outlier influence.
 
-use crate::pearson::pearson;
-use crate::rank::average_ranks;
+use crate::pearson::pearson_of_finite;
+use crate::rank::average_ranks_in;
 
 /// Spearman rank correlation coefficient of paired samples.
 ///
@@ -24,20 +24,51 @@ use crate::rank::average_ranks;
 /// assert!((spearman(&x, &y).unwrap() - 1.0).abs() < 1e-12);
 /// ```
 pub fn spearman(x: &[f64], y: &[f64]) -> Option<f64> {
+    spearman_in(x, y, &mut SpearmanScratch::default())
+}
+
+/// Reusable buffers for [`spearman_in`]. Holding one of these per caller
+/// makes repeated correlations allocation-free in steady state.
+#[derive(Debug, Default, Clone)]
+pub struct SpearmanScratch {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    order: Vec<u32>,
+    rx: Vec<f64>,
+    ry: Vec<f64>,
+}
+
+/// Scratch-buffer variant of [`spearman`]: identical results, but all
+/// intermediate vectors (pair filtering, rank order, rank values) live in
+/// `scratch` and are reused across calls.
+pub fn spearman_in(x: &[f64], y: &[f64], scratch: &mut SpearmanScratch) -> Option<f64> {
     assert_eq!(x.len(), y.len(), "x and y must have equal length");
+    // All-pairs-finite fast path: rank the inputs directly, skipping the
+    // pair-filtering copy. Identical results — the filtered copy would be
+    // the input itself.
+    if x.iter().zip(y.iter()).all(|(a, b)| a.is_finite() && b.is_finite()) {
+        if x.len() < 2 {
+            return None;
+        }
+        average_ranks_in(x, &mut scratch.order, &mut scratch.rx);
+        average_ranks_in(y, &mut scratch.order, &mut scratch.ry);
+        return pearson_of_finite(&scratch.rx, &scratch.ry);
+    }
     // Drop pairs with non-finite members so both rank vectors align.
-    let (xs, ys): (Vec<f64>, Vec<f64>) = x
-        .iter()
-        .zip(y.iter())
-        .filter(|(a, b)| a.is_finite() && b.is_finite())
-        .map(|(a, b)| (*a, *b))
-        .unzip();
-    if xs.len() < 2 {
+    scratch.xs.clear();
+    scratch.ys.clear();
+    for (a, b) in x.iter().zip(y.iter()) {
+        if a.is_finite() && b.is_finite() {
+            scratch.xs.push(*a);
+            scratch.ys.push(*b);
+        }
+    }
+    if scratch.xs.len() < 2 {
         return None;
     }
-    let rx = average_ranks(&xs);
-    let ry = average_ranks(&ys);
-    pearson(&rx, &ry)
+    average_ranks_in(&scratch.xs, &mut scratch.order, &mut scratch.rx);
+    average_ranks_in(&scratch.ys, &mut scratch.order, &mut scratch.ry);
+    pearson_of_finite(&scratch.rx, &scratch.ry)
 }
 
 #[cfg(test)]

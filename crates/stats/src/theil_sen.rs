@@ -135,8 +135,49 @@ impl TheilSen {
     /// Computes the trend of `y` sampled at equally *indexed* positions
     /// `x = 0, 1, 2, …` (the common telemetry case: one sample per interval).
     pub fn trend_indexed(&self, y: &[f64]) -> Trend {
-        let xs: Vec<f64> = (0..y.len()).map(|i| i as f64).collect();
-        self.trend(&xs, y)
+        self.trend_indexed_in(y, &mut TrendScratch::default())
+    }
+
+    /// Scratch-buffer variant of [`TheilSen::trend_indexed`], the per-tenant
+    /// per-interval hot path. Because the x positions are the sample indices
+    /// of the finite entries, `dx = j - i > 0` always holds: no x vector is
+    /// materialized, no vertical-pair check runs, and the slope buffer is
+    /// reused across calls.
+    pub fn trend_indexed_in(&self, y: &[f64], scratch: &mut TrendScratch) -> Trend {
+        // All-finite fast path (every util/wait series): pairwise slopes
+        // straight off the slice, no index indirection. `d + 1 == j - i`,
+        // so the computed slopes are bit-identical to the general path.
+        if y.iter().all(|v| v.is_finite()) {
+            if y.len() < self.min_points {
+                return Trend::None;
+            }
+            scratch.slopes.clear();
+            scratch.slopes.reserve(y.len() * (y.len() - 1) / 2);
+            for (i, &yi) in y.iter().enumerate() {
+                for (d, &yj) in y[i + 1..].iter().enumerate() {
+                    scratch.slopes.push((yj - yi) / (d + 1) as f64);
+                }
+            }
+            return self.accept(&mut scratch.slopes);
+        }
+        scratch.idx.clear();
+        scratch
+            .idx
+            .extend((0..y.len() as u32).filter(|&i| y[i as usize].is_finite()));
+        if scratch.idx.len() < self.min_points {
+            return Trend::None;
+        }
+        scratch.slopes.clear();
+        scratch
+            .slopes
+            .reserve(scratch.idx.len() * (scratch.idx.len() - 1) / 2);
+        for (a, &i) in scratch.idx.iter().enumerate() {
+            let yi = y[i as usize];
+            for &j in &scratch.idx[a + 1..] {
+                scratch.slopes.push((y[j as usize] - yi) / (j - i) as f64);
+            }
+        }
+        self.accept(&mut scratch.slopes)
     }
 
     /// Computes the trend of points `(x[i], y[i])`.
@@ -149,30 +190,82 @@ impl TheilSen {
     /// # Panics
     /// Panics if `x.len() != y.len()`.
     pub fn trend(&self, x: &[f64], y: &[f64]) -> Trend {
-        assert_eq!(x.len(), y.len(), "x and y must have equal length");
-        let pts: Vec<(f64, f64)> = x
-            .iter()
-            .zip(y.iter())
-            .filter(|(a, b)| a.is_finite() && b.is_finite())
-            .map(|(a, b)| (*a, *b))
-            .collect();
-        if pts.len() < self.min_points {
+        self.trend_in(x, y, &mut TrendScratch::default())
+    }
+
+    /// Scratch-buffer variant of [`TheilSen::trend`]: identical results,
+    /// reusable intermediate buffers.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != y.len()`.
+    pub fn trend_in(&self, x: &[f64], y: &[f64], scratch: &mut TrendScratch) -> Trend {
+        if !self.collect_slopes(x, y, scratch) {
             return Trend::None;
         }
-        let mut slopes = Vec::with_capacity(pts.len() * (pts.len() - 1) / 2);
-        for i in 0..pts.len() {
-            for j in (i + 1)..pts.len() {
-                let dx = pts[j].0 - pts[i].0;
+        if scratch.slopes.is_empty() {
+            return Trend::None;
+        }
+        self.accept(&mut scratch.slopes)
+    }
+
+    /// Returns only the median pairwise slope — no sign-agreement test — or
+    /// `None` when fewer than `min_points` finite points or no valid
+    /// (distinct-x) pair exists.
+    ///
+    /// Unlike the trend entry points this never rejects a series for being
+    /// flat or noisy: a constant series yields `Some(0.0)`. (Earlier
+    /// versions routed through the agreement test, which both paid its full
+    /// cost and wrongly returned `None` for flat series.)
+    pub fn slope(&self, x: &[f64], y: &[f64]) -> Option<f64> {
+        self.slope_in(x, y, &mut TrendScratch::default())
+    }
+
+    /// Scratch-buffer variant of [`TheilSen::slope`].
+    ///
+    /// # Panics
+    /// Panics if `x.len() != y.len()`.
+    pub fn slope_in(&self, x: &[f64], y: &[f64], scratch: &mut TrendScratch) -> Option<f64> {
+        if !self.collect_slopes(x, y, scratch) {
+            return None;
+        }
+        crate::quantile::median_of_mut(&mut scratch.slopes)
+    }
+
+    /// Fills `scratch.slopes` with all valid pairwise slopes of the finite
+    /// points of `(x, y)`. Returns `false` when fewer than `min_points`
+    /// finite points exist (slopes untouched).
+    fn collect_slopes(&self, x: &[f64], y: &[f64], scratch: &mut TrendScratch) -> bool {
+        assert_eq!(x.len(), y.len(), "x and y must have equal length");
+        scratch.xs.clear();
+        scratch.ys.clear();
+        for (a, b) in x.iter().zip(y.iter()) {
+            if a.is_finite() && b.is_finite() {
+                scratch.xs.push(*a);
+                scratch.ys.push(*b);
+            }
+        }
+        let n = scratch.xs.len();
+        if n < self.min_points {
+            return false;
+        }
+        scratch.slopes.clear();
+        scratch.slopes.reserve(n * (n - 1) / 2);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dx = scratch.xs[j] - scratch.xs[i];
                 if dx != 0.0 {
-                    slopes.push((pts[j].1 - pts[i].1) / dx);
+                    scratch.slopes.push((scratch.ys[j] - scratch.ys[i]) / dx);
                 }
             }
         }
-        if slopes.is_empty() {
-            return Trend::None;
-        }
+        true
+    }
+
+    /// The paper's α-sign-agreement acceptance test over collected pairwise
+    /// slopes. Consumes `slopes` (reordered by the median selection).
+    fn accept(&self, slopes: &mut [f64]) -> Trend {
         let (mut pos, mut neg) = (0usize, 0usize);
-        for &m in &slopes {
+        for &m in slopes.iter() {
             if m > self.flat_eps {
                 pos += 1;
             } else if m < -self.flat_eps {
@@ -181,7 +274,7 @@ impl TheilSen {
         }
         let total = slopes.len() as f64;
         let slope =
-            crate::quantile::median_of_mut(&mut slopes).expect("slopes are finite and non-empty");
+            crate::quantile::median_of_mut(slopes).expect("slopes are finite and non-empty");
         let (dominant, direction) = if pos >= neg {
             (pos, TrendDirection::Increasing)
         } else {
@@ -198,15 +291,17 @@ impl TheilSen {
             Trend::None
         }
     }
+}
 
-    /// Returns only the median pairwise slope (no acceptance test), or
-    /// `None` when no slope can be formed.
-    pub fn slope(&self, x: &[f64], y: &[f64]) -> Option<f64> {
-        match self.with_alpha(0.5).trend(x, y) {
-            Trend::Significant { slope, .. } => Some(slope),
-            Trend::None => None,
-        }
-    }
+/// Reusable buffers for the scratch-based Theil–Sen entry points. One
+/// instance per caller makes repeated trend tests allocation-free once the
+/// buffers have grown to the window size.
+#[derive(Debug, Default, Clone)]
+pub struct TrendScratch {
+    slopes: Vec<f64>,
+    idx: Vec<u32>,
+    xs: Vec<f64>,
+    ys: Vec<f64>,
 }
 
 /// Convenience: median pairwise slope of `(x, y)` with default settings.

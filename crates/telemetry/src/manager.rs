@@ -9,7 +9,7 @@ use crate::thresholds::ThresholdConfig;
 use crate::window::SampleWindow;
 use dasr_containers::{ResourceKind, RESOURCE_KINDS};
 use dasr_engine::WaitClass;
-use dasr_stats::{median, spearman, TheilSen};
+use dasr_stats::{median_in, spearman_in, SpearmanScratch, TheilSen, TrendScratch};
 
 /// Telemetry-manager tuning.
 #[derive(Debug, Clone, Copy)]
@@ -56,12 +56,22 @@ impl Default for TelemetryConfig {
     }
 }
 
+/// Reusable buffers threaded through the per-interval signal computation so
+/// the steady-state hot path allocates nothing.
+#[derive(Debug, Default)]
+struct SignalScratch {
+    median: Vec<f64>,
+    spearman: SpearmanScratch,
+    trend: TrendScratch,
+}
+
 /// Transforms raw interval telemetry into [`SignalSet`]s.
 #[derive(Debug)]
 pub struct TelemetryManager {
     cfg: TelemetryConfig,
     window: SampleWindow,
     estimator: TheilSen,
+    scratch: SignalScratch,
 }
 
 impl TelemetryManager {
@@ -70,6 +80,7 @@ impl TelemetryManager {
         Self {
             window: SampleWindow::new(cfg.window_cap),
             estimator: TheilSen::new().with_alpha(cfg.trend_alpha),
+            scratch: SignalScratch::default(),
             cfg,
         }
     }
@@ -92,29 +103,36 @@ impl TelemetryManager {
 
     /// Computes the signal set from the current window.
     ///
+    /// Takes `&mut self` only for the internal scratch buffers: the window
+    /// is not modified and repeated calls return identical results.
+    ///
     /// # Panics
     /// Panics if no sample has been observed yet.
-    pub fn signals(&self) -> SignalSet {
-        let latest = self
-            .window
-            .latest()
-            .expect("signals() before any observe()");
-        let smoothing = self.cfg.smoothing_window;
-        let latency_series = self.window.latency_series(self.cfg.corr_window);
+    pub fn signals(&mut self) -> SignalSet {
+        let Self {
+            cfg,
+            window,
+            estimator,
+            scratch,
+        } = self;
+        let latest = window.latest().expect("signals() before any observe()");
+        let smoothing = cfg.smoothing_window;
+        let latency_series = window.latency_series(cfg.corr_window);
 
-        let resources: [ResourceSignals; RESOURCE_KINDS.len()] =
-            RESOURCE_KINDS.map(|kind| self.resource_signals(kind, &latency_series));
+        let resources: [ResourceSignals; RESOURCE_KINDS.len()] = RESOURCE_KINDS
+            .map(|kind| resource_signals(cfg, window, estimator, scratch, kind, latency_series));
 
-        let latency_recent = self.window.latency_series(smoothing);
-        let observed_ms = median(&latency_recent).or(latest.latency_ms);
-        let goal_ms = self.cfg.latency_goal.map(|g| g.target_ms());
+        let observed_ms =
+            median_in(window.latency_series(smoothing), &mut scratch.median).or(latest.latency_ms);
+        let goal_ms = cfg.latency_goal.map(|g| g.target_ms());
         let latency = LatencySignals {
             observed_ms,
             goal_ms,
             verdict: categorize_latency(observed_ms, goal_ms),
             trend: {
-                let series = self.window.latency_series(self.cfg.trend_window);
-                self.material_trend(self.estimator.trend_indexed(&series), &series)
+                let series = window.latency_series(cfg.trend_window);
+                let trend = estimator.trend_indexed_in(series, &mut scratch.trend);
+                material_trend(cfg, trend, series, &mut scratch.median)
             },
         };
 
@@ -122,9 +140,9 @@ impl TelemetryManager {
             interval: latest.interval,
             resources,
             latency,
-            lock_wait_pct: self.median_wait_pct(WaitClass::Lock, smoothing),
-            latch_wait_pct: self.median_wait_pct(WaitClass::Latch, smoothing),
-            other_wait_pct: self.median_wait_pct(WaitClass::Other, smoothing),
+            lock_wait_pct: median_wait_pct(window, scratch, WaitClass::Lock, smoothing),
+            latch_wait_pct: median_wait_pct(window, scratch, WaitClass::Latch, smoothing),
+            other_wait_pct: median_wait_pct(window, scratch, WaitClass::Other, smoothing),
             total_wait_ms: latest.total_wait_ms(),
             mem_used_mb: latest.mem_used_mb,
             mem_capacity_mb: latest.mem_capacity_mb,
@@ -133,66 +151,106 @@ impl TelemetryManager {
             rejected: latest.rejected,
         }
     }
+}
 
-    fn median_wait_pct(&self, class: WaitClass, n: usize) -> f64 {
-        median(&self.window.wait_pct_series(class, n)).unwrap_or(0.0)
-    }
+fn median_wait_pct(
+    window: &SampleWindow,
+    scratch: &mut SignalScratch,
+    class: WaitClass,
+    n: usize,
+) -> f64 {
+    median_in(window.wait_pct_series(class, n), &mut scratch.median).unwrap_or(0.0)
+}
 
-    /// Applies the materiality guard to an accepted trend.
-    fn material_trend(&self, trend: dasr_stats::Trend, series: &[f64]) -> dasr_stats::Trend {
-        if let dasr_stats::Trend::Significant { slope, .. } = trend {
-            let level = median(series).unwrap_or(0.0).abs();
-            let projected = slope.abs() * (series.len().saturating_sub(1)) as f64;
-            if projected < self.cfg.trend_min_relative_change * level {
-                return dasr_stats::Trend::None;
-            }
+/// Applies the materiality guard to an accepted trend.
+fn material_trend(
+    cfg: &TelemetryConfig,
+    trend: dasr_stats::Trend,
+    series: &[f64],
+    median_scratch: &mut Vec<f64>,
+) -> dasr_stats::Trend {
+    if let dasr_stats::Trend::Significant { slope, .. } = trend {
+        let level = median_in(series, median_scratch).unwrap_or(0.0).abs();
+        let projected = slope.abs() * (series.len().saturating_sub(1)) as f64;
+        if projected < cfg.trend_min_relative_change * level {
+            return dasr_stats::Trend::None;
         }
-        trend
     }
+    trend
+}
 
-    fn wait_series(&self, class: WaitClass, n: usize) -> Vec<f64> {
-        if self.cfg.waits_per_request {
-            self.window.wait_per_request_series(class, n)
-        } else {
-            self.window.wait_series(class, n)
-        }
+/// The wait-magnitude series of `class` per the configured normalization —
+/// a zero-copy window view either way.
+fn wait_series<'w>(
+    cfg: &TelemetryConfig,
+    window: &'w SampleWindow,
+    class: WaitClass,
+    n: usize,
+) -> &'w [f64] {
+    if cfg.waits_per_request {
+        window.wait_per_request_series(class, n)
+    } else {
+        window.wait_series(class, n)
     }
+}
 
-    fn resource_signals(&self, kind: ResourceKind, latency_series: &[f64]) -> ResourceSignals {
-        let class = wait_class_for(kind);
-        let smoothing = self.cfg.smoothing_window;
-        let thresholds = self.cfg.thresholds.waits_for(kind);
+fn resource_signals(
+    cfg: &TelemetryConfig,
+    window: &SampleWindow,
+    estimator: &TheilSen,
+    scratch: &mut SignalScratch,
+    kind: ResourceKind,
+    latency_series: &[f64],
+) -> ResourceSignals {
+    let class = wait_class_for(kind);
+    let smoothing = cfg.smoothing_window;
+    let thresholds = cfg.thresholds.waits_for(kind);
 
-        let util_pct = median(&self.window.util_series(kind, smoothing)).unwrap_or(0.0);
-        let wait_ms = median(&self.wait_series(class, smoothing)).unwrap_or(0.0);
-        let wait_pct = self.median_wait_pct(class, smoothing);
+    let util_pct =
+        median_in(window.util_series(kind, smoothing), &mut scratch.median).unwrap_or(0.0);
+    let wait_ms =
+        median_in(wait_series(cfg, window, class, smoothing), &mut scratch.median).unwrap_or(0.0);
+    let wait_pct = median_wait_pct(window, scratch, class, smoothing);
 
-        let util_series_t = self.window.util_series(kind, self.cfg.trend_window);
-        let util_trend =
-            self.material_trend(self.estimator.trend_indexed(&util_series_t), &util_series_t);
-        let wait_series_t = self.wait_series(class, self.cfg.trend_window);
-        let wait_trend =
-            self.material_trend(self.estimator.trend_indexed(&wait_series_t), &wait_series_t);
+    let util_series_t = window.util_series(kind, cfg.trend_window);
+    let util_trend = material_trend(
+        cfg,
+        estimator.trend_indexed_in(util_series_t, &mut scratch.trend),
+        util_series_t,
+        &mut scratch.median,
+    );
+    let wait_series_t = wait_series(cfg, window, class, cfg.trend_window);
+    let wait_trend = material_trend(
+        cfg,
+        estimator.trend_indexed_in(wait_series_t, &mut scratch.trend),
+        wait_series_t,
+        &mut scratch.median,
+    );
 
-        let n = self.cfg.corr_window;
-        let wait_series = self.wait_series(class, n);
-        let util_series = self.window.util_series(kind, n);
-        let corr_latency_wait = spearman(latency_series, &wait_series);
-        let corr_latency_util = spearman(latency_series, &util_series);
+    let n = cfg.corr_window;
+    let corr_latency_wait = spearman_in(
+        latency_series,
+        wait_series(cfg, window, class, n),
+        &mut scratch.spearman,
+    );
+    let corr_latency_util = spearman_in(
+        latency_series,
+        window.util_series(kind, n),
+        &mut scratch.spearman,
+    );
 
-        ResourceSignals {
-            kind,
-            util_pct,
-            util_level: categorize_util(&self.cfg.thresholds, util_pct),
-            wait_ms,
-            wait_level: categorize_wait_ms(thresholds, wait_ms),
-            wait_pct,
-            wait_pct_level: categorize_wait_pct(thresholds, wait_pct),
-            util_trend,
-            wait_trend,
-            corr_latency_wait,
-            corr_latency_util,
-        }
+    ResourceSignals {
+        kind,
+        util_pct,
+        util_level: categorize_util(&cfg.thresholds, util_pct),
+        wait_ms,
+        wait_level: categorize_wait_ms(thresholds, wait_ms),
+        wait_pct,
+        wait_pct_level: categorize_wait_pct(thresholds, wait_pct),
+        util_trend,
+        wait_trend,
+        corr_latency_wait,
+        corr_latency_util,
     }
 }
 
@@ -321,7 +379,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "before any observe")]
     fn signals_before_observe_panics() {
-        let m = manager(None);
+        let mut m = manager(None);
         let _ = m.signals();
     }
 }

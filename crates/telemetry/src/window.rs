@@ -1,15 +1,39 @@
 //! Bounded history of telemetry samples with series extraction.
+//!
+//! The window is stored struct-of-arrays: every derived channel the signal
+//! pipeline reads (per-resource utilization, per-wait-class magnitudes,
+//! percentages and per-request magnitudes, aggregated latency) lives in its
+//! own contiguous f64 ring, written once at [`SampleWindow::push`] time. Each
+//! ring is *mirrored* — values are written at `pos` and `pos + cap` — so the
+//! last `n` samples of any channel are always one contiguous slice and the
+//! `*_series` accessors are zero-copy views instead of freshly collected
+//! vectors. The full [`TelemetrySample`] structs are kept in a plain (single)
+//! ring for [`SampleWindow::latest`] / [`SampleWindow::iter`] /
+//! [`SampleWindow::recent`].
 
 use crate::counters::TelemetrySample;
-use dasr_containers::ResourceKind;
+use dasr_containers::{ResourceKind, RESOURCE_KINDS};
+use dasr_engine::waits::WAIT_CLASSES;
 use dasr_engine::WaitClass;
-use std::collections::VecDeque;
 
-/// A bounded FIFO window of [`TelemetrySample`]s.
+/// A bounded FIFO window of [`TelemetrySample`]s with zero-copy series
+/// extraction.
 #[derive(Debug, Clone)]
 pub struct SampleWindow {
     cap: usize,
-    samples: VecDeque<TelemetrySample>,
+    len: usize,
+    /// Next write slot in `0..cap`. During the fill phase `pos == len`.
+    pos: usize,
+    /// Struct ring (length grows to `cap`); element `i` holds the sample
+    /// written at ring slot `i`.
+    samples: Vec<TelemetrySample>,
+    /// Mirrored rings, each `2 * cap` long with `ring[i] == ring[i + cap]`
+    /// for every written slot; unwritten slots hold NaN.
+    util: [Vec<f64>; RESOURCE_KINDS.len()],
+    wait: [Vec<f64>; WAIT_CLASSES.len()],
+    wait_pct: [Vec<f64>; WAIT_CLASSES.len()],
+    wait_per_request: [Vec<f64>; WAIT_CLASSES.len()],
+    latency: Vec<f64>,
 }
 
 impl SampleWindow {
@@ -19,75 +43,126 @@ impl SampleWindow {
     /// Panics if `cap` is zero.
     pub fn new(cap: usize) -> Self {
         assert!(cap > 0, "window capacity must be positive");
+        let ring = || vec![f64::NAN; 2 * cap];
         Self {
             cap,
-            samples: VecDeque::with_capacity(cap),
+            len: 0,
+            pos: 0,
+            samples: Vec::with_capacity(cap),
+            util: std::array::from_fn(|_| ring()),
+            wait: std::array::from_fn(|_| ring()),
+            wait_pct: std::array::from_fn(|_| ring()),
+            wait_per_request: std::array::from_fn(|_| ring()),
+            latency: ring(),
         }
     }
 
     /// Appends a sample, evicting the oldest when full.
     pub fn push(&mut self, sample: TelemetrySample) {
-        if self.samples.len() == self.cap {
-            self.samples.pop_front();
+        let (p, cap) = (self.pos, self.cap);
+        let mirror = |ring: &mut [f64], v: f64| {
+            ring[p] = v;
+            ring[p + cap] = v;
+        };
+        for kind in RESOURCE_KINDS {
+            mirror(&mut self.util[kind.index()], sample.util(kind));
         }
-        self.samples.push_back(sample);
+        // Plain division (not multiply-by-reciprocal) keeps the stored
+        // values bit-identical to computing `wait / completed` on demand.
+        let completed = sample.completed.max(1) as f64;
+        for class in WAIT_CLASSES {
+            let w = sample.wait(class);
+            mirror(&mut self.wait[class.index()], w);
+            mirror(&mut self.wait_pct[class.index()], sample.wait_pct(class));
+            mirror(&mut self.wait_per_request[class.index()], w / completed);
+        }
+        mirror(&mut self.latency, sample.latency_ms.unwrap_or(f64::NAN));
+
+        if self.samples.len() < cap {
+            debug_assert_eq!(p, self.samples.len());
+            self.samples.push(sample);
+        } else {
+            self.samples[p] = sample;
+        }
+        self.pos = (p + 1) % cap;
+        self.len = (self.len + 1).min(cap);
     }
 
     /// Number of samples held.
     pub fn len(&self) -> usize {
-        self.samples.len()
+        self.len
     }
 
     /// True when no samples are held.
     pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
+        self.len == 0
+    }
+
+    /// Maximum number of samples retained before eviction starts.
+    pub fn capacity(&self) -> usize {
+        self.cap
     }
 
     /// The most recent sample.
     pub fn latest(&self) -> Option<&TelemetrySample> {
-        self.samples.back()
+        if self.len == 0 {
+            None
+        } else {
+            Some(&self.samples[(self.pos + self.cap - 1) % self.cap])
+        }
     }
 
     /// Iterates oldest → newest.
     pub fn iter(&self) -> impl Iterator<Item = &TelemetrySample> {
-        self.samples.iter()
+        self.recent(self.len)
     }
 
     /// The last `n` samples (oldest → newest), fewer if not enough history.
+    /// Zero-cost: yields from at most two ring slices, no allocation.
     pub fn recent(&self, n: usize) -> impl Iterator<Item = &TelemetrySample> {
-        let skip = self.samples.len().saturating_sub(n);
-        self.samples.iter().skip(skip)
+        let k = n.min(self.len);
+        let start = (self.pos + self.cap - k) % self.cap;
+        let (head, tail) = if start + k <= self.samples.len() {
+            (&self.samples[start..start + k], &self.samples[..0])
+        } else {
+            let split = self.samples.len() - start;
+            (&self.samples[start..], &self.samples[..k - split])
+        };
+        head.iter().chain(tail.iter())
+    }
+
+    /// Contiguous view of the last `min(n, len)` entries of a mirrored ring.
+    fn series_tail<'a>(&self, ring: &'a [f64], n: usize) -> &'a [f64] {
+        let k = n.min(self.len);
+        let end = self.pos + self.cap;
+        &ring[end - k..end]
     }
 
     /// Utilization series of one resource over the last `n` samples.
-    pub fn util_series(&self, kind: ResourceKind, n: usize) -> Vec<f64> {
-        self.recent(n).map(|s| s.util(kind)).collect()
+    pub fn util_series(&self, kind: ResourceKind, n: usize) -> &[f64] {
+        self.series_tail(&self.util[kind.index()], n)
     }
 
     /// Wait-ms series of one class over the last `n` samples.
-    pub fn wait_series(&self, class: WaitClass, n: usize) -> Vec<f64> {
-        self.recent(n).map(|s| s.wait(class)).collect()
+    pub fn wait_series(&self, class: WaitClass, n: usize) -> &[f64] {
+        self.series_tail(&self.wait[class.index()], n)
     }
 
     /// Wait-percentage series of one class over the last `n` samples.
-    pub fn wait_pct_series(&self, class: WaitClass, n: usize) -> Vec<f64> {
-        self.recent(n).map(|s| s.wait_pct(class)).collect()
+    pub fn wait_pct_series(&self, class: WaitClass, n: usize) -> &[f64] {
+        self.series_tail(&self.wait_pct[class.index()], n)
     }
 
     /// Wait-ms-per-completed-request series of one class over the last `n`
     /// samples (throughput-invariant magnitudes; idle intervals yield 0).
-    pub fn wait_per_request_series(&self, class: WaitClass, n: usize) -> Vec<f64> {
-        self.recent(n)
-            .map(|s| s.wait(class) / (s.completed.max(1) as f64))
-            .collect()
+    pub fn wait_per_request_series(&self, class: WaitClass, n: usize) -> &[f64] {
+        self.series_tail(&self.wait_per_request[class.index()], n)
     }
 
     /// Aggregated-latency series over the last `n` samples (idle intervals
     /// yield `NAN`, which the robust statistics ignore).
-    pub fn latency_series(&self, n: usize) -> Vec<f64> {
-        self.recent(n)
-            .map(|s| s.latency_ms.unwrap_or(f64::NAN))
-            .collect()
+    pub fn latency_series(&self, n: usize) -> &[f64] {
+        self.series_tail(&self.latency, n)
     }
 }
 
@@ -167,5 +242,50 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_cap_panics() {
         let _ = SampleWindow::new(0);
+    }
+
+    #[test]
+    fn recent_and_iter_across_wrap() {
+        let mut w = SampleWindow::new(4);
+        for i in 0..11 {
+            w.push(sample(i, i as f64, 0.0, None));
+        }
+        let intervals: Vec<u64> = w.iter().map(|s| s.interval).collect();
+        assert_eq!(intervals, vec![7, 8, 9, 10]);
+        let last2: Vec<u64> = w.recent(2).map(|s| s.interval).collect();
+        assert_eq!(last2, vec![9, 10]);
+        assert_eq!(w.recent(0).count(), 0);
+        assert_eq!(w.capacity(), 4);
+    }
+
+    #[test]
+    fn series_are_contiguous_after_many_wraps() {
+        // Push far past capacity at every alignment and check every tail
+        // length against the per-sample accessors.
+        for cap in [1usize, 2, 3, 5, 8] {
+            let mut w = SampleWindow::new(cap);
+            for i in 0..(3 * cap as u64 + 1) {
+                w.push(sample(i, i as f64 * 1.5, i as f64 * 2.0, Some(i as f64)));
+                for n in 0..=cap + 2 {
+                    let expect: Vec<f64> =
+                        w.recent(n).map(|s| s.util(ResourceKind::Cpu)).collect();
+                    assert_eq!(w.util_series(ResourceKind::Cpu, n), &expect[..]);
+                    let expect: Vec<f64> = w.recent(n).map(|s| s.wait(WaitClass::Cpu)).collect();
+                    assert_eq!(w.wait_series(WaitClass::Cpu, n), &expect[..]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wait_per_request_uses_completed_floor() {
+        let mut w = SampleWindow::new(2);
+        let mut s = sample(0, 0.0, 50.0, None);
+        s.completed = 0; // idle interval: divide by max(1)
+        w.push(s);
+        let mut s = sample(1, 0.0, 60.0, None);
+        s.completed = 4;
+        w.push(s);
+        assert_eq!(w.wait_per_request_series(WaitClass::Cpu, 2), vec![50.0, 15.0]);
     }
 }

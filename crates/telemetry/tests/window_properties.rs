@@ -1,0 +1,169 @@
+//! Property test: the struct-of-arrays ring-buffer [`SampleWindow`] is
+//! observationally identical — sample-for-sample, bit-for-bit — to the
+//! VecDeque implementation this repo shipped with. The reference below *is*
+//! that seed implementation: a `VecDeque<TelemetrySample>` whose series
+//! accessors collect fresh vectors from the per-sample accessors.
+
+use dasr_containers::{ResourceKind, RESOURCE_KINDS};
+use dasr_engine::{WaitClass, WAIT_CLASSES};
+use dasr_telemetry::window::SampleWindow;
+use dasr_telemetry::TelemetrySample;
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+/// The seed's AoS window, kept verbatim as the behavioral oracle.
+struct NaiveWindow {
+    cap: usize,
+    samples: VecDeque<TelemetrySample>,
+}
+
+impl NaiveWindow {
+    fn new(cap: usize) -> Self {
+        Self {
+            cap,
+            samples: VecDeque::with_capacity(cap),
+        }
+    }
+
+    fn push(&mut self, sample: TelemetrySample) {
+        if self.samples.len() == self.cap {
+            self.samples.pop_front();
+        }
+        self.samples.push_back(sample);
+    }
+
+    fn recent(&self, n: usize) -> impl Iterator<Item = &TelemetrySample> {
+        let skip = self.samples.len().saturating_sub(n);
+        self.samples.iter().skip(skip)
+    }
+
+    fn util_series(&self, kind: ResourceKind, n: usize) -> Vec<f64> {
+        self.recent(n).map(|s| s.util(kind)).collect()
+    }
+
+    fn wait_series(&self, class: WaitClass, n: usize) -> Vec<f64> {
+        self.recent(n).map(|s| s.wait(class)).collect()
+    }
+
+    fn wait_pct_series(&self, class: WaitClass, n: usize) -> Vec<f64> {
+        self.recent(n).map(|s| s.wait_pct(class)).collect()
+    }
+
+    fn wait_per_request_series(&self, class: WaitClass, n: usize) -> Vec<f64> {
+        self.recent(n)
+            .map(|s| s.wait(class) / (s.completed.max(1) as f64))
+            .collect()
+    }
+
+    fn latency_series(&self, n: usize) -> Vec<f64> {
+        self.recent(n)
+            .map(|s| s.latency_ms.unwrap_or(f64::NAN))
+            .collect()
+    }
+}
+
+fn build_sample(
+    interval: u64,
+    util: f64,
+    wait: f64,
+    completed: u64,
+    has_latency: bool,
+) -> TelemetrySample {
+    let mut util_pct = [0.0; 4];
+    for (i, slot) in util_pct.iter_mut().enumerate() {
+        *slot = (util + 13.7 * i as f64) % 100.0;
+    }
+    let mut wait_ms = [0.0; 7];
+    for (i, slot) in wait_ms.iter_mut().enumerate() {
+        *slot = wait * (1.0 + i as f64 * 0.31);
+    }
+    TelemetrySample {
+        interval,
+        util_pct,
+        wait_ms,
+        latency_ms: has_latency.then_some(10.0 + util),
+        avg_latency_ms: has_latency.then_some(5.0 + util),
+        completed,
+        arrivals: completed,
+        rejected: 0,
+        mem_used_mb: util * 10.0,
+        mem_capacity_mb: 2048.0,
+        disk_reads_per_sec: wait * 0.1,
+    }
+}
+
+/// Bit patterns of a float slice — equality that treats NaN == NaN, so the
+/// comparison is truly bit-for-bit.
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// After every push, every series accessor of the SoA window matches the
+    /// VecDeque reference exactly, for tail lengths below, at, and above the
+    /// capacity — including NaN slots from idle (no-latency) intervals and
+    /// the completed==0 division floor.
+    #[test]
+    fn soa_window_matches_vecdeque_reference(
+        cap in 1usize..12,
+        pushes in prop::collection::vec(
+            (0.0..200.0f64, 0.0..5.0e3f64, 0u64..6, proptest::prelude::any::<bool>()),
+            1..40,
+        ),
+    ) {
+        let mut soa = SampleWindow::new(cap);
+        let mut reference = NaiveWindow::new(cap);
+        for (i, &(util, wait, completed, has_latency)) in pushes.iter().enumerate() {
+            let s = build_sample(i as u64, util, wait, completed, has_latency);
+            soa.push(s.clone());
+            reference.push(s);
+
+            prop_assert_eq!(soa.len(), reference.samples.len());
+            prop_assert_eq!(soa.capacity(), cap);
+            prop_assert_eq!(
+                soa.latest().map(|s| s.interval),
+                reference.samples.back().map(|s| s.interval)
+            );
+            let got: Vec<u64> = soa.iter().map(|s| s.interval).collect();
+            let want: Vec<u64> = reference.samples.iter().map(|s| s.interval).collect();
+            prop_assert_eq!(got, want);
+
+            for n in [0, 1, cap / 2, cap, cap + 3] {
+                let got: Vec<u64> = soa.recent(n).map(|s| s.interval).collect();
+                let want: Vec<u64> = reference.recent(n).map(|s| s.interval).collect();
+                prop_assert_eq!(got, want, "recent({}) diverges", n);
+                for kind in RESOURCE_KINDS {
+                    prop_assert_eq!(
+                        bits(soa.util_series(kind, n)),
+                        bits(&reference.util_series(kind, n)),
+                        "util {:?} n={}", kind, n
+                    );
+                }
+                for class in WAIT_CLASSES {
+                    prop_assert_eq!(
+                        bits(soa.wait_series(class, n)),
+                        bits(&reference.wait_series(class, n)),
+                        "wait {:?} n={}", class, n
+                    );
+                    prop_assert_eq!(
+                        bits(soa.wait_pct_series(class, n)),
+                        bits(&reference.wait_pct_series(class, n)),
+                        "wait_pct {:?} n={}", class, n
+                    );
+                    prop_assert_eq!(
+                        bits(soa.wait_per_request_series(class, n)),
+                        bits(&reference.wait_per_request_series(class, n)),
+                        "wait_per_request {:?} n={}", class, n
+                    );
+                }
+                prop_assert_eq!(
+                    bits(soa.latency_series(n)),
+                    bits(&reference.latency_series(n)),
+                    "latency n={}", n
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,323 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API subset the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `Bencher::iter`, `black_box`, and
+//! the `criterion_group!`/`criterion_main!` macros — with a simple but
+//! honest measurement loop: warm-up, iteration-count calibration to a
+//! target measurement time, then a timed run reporting ns/iteration.
+//!
+//! Extras for the repo's perf-trajectory tooling:
+//! - `cargo bench -- --test` runs every benchmark once (CI smoke);
+//! - when `DASR_BENCH_JSON` names a file, results are appended to it as
+//!   JSON lines `{"bench": ..., "ns_per_iter": ..., "iters": ...}` so the
+//!   bench harness can emit `BENCH_signals.json`.
+
+#![forbid(unsafe_code)]
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One benchmark's measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark id (`group/name` when inside a group).
+    pub id: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Iterations timed in the measurement phase.
+    pub iters: u64,
+}
+
+/// Benchmark driver.
+pub struct Criterion {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    test_mode: bool,
+    filter: Option<String>,
+    results: Vec<Measurement>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let test_mode = args.iter().any(|a| a == "--test");
+        // First non-flag argument filters benchmark ids by substring, like
+        // real criterion/libtest.
+        let filter = args.iter().find(|a| !a.starts_with("--")).cloned();
+        Self {
+            measurement_time: Duration::from_millis(400),
+            warm_up_time: Duration::from_millis(80),
+            test_mode,
+            filter,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the target measurement time per benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Sets the warm-up time per benchmark.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Sets the sample count (accepted for API compatibility; the adaptive
+    /// loop ignores it).
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher {
+            test_mode: self.test_mode,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            result: None,
+        };
+        f(&mut b);
+        if let Some((ns_per_iter, iters)) = b.result {
+            if self.test_mode {
+                println!("test {id} ... ok");
+            } else {
+                println!("{id:<50} {:>14}/iter (x{iters})", format_ns(ns_per_iter));
+            }
+            self.results.push(Measurement {
+                id,
+                ns_per_iter,
+                iters,
+            });
+        }
+        self
+    }
+
+    /// Opens a named benchmark group; ids become `group/name`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// All measurements recorded so far.
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.results
+    }
+
+    /// Appends results as JSON lines to `$DASR_BENCH_JSON` (if set).
+    pub fn emit_json(&self) {
+        let Ok(path) = std::env::var("DASR_BENCH_JSON") else {
+            return;
+        };
+        if path.is_empty() {
+            return;
+        }
+        let Ok(mut file) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        else {
+            eprintln!("warning: cannot open DASR_BENCH_JSON={path}");
+            return;
+        };
+        for m in &self.results {
+            let _ = writeln!(
+                file,
+                "{{\"bench\":\"{}\",\"ns_per_iter\":{:.1},\"iters\":{}}}",
+                m.id.replace('"', "'"),
+                m.ns_per_iter,
+                m.iters
+            );
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1.0e9 {
+        format!("{:.2} s", ns / 1.0e9)
+    } else if ns >= 1.0e6 {
+        format!("{:.2} ms", ns / 1.0e6)
+    } else if ns >= 1.0e3 {
+        format!("{:.2} us", ns / 1.0e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// A named benchmark group.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        self.criterion.bench_function(full, f);
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Finishes the group (no-op; results live on the parent `Criterion`).
+    pub fn finish(self) {}
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    test_mode: bool,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    result: Option<(f64, u64)>,
+}
+
+impl Bencher {
+    /// Times `routine`, storing mean ns/iteration.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        if self.test_mode {
+            black_box(routine());
+            self.result = Some((0.0, 1));
+            return;
+        }
+        // Warm-up and calibration: run until warm_up_time has elapsed,
+        // counting iterations to estimate per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_iters >= 1 << 24 {
+                break;
+            }
+        }
+        let est_per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let target = self
+            .measurement_time
+            .as_secs_f64()
+            .max(est_per_iter); // at least one iteration
+        let iters = ((target / est_per_iter).round() as u64).clamp(1, 1 << 28);
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        self.result = Some((elapsed * 1.0e9 / iters as f64, iters));
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+            c.emit_json();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher {
+            test_mode: false,
+            warm_up_time: Duration::from_millis(1),
+            measurement_time: Duration::from_millis(2),
+            result: None,
+        };
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..100u64 {
+                acc = acc.wrapping_add(black_box(i));
+            }
+            acc
+        });
+        let (ns, iters) = b.result.unwrap();
+        assert!(ns > 0.0 && iters >= 1);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut b = Bencher {
+            test_mode: true,
+            warm_up_time: Duration::from_millis(1),
+            measurement_time: Duration::from_millis(1),
+            result: None,
+        };
+        let mut count = 0;
+        b.iter(|| count += 1);
+        assert_eq!(count, 1);
+        assert_eq!(b.result.unwrap().1, 1);
+    }
+
+    #[test]
+    fn group_prefixes_ids() {
+        let mut c = Criterion {
+            measurement_time: Duration::from_millis(1),
+            warm_up_time: Duration::from_millis(1),
+            test_mode: true,
+            filter: None,
+            results: Vec::new(),
+        };
+        let mut g = c.benchmark_group("grp");
+        g.bench_function("x", |b| b.iter(|| 1 + 1));
+        g.finish();
+        assert_eq!(c.measurements()[0].id, "grp/x");
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            measurement_time: Duration::from_millis(1),
+            warm_up_time: Duration::from_millis(1),
+            test_mode: true,
+            filter: Some("keep".into()),
+            results: Vec::new(),
+        };
+        c.bench_function("keep_this", |b| b.iter(|| 1));
+        c.bench_function("drop_this", |b| b.iter(|| 1));
+        assert_eq!(c.measurements().len(), 1);
+    }
+}
