@@ -42,7 +42,10 @@ fn run(tenants: &[TenantSpec<CpuIoWorkload>], threads: usize) -> (FleetReport, f
 fn assert_identical(a: &FleetReport, b: &FleetReport) {
     assert_eq!(a.reports.len(), b.reports.len());
     for (x, y) in a.reports.iter().zip(b.reports.iter()) {
-        assert_eq!(x.all_latencies_ms, y.all_latencies_ms, "latency streams diverge");
+        assert_eq!(
+            x.all_latencies_ms, y.all_latencies_ms,
+            "latency streams diverge"
+        );
         assert_eq!(x.resizes, y.resizes);
         assert_eq!(x.total_cost(), y.total_cost());
     }
@@ -102,6 +105,8 @@ fn main() {
     }
     println!("  results bit-identical across all thread counts ✓");
     println!("  {}", reference.summary());
+    println!("  fleet-wide rule fires (ranked):");
+    print!("{}", reference.rule_histogram());
     emit_json(&results);
     if test_mode {
         println!("test fleet_parallel_scaling ... ok");

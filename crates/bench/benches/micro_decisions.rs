@@ -1,0 +1,172 @@
+//! Criterion micro-benchmarks for the declarative decision engine: the §4
+//! demand tables and the §6 arbitration table over pre-generated signal
+//! sets, plus decision-trace JSONL serialization. A fleet control plane
+//! re-evaluates these tables for every tenant every interval, so they must
+//! stay in the nanosecond range.
+//!
+//! With `DASR_BENCH_JSON` set, the vendored criterion shim appends one
+//! `{"bench": …, "ns_per_iter": …}` line per benchmark — CI publishes them
+//! as `BENCH_decisions.json`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dasr_containers::{ResourceKind, RESOURCE_KINDS};
+use dasr_core::rules::{EvalCtx, Fact, FactSet, ARBITRATION, HIGH_DEMAND, LOW_DEMAND};
+use dasr_core::{DecisionTrace, EstimatorConfig};
+use dasr_stats::{Trend, TrendDirection};
+use dasr_telemetry::categorize::{LatencyVerdict, UtilLevel, WaitPctLevel, WaitTimeLevel};
+use dasr_telemetry::signals::{LatencySignals, ResourceSignals};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SETS: usize = 10_000;
+
+fn random_trend(rng: &mut StdRng) -> Trend {
+    if rng.gen_bool(0.5) {
+        Trend::None
+    } else {
+        Trend::Significant {
+            direction: if rng.gen_bool(0.7) {
+                TrendDirection::Increasing
+            } else {
+                TrendDirection::Decreasing
+            },
+            slope: rng.gen_range(0.01..5.0),
+            agreement: rng.gen_range(0.5..1.0),
+        }
+    }
+}
+
+fn random_resource(rng: &mut StdRng, kind: ResourceKind) -> ResourceSignals {
+    ResourceSignals {
+        kind,
+        util_pct: rng.gen_range(0.0..100.0),
+        util_level: match rng.gen_range(0..3u32) {
+            0 => UtilLevel::Low,
+            1 => UtilLevel::Medium,
+            _ => UtilLevel::High,
+        },
+        wait_ms: rng.gen_range(0.0..10_000.0),
+        wait_level: match rng.gen_range(0..3u32) {
+            0 => WaitTimeLevel::Low,
+            1 => WaitTimeLevel::Medium,
+            _ => WaitTimeLevel::High,
+        },
+        wait_pct: rng.gen_range(0.0..100.0),
+        wait_pct_level: if rng.gen_bool(0.5) {
+            WaitPctLevel::Significant
+        } else {
+            WaitPctLevel::NotSignificant
+        },
+        util_trend: random_trend(rng),
+        wait_trend: random_trend(rng),
+        corr_latency_wait: rng.gen_bool(0.5).then(|| rng.gen_range(-1.0..1.0)),
+        corr_latency_util: None,
+    }
+}
+
+/// 10 000 (resources × latency) signal sets with levels sampled across the
+/// whole category lattice — every table row is reachable.
+fn signal_sets() -> Vec<([ResourceSignals; 4], LatencySignals)> {
+    let mut rng = StdRng::seed_from_u64(0xDEC1_5105);
+    (0..SETS)
+        .map(|_| {
+            let resources = std::array::from_fn(|i| random_resource(&mut rng, RESOURCE_KINDS[i]));
+            let latency = LatencySignals {
+                observed_ms: Some(rng.gen_range(1.0..2_000.0)),
+                goal_ms: Some(100.0),
+                verdict: if rng.gen_bool(0.4) {
+                    LatencyVerdict::Bad
+                } else {
+                    LatencyVerdict::Good
+                },
+                trend: random_trend(&mut rng),
+            };
+            (resources, latency)
+        })
+        .collect()
+}
+
+fn random_facts(rng: &mut StdRng) -> FactSet {
+    [
+        Fact::HasGoal,
+        Fact::LatencyAttention,
+        Fact::Emergency,
+        Fact::UpBlocked,
+        Fact::DownBlocked,
+        Fact::DemandUp,
+        Fact::DemandDown,
+        Fact::WantsDown,
+        Fact::ScaleUpGate,
+        Fact::LockShareHigh,
+        Fact::HeadroomOk,
+        Fact::BalloonEnabled,
+    ]
+    .into_iter()
+    .fold(FactSet::new(), |set, fact| {
+        set.with(fact, rng.gen_bool(0.5))
+    })
+}
+
+fn bench_decisions(c: &mut Criterion) {
+    let cfg = EstimatorConfig::default();
+    let sets = signal_sets();
+
+    // The full §4 pass one control plane performs per tenant per interval:
+    // HIGH_DEMAND for all four resources, LOW_DEMAND for the non-memory
+    // ones that stayed quiet. Reported per 10k-set sweep.
+    c.bench_function("rule_tables_10k_signal_sets", |b| {
+        b.iter(|| {
+            let mut fired = 0usize;
+            for (resources, latency) in &sets {
+                for sig in resources {
+                    let ctx = EvalCtx::demand(&cfg, sig, latency);
+                    let hit = HIGH_DEMAND.evaluate(&ctx).fired.or_else(|| {
+                        if sig.kind == ResourceKind::Memory {
+                            None
+                        } else {
+                            LOW_DEMAND.evaluate(&ctx).fired
+                        }
+                    });
+                    fired += usize::from(hit.is_some());
+                }
+            }
+            black_box(fired)
+        })
+    });
+
+    c.bench_function("arbitration_10k_fact_sets", |b| {
+        let mut rng = StdRng::seed_from_u64(0xFAC7_5E75);
+        let facts: Vec<FactSet> = (0..SETS).map(|_| random_facts(&mut rng)).collect();
+        b.iter(|| {
+            let mut fired = 0usize;
+            for &f in &facts {
+                let eval = ARBITRATION.evaluate(&EvalCtx::arbitration(&cfg, f));
+                fired += usize::from(eval.fired.is_some());
+            }
+            black_box(fired)
+        })
+    });
+
+    c.bench_function("trace_to_jsonl", |b| {
+        let (resources, latency) = &sets[0];
+        let signals = dasr_telemetry::signals::SignalSet {
+            interval: 7,
+            resources: *resources,
+            latency: *latency,
+            lock_wait_pct: 12.0,
+            latch_wait_pct: 1.0,
+            other_wait_pct: 2.0,
+            total_wait_ms: 900.0,
+            mem_used_mb: 3_000.0,
+            mem_capacity_mb: 3_482.0,
+            disk_reads_per_sec: 50.0,
+            completed: 5_000,
+            rejected: 0,
+        };
+        let trace = DecisionTrace::from_signals(&signals, dasr_containers::ContainerId(2));
+        b.iter(|| black_box(trace.to_json_line()))
+    });
+}
+
+criterion_group!(benches, bench_decisions);
+criterion_main!(benches);

@@ -172,4 +172,6 @@ pub fn print_comparison(title: &str, goal_desc: &str, result: &ComparisonResult)
             result.cost_ratio_vs_auto(policy)
         );
     }
+    println!("auto rule fires (§4 demand + §6 arbitration, ranked):");
+    print!("{}", result.report("auto").rule_histogram());
 }

@@ -12,9 +12,9 @@ pub mod rules;
 
 pub use memory::{BalloonConfig, BalloonController};
 
+use crate::rules::{EvalCtx, RuleFire, RuleId, HIGH_DEMAND, LOW_DEMAND};
 use dasr_containers::{ResourceKind, RESOURCE_KINDS};
 use dasr_telemetry::SignalSet;
-use rules::{high_demand, low_demand};
 
 /// Estimator tuning.
 #[derive(Debug, Clone, Copy)]
@@ -50,9 +50,22 @@ pub struct ResourceDemand {
     pub kind: ResourceKind,
     /// Container-rung step: positive = scale up, negative = scale down.
     pub step: i8,
-    /// The rule that fired, in the paper's categorical vocabulary (`None`
-    /// when no rule fired).
-    pub rule: Option<String>,
+    /// The rule that fired (`None` when no rule fired). The explanation
+    /// text is rendered from this on demand — see
+    /// [`ResourceDemand::rule_text`].
+    pub rule: Option<RuleFire>,
+    /// Every rule evaluated for this dimension, in table order (high-demand
+    /// table first, then — for non-memory dimensions without a high fire —
+    /// the low-demand table).
+    pub evaluated: Vec<RuleId>,
+}
+
+impl ResourceDemand {
+    /// The fired rule's explanation in the paper's categorical vocabulary,
+    /// rendered from the structured [`RuleFire`].
+    pub fn rule_text(&self) -> Option<String> {
+        self.rule.as_ref().map(RuleFire::render)
+    }
 }
 
 /// The estimator's output for one decision point.
@@ -78,40 +91,45 @@ impl DemandEstimate {
         self.demands.iter().any(|d| d.step < 0)
     }
 
+    /// Maps every dimension's demand through `f`, in `RESOURCE_KINDS`
+    /// order — the single projection all the step/resource views below are
+    /// built on.
+    pub fn per_resource<T>(
+        &self,
+        mut f: impl FnMut(&ResourceDemand) -> T,
+    ) -> [T; RESOURCE_KINDS.len()] {
+        std::array::from_fn(|i| f(&self.demands[i]))
+    }
+
+    /// The raw steps, one per dimension.
+    pub fn steps(&self) -> [i8; RESOURCE_KINDS.len()] {
+        self.per_resource(|d| d.step)
+    }
+
     /// The positive steps only (negatives clamped to 0) — used when the
     /// latency gate only permits scaling up.
     pub fn up_steps(&self) -> [i8; RESOURCE_KINDS.len()] {
-        let mut out = [0; RESOURCE_KINDS.len()];
-        for (o, d) in out.iter_mut().zip(self.demands.iter()) {
-            *o = d.step.max(0);
-        }
-        out
+        self.per_resource(|d| d.step.max(0))
     }
 
     /// The negative steps only (positives clamped to 0).
     pub fn down_steps(&self) -> [i8; RESOURCE_KINDS.len()] {
-        let mut out = [0; RESOURCE_KINDS.len()];
-        for (o, d) in out.iter_mut().zip(self.demands.iter()) {
-            *o = d.step.min(0);
-        }
-        out
+        self.per_resource(|d| d.step.min(0))
     }
 
     /// Resources with positive demand.
     pub fn up_resources(&self) -> Vec<ResourceKind> {
-        self.demands
-            .iter()
-            .filter(|d| d.step > 0)
-            .map(|d| d.kind)
+        self.per_resource(|d| (d.step > 0).then_some(d.kind))
+            .into_iter()
+            .flatten()
             .collect()
     }
 
     /// Resources with negative demand.
     pub fn down_resources(&self) -> Vec<ResourceKind> {
-        self.demands
-            .iter()
-            .filter(|d| d.step < 0)
-            .map(|d| d.kind)
+        self.per_resource(|d| (d.step < 0).then_some(d.kind))
+            .into_iter()
+            .flatten()
             .collect()
     }
 
@@ -142,40 +160,29 @@ impl DemandEstimator {
         &self.cfg
     }
 
-    /// Estimates per-resource demand from the signal set.
+    /// Estimates per-resource demand from the signal set by evaluating the
+    /// declarative rule tables ([`HIGH_DEMAND`], then [`LOW_DEMAND`])
+    /// first-match-wins per dimension.
     ///
     /// Memory never receives a negative step here: low memory demand cannot
     /// be inferred from utilization and waits alone (§4.3) and is instead
-    /// confirmed by the [`BalloonController`].
+    /// confirmed by the [`BalloonController`]. The low-demand table is
+    /// therefore skipped for the memory dimension.
     pub fn estimate(&self, signals: &SignalSet) -> DemandEstimate {
         let demands = RESOURCE_KINDS.map(|kind| {
             let sig = signals.resource(kind);
-            if let Some((step, rule)) = high_demand(&self.cfg, sig, &signals.latency) {
-                ResourceDemand {
-                    kind,
-                    step,
-                    rule: Some(rule),
-                }
-            } else if kind != ResourceKind::Memory {
-                if let Some((step, rule)) = low_demand(&self.cfg, sig) {
-                    ResourceDemand {
-                        kind,
-                        step,
-                        rule: Some(rule),
-                    }
-                } else {
-                    ResourceDemand {
-                        kind,
-                        step: 0,
-                        rule: None,
-                    }
-                }
-            } else {
-                ResourceDemand {
-                    kind,
-                    step: 0,
-                    rule: None,
-                }
+            let ctx = EvalCtx::demand(&self.cfg, sig, &signals.latency);
+            let mut eval = HIGH_DEMAND.evaluate(&ctx);
+            if eval.fired.is_none() && kind != ResourceKind::Memory {
+                let low = LOW_DEMAND.evaluate(&ctx);
+                eval.evaluated.extend(low.evaluated);
+                eval.fired = low.fired;
+            }
+            ResourceDemand {
+                kind,
+                step: eval.fired.map_or(0, |f| f.step),
+                rule: eval.fired,
+                evaluated: eval.evaluated,
             }
         });
         DemandEstimate { demands }
@@ -325,8 +332,7 @@ mod tests {
         assert_eq!(e.demand(ResourceKind::Cpu).step, 1);
         assert!(e
             .demand(ResourceKind::Cpu)
-            .rule
-            .as_deref()
+            .rule_text()
             .unwrap()
             .contains("HIGH"));
         assert_eq!(e.demand(ResourceKind::DiskIo).step, 0);
@@ -399,8 +405,7 @@ mod tests {
         assert_eq!(e.demand(ResourceKind::LogIo).step, 1);
         assert!(e
             .demand(ResourceKind::LogIo)
-            .rule
-            .as_deref()
+            .rule_text()
             .unwrap()
             .contains("correlat"));
     }

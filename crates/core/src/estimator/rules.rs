@@ -19,6 +19,14 @@
 //!
 //! Low-demand rules test the other end of the spectrum: LOW utilization,
 //! LOW waits, and *no* increasing trend.
+//!
+//! **Legacy oracle.** The production path no longer calls these if-chains:
+//! [`DemandEstimator::estimate`](crate::estimator::DemandEstimator::estimate)
+//! evaluates the declarative tables in [`crate::rules`] instead. This module
+//! is kept verbatim as the reference implementation the decision-equivalence
+//! test (`crates/core/tests/decision_equivalence.rs`) pins the tables
+//! against, bit-for-bit. Change the rules in `crate::rules`, then mirror the
+//! change here so the oracle stays meaningful.
 
 use crate::estimator::EstimatorConfig;
 use dasr_telemetry::categorize::{LatencyVerdict, UtilLevel, WaitPctLevel, WaitTimeLevel};

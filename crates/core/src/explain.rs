@@ -5,18 +5,29 @@
 //! explaining the path the model traversed when recommending a container
 //! size."
 
+use crate::rules::RuleFire;
 use dasr_containers::ResourceKind;
 use std::fmt;
 
 /// Why the auto-scaler did (or did not) act.
+///
+/// Every variant is structured data; the prose is produced by the
+/// `Display` impl, so explanation text is always *rendered from* the
+/// decision trace rather than stored in it.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Explanation {
     /// Scale-up: a resource bottleneck was detected.
     ScaleUpBottleneck {
         /// The bottlenecked resource.
         resource: ResourceKind,
-        /// The rule that fired, in the paper's categorical vocabulary.
-        rule: String,
+        /// The §4.2 rule that fired, with its captured bindings.
+        rule: RuleFire,
+    },
+    /// Scale-up by the utilization-only baseline policy, which sees no
+    /// wait signals (§7.2's Util).
+    UtilScaleUp {
+        /// The resource with the highest utilization.
+        resource: ResourceKind,
     },
     /// A recommended scale-up was truncated or blocked by the available
     /// budget.
@@ -62,7 +73,18 @@ impl fmt::Display for Explanation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Explanation::ScaleUpBottleneck { resource, rule } => {
-                write!(f, "Scale-up due to a {resource} bottleneck ({rule})")
+                write!(
+                    f,
+                    "Scale-up due to a {resource} bottleneck ({})",
+                    rule.render()
+                )
+            }
+            Explanation::UtilScaleUp { resource } => {
+                write!(
+                    f,
+                    "Scale-up due to a {resource} bottleneck \
+                     (latency BAD with utilization (no wait signals))"
+                )
             }
             Explanation::ScaleUpConstrainedByBudget => {
                 write!(f, "Scale-up constrained by budget")
@@ -124,11 +146,19 @@ mod tests {
     fn messages_match_paper_examples() {
         let e = Explanation::ScaleUpBottleneck {
             resource: ResourceKind::Cpu,
-            rule: "utilization HIGH, waits HIGH, SIGNIFICANT".into(),
+            rule: RuleFire {
+                id: crate::rules::RuleId::HighA,
+                step: 1,
+                bindings: crate::rules::Bindings {
+                    util_pct: 85.0,
+                    wait_pct: 60.0,
+                    corr_threshold: 0.6,
+                },
+            },
         };
-        assert!(e
-            .to_string()
-            .starts_with("Scale-up due to a cpu bottleneck"));
+        let s = e.to_string();
+        assert!(s.starts_with("Scale-up due to a cpu bottleneck"));
+        assert!(s.contains("85% HIGH"), "rendered from bindings: {s}");
         assert_eq!(
             Explanation::ScaleUpConstrainedByBudget.to_string(),
             "Scale-up constrained by budget"

@@ -12,9 +12,15 @@
 //!   tenant's budgeting-period budget onto billing intervals (§5);
 //! - [`knobs`] — the tenant-facing knobs: budget, latency goal,
 //!   coarse-grained performance sensitivity (§2.3);
+//! - [`rules`] — the **declarative rule engine**: the §4.2/§4.3 scenarios
+//!   and the §6 arbitration as static [`rules::RuleTable`]s evaluated
+//!   first-match-wins, every fire carrying a stable [`rules::RuleId`];
+//! - [`trace`] — the **structured decision trace**: what every decision
+//!   saw (categorized signals), which rules it evaluated and fired, what
+//!   it demanded vs got, and why — serializable as JSON lines;
 //! - [`explain`] — the human-readable explanations every decision carries
 //!   (§4: "Scale-up due to a CPU bottleneck", "Scale-up constrained by
-//!   budget", …);
+//!   budget", …), rendered from the structured trace;
 //! - [`policy`] — the [`policy::ScalingPolicy`] trait, the paper's **Auto**
 //!   policy (§6) and every baseline of §7.2: **Util** (utilization-only
 //!   online scaler), **Max**, **Peak**, **Avg** (offline static) and
@@ -35,7 +41,9 @@ pub mod explain;
 pub mod knobs;
 pub mod policy;
 pub mod report;
+pub mod rules;
 pub mod runner;
+pub mod trace;
 
 pub use budget::{BudgetManager, BudgetStrategy};
 pub use estimator::{DemandEstimate, DemandEstimator, EstimatorConfig};
@@ -46,5 +54,7 @@ pub use policy::{
     SchedulePolicy, StaticPolicy, UtilPolicy,
 };
 pub use report::{IntervalRecord, RunReport};
+pub use rules::{RuleFire, RuleHistogram, RuleId, RuleTable};
 pub use runner::fleet::{tenant_seed, FleetReport, FleetRunner, TenantSpec};
 pub use runner::{ClosedLoop, RunConfig};
+pub use trace::{BalloonGate, DecisionTrace};

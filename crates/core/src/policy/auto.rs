@@ -10,13 +10,24 @@
 //! 3. if latency is comfortably within the goal (or the tenant has no goal
 //!    and demand is low) → scale down, gating memory shrinks behind the
 //!    §4.3 ballooning probe;
-//! 4. every action carries an [`Explanation`].
+//! 4. every action carries an [`Explanation`] inside a full
+//!    [`DecisionTrace`].
+//!
+//! The whole loop is one table evaluation (the §4 demand tables, via the
+//! estimator) plus one arbitration pass: a [`FactSet`] is computed from
+//! the signals and policy state, [`ARBITRATION`] picks the branch
+//! (cooldown / scale-up / lock-dominance / latency-explain / scale-down /
+//! hold), and the branch body below executes it. Gates (emergency bypass,
+//! budget, latency headroom, ballooning) annotate the trace as named
+//! [`RuleId`]s.
 
 use crate::estimator::memory::BalloonAction;
 use crate::estimator::{BalloonConfig, BalloonController, DemandEstimator, EstimatorConfig};
 use crate::explain::Explanation;
 use crate::knobs::TenantKnobs;
 use crate::policy::{BalloonCommand, PolicyContext, PolicyDecision, ScalingPolicy};
+use crate::rules::{EvalCtx, Fact, FactSet, RuleId, ARBITRATION};
+use crate::trace::{BalloonGate, DecisionTrace};
 use dasr_containers::{Catalog, Container, ResourceKind, RESOURCE_KINDS};
 
 /// Auto-policy tuning.
@@ -160,6 +171,7 @@ impl ScalingPolicy for AutoPolicy {
         let current = ctx.current;
         let mut explanations = Vec::new();
         let est = self.estimator.estimate(sig);
+        let mut trace = DecisionTrace::with_estimate(sig, &est, current.id);
 
         let goal = sig.latency.goal_ms;
         let margin = self.cfg.knobs.sensitivity.downscale_margin();
@@ -176,20 +188,26 @@ impl ScalingPolicy for AutoPolicy {
         // --- Balloon management (independent of cooldown) -----------------
         let next_mem = Self::memory_of_next_lower_rung(catalog, current);
         let mut balloon_cmd = if self.cfg.balloon_enabled {
+            trace.balloon = BalloonGate::Idle;
             self.balloon.step(sig, wants_down, next_mem, ctx.balloon)
         } else {
             BalloonAction::None
         };
         match balloon_cmd {
             BalloonAction::Start { target_mb } => {
+                trace.balloon = BalloonGate::Started { target_mb };
+                trace.gates.push(RuleId::BalloonStart);
                 explanations.push(Explanation::BalloonStarted { target_mb });
             }
             BalloonAction::Abort => {
+                trace.balloon = BalloonGate::Aborted;
+                trace.gates.push(RuleId::BalloonAbort);
                 explanations.push(Explanation::BalloonAborted);
                 self.balloon_confirmed = None;
             }
             BalloonAction::Commit => {
                 if let Some(target) = next_mem {
+                    trace.balloon = BalloonGate::Confirmed { target_mb: target };
                     self.balloon_confirmed = Some((sig.interval, target));
                 }
             }
@@ -200,209 +218,253 @@ impl ScalingPolicy for AutoPolicy {
             .balloon_confirmed
             .and_then(|(at, mb)| (sig.interval <= at + self.cfg.balloon_confirm_ttl).then_some(mb));
 
-        // --- Cooldown ------------------------------------------------------
+        // --- Facts + one arbitration pass (§6) -----------------------------
         let emergency = match (sig.latency.observed_ms, goal) {
             (Some(obs), Some(g)) => obs > self.cfg.emergency_factor * g,
             _ => false,
         };
+        if emergency && self.in_up_cooldown(sig.interval) {
+            trace.gates.push(RuleId::EmergencyBypass);
+        }
         let up_blocked = self.in_up_cooldown(sig.interval) && !emergency;
         let down_blocked = self.in_down_cooldown(sig.interval);
-        if up_blocked && down_blocked {
-            explanations.push(Explanation::Cooldown);
-            return PolicyDecision {
-                target: current.id,
-                explanations,
-                balloon: balloon_cmd,
-            };
-        }
-
-        // --- Scale-up path (§6) ---------------------------------------------
         let scale_up_gate = match goal {
             Some(_) => sig.latency.needs_attention(),
             // No latency goal: scale purely on demand (§2.3).
             None => true,
         };
-        if scale_up_gate && est.any_up() && !up_blocked {
-            for kind in est.up_resources() {
-                explanations.push(Explanation::ScaleUpBottleneck {
-                    resource: kind,
-                    rule: est.demand(kind).rule.clone().unwrap_or_default(),
-                });
+        let facts = FactSet::new()
+            .with(Fact::HasGoal, goal.is_some())
+            .with(Fact::LatencyAttention, sig.latency.needs_attention())
+            .with(Fact::Emergency, emergency)
+            .with(Fact::UpBlocked, up_blocked)
+            .with(Fact::DownBlocked, down_blocked)
+            .with(Fact::DemandUp, est.any_up())
+            .with(Fact::DemandDown, est.any_down())
+            .with(Fact::WantsDown, wants_down)
+            .with(Fact::ScaleUpGate, scale_up_gate)
+            .with(
+                Fact::LockShareHigh,
+                sig.lock_bottleneck(self.cfg.lock_dominance_pct),
+            )
+            .with(Fact::HeadroomOk, headroom_ok)
+            .with(Fact::BalloonEnabled, self.cfg.balloon_enabled);
+        let eval = ARBITRATION.evaluate(&EvalCtx::arbitration(&self.cfg.estimator, facts));
+        trace.arbitration = eval.evaluated;
+        let branch = eval.fired.expect("arbitration table has a fallback").id;
+        trace.branch = branch;
+
+        match branch {
+            // Both directions inside the cooldown: explicit no-op.
+            RuleId::CooldownHold => {
+                explanations.push(Explanation::Cooldown);
+                Self::finish(trace, explanations, current, current, balloon_cmd)
             }
-            let desired = catalog.desired_after_steps(current, est.up_steps());
-            let unconstrained = catalog.cheapest_covering(&desired, None);
-            let pick = catalog.cheapest_covering(&desired, ctx.available_budget);
-            let target = match (pick, unconstrained) {
-                (Some(p), u) => {
-                    if u.is_some_and(|u| p.id != u.id) {
-                        explanations.push(Explanation::ScaleUpConstrainedByBudget);
+
+            // --- Scale-up branch (§6) ----------------------------------------
+            RuleId::ScaleUpDemand => {
+                for kind in est.up_resources() {
+                    explanations.push(Explanation::ScaleUpBottleneck {
+                        resource: kind,
+                        rule: est.demand(kind).rule.expect("up demand fired a rule"),
+                    });
+                }
+                let desired = catalog.desired_after_steps(current, est.up_steps());
+                let unconstrained = catalog.cheapest_covering(&desired, None);
+                let pick = catalog.cheapest_covering(&desired, ctx.available_budget);
+                let target = match (pick, unconstrained) {
+                    (Some(p), u) => {
+                        if u.is_some_and(|u| p.id != u.id) {
+                            trace.budget_limited = true;
+                            trace.gates.push(RuleId::BudgetConstrained);
+                            explanations.push(Explanation::ScaleUpConstrainedByBudget);
+                        }
+                        Some(p)
                     }
-                    Some(p)
+                    (None, _) => {
+                        // Budget cannot cover the desired container: take the
+                        // most expensive affordable one (§6).
+                        trace.budget_limited = true;
+                        trace.gates.push(RuleId::BudgetConstrained);
+                        explanations.push(Explanation::ScaleUpConstrainedByBudget);
+                        ctx.available_budget
+                            .and_then(|b| catalog.most_expensive_under(b))
+                            .filter(|c| c.cost > current.cost)
+                    }
+                };
+                if let Some(t) = target {
+                    if t.id != current.id {
+                        self.last_resize = Some(sig.interval);
+                        return Self::finish(trace, explanations, t, current, balloon_cmd);
+                    }
                 }
-                (None, _) => {
-                    // Budget cannot cover the desired container: take the
-                    // most expensive affordable one (§6).
-                    explanations.push(Explanation::ScaleUpConstrainedByBudget);
-                    ctx.available_budget
-                        .and_then(|b| catalog.most_expensive_under(b))
-                        .filter(|c| c.cost > current.cost)
-                }
-            };
-            if let Some(t) = target {
-                if t.id != current.id {
-                    self.last_resize = Some(sig.interval);
-                    return PolicyDecision {
-                        target: t.id,
-                        explanations,
-                        balloon: balloon_cmd,
-                    };
-                }
+                self.finish_no_move(ctx, trace, explanations, balloon_cmd)
             }
-            return self.finish_no_move(ctx, explanations, balloon_cmd);
-        }
-        if goal.is_some() && sig.latency.needs_attention() {
-            // Latency bad but no resource demand: explain, don't scale (§6,
-            // Figure 13).
-            if sig.lock_bottleneck(self.cfg.lock_dominance_pct) {
+
+            // Latency bad but waits are lock-dominated: explain, don't scale
+            // (§6, Figure 13).
+            RuleId::LockDominated => {
                 explanations.push(Explanation::NonResourceBottleneck {
                     lock_wait_pct: sig.lock_wait_pct,
                 });
-            } else {
-                explanations.push(Explanation::LatencyBadNoDemand);
+                self.finish_no_move(ctx, trace, explanations, balloon_cmd)
             }
-            return self.finish_no_move(ctx, explanations, balloon_cmd);
-        }
 
-        // --- Scale-down path -------------------------------------------------
-        if wants_down && !down_blocked {
-            // Candidate step vectors, most conservative first: the
-            // demand-based steps, then — when latency headroom allows a
-            // smaller container even with demand (§2.3) — a whole-container
-            // step down, which is what a lockstep catalog needs when only
-            // some dimensions look idle.
-            let mut candidates: Vec<([i8; RESOURCE_KINDS.len()], bool)> = Vec::new();
-            if est.any_down() {
-                candidates.push((est.down_steps(), false));
+            // Latency bad but no resource demand: explain, don't scale.
+            RuleId::LatencyBadNoDemand => {
+                explanations.push(Explanation::LatencyBadNoDemand);
+                self.finish_no_move(ctx, trace, explanations, balloon_cmd)
             }
-            if headroom_ok && goal.is_some() && !sig.latency.trend.is_increasing() {
-                let mut all_down = est.down_steps();
-                for s in all_down.iter_mut() {
-                    *s = (*s).min(-1);
+
+            // --- Scale-down branch ---------------------------------------------
+            RuleId::ScaleDownDemand => {
+                // Candidate step vectors, most conservative first: the
+                // demand-based steps, then — when latency headroom allows a
+                // smaller container even with demand (§2.3) — a
+                // whole-container step down, which is what a lockstep catalog
+                // needs when only some dimensions look idle.
+                let mut candidates: Vec<([i8; RESOURCE_KINDS.len()], bool)> = Vec::new();
+                if est.any_down() {
+                    candidates.push((est.down_steps(), false));
                 }
-                candidates.push((all_down, true));
-            } else if !est.any_down() {
-                candidates.push(([-1; RESOURCE_KINDS.len()], true));
-            }
-            for (mut steps, from_headroom) in candidates {
-                // Memory shrinks only with evidence (§4.3): a balloon commit
-                // justifies exactly one rung (the probed target); a pool that
-                // is not even using the target justifies going as deep as the
-                // usage allows.
-                let mem_idx = ResourceKind::Memory.index();
-                if steps.iter().any(|&s| s < 0) && steps[mem_idx] == 0 {
-                    steps[mem_idx] = *steps.iter().min().expect("non-empty");
+                if headroom_ok && goal.is_some() && !sig.latency.trend.is_increasing() {
+                    let mut all_down = est.down_steps();
+                    for s in all_down.iter_mut() {
+                        *s = (*s).min(-1);
+                    }
+                    candidates.push((all_down, true));
+                } else if !est.any_down() {
+                    candidates.push(([-1; RESOURCE_KINDS.len()], true));
                 }
-                if steps[mem_idx] < 0 && self.cfg.balloon_enabled {
-                    let requested = (-steps[mem_idx]) as usize;
-                    let cur_rung = current.rung as usize;
-                    let mut depth = 0usize;
-                    for d in 1..=requested.min(cur_rung) {
-                        let target = Catalog::rung_resources(cur_rung - d).memory_mb;
-                        let safe = Self::mem_shrink_safe(sig, target);
-                        let confirmed = confirmed_down_to.is_some_and(|mb| target >= mb - 1e-6);
-                        if safe || confirmed {
-                            depth = d;
-                        } else {
-                            break;
+                for (mut steps, from_headroom) in candidates {
+                    // Memory shrinks only with evidence (§4.3): a balloon
+                    // commit justifies exactly one rung (the probed target); a
+                    // pool that is not even using the target justifies going
+                    // as deep as the usage allows.
+                    let mem_idx = ResourceKind::Memory.index();
+                    if steps.iter().any(|&s| s < 0) && steps[mem_idx] == 0 {
+                        steps[mem_idx] = *steps.iter().min().expect("non-empty");
+                    }
+                    if steps[mem_idx] < 0 && self.cfg.balloon_enabled {
+                        let requested = (-steps[mem_idx]) as usize;
+                        let cur_rung = current.rung as usize;
+                        let mut depth = 0usize;
+                        for d in 1..=requested.min(cur_rung) {
+                            let target = Catalog::rung_resources(cur_rung - d).memory_mb;
+                            let safe = Self::mem_shrink_safe(sig, target);
+                            let confirmed = confirmed_down_to.is_some_and(|mb| target >= mb - 1e-6);
+                            if safe || confirmed {
+                                depth = d;
+                            } else {
+                                break;
+                            }
                         }
+                        steps[mem_idx] = -(depth as i8);
                     }
-                    steps[mem_idx] = -(depth as i8);
-                }
-                let desired = catalog.desired_after_steps(current, steps);
-                let Some(t) = catalog.cheapest_covering(&desired, ctx.available_budget) else {
-                    continue;
-                };
-                // Capacity sanity check for headroom-motivated shrinks: a
-                // smaller container must keep every governed resource out
-                // of the HIGH band at the current load, or the step lands
-                // on the saturation cliff instead of trading a little
-                // latency for cost.
-                if from_headroom && !Self::projected_util_ok(sig, current, t) {
-                    continue;
-                }
-                if t.cost < current.cost {
-                    if confirmed_down_to.is_some() && steps[mem_idx] < 0 {
-                        explanations.push(Explanation::ScaleDownBalloonConfirmed);
-                        self.balloon_confirmed = None;
+                    let desired = catalog.desired_after_steps(current, steps);
+                    let Some(t) = catalog.cheapest_covering(&desired, ctx.available_budget) else {
+                        continue;
+                    };
+                    // Capacity sanity check for headroom-motivated shrinks: a
+                    // smaller container must keep every governed resource out
+                    // of the HIGH band at the current load, or the step lands
+                    // on the saturation cliff instead of trading a little
+                    // latency for cost.
+                    if from_headroom && !Self::projected_util_ok(sig, current, t) {
+                        continue;
                     }
-                    // A probe started this very decision would target the
-                    // rung we are leaving; cancel it rather than racing the
-                    // resize.
-                    if matches!(balloon_cmd, BalloonAction::Start { .. }) {
-                        balloon_cmd = BalloonAction::None;
-                        explanations.retain(|e| !matches!(e, Explanation::BalloonStarted { .. }));
-                    }
-                    if from_headroom {
-                        if let (Some(obs), Some(g)) = (sig.latency.observed_ms, goal) {
-                            explanations.push(Explanation::ScaleDownLatencyHeadroom {
-                                observed_ms: obs,
-                                goal_ms: g,
-                            });
+                    if t.cost < current.cost {
+                        if confirmed_down_to.is_some() && steps[mem_idx] < 0 {
+                            trace.gates.push(RuleId::BalloonConfirmedShrink);
+                            explanations.push(Explanation::ScaleDownBalloonConfirmed);
+                            self.balloon_confirmed = None;
+                        }
+                        // A probe started this very decision would target the
+                        // rung we are leaving; cancel it rather than racing
+                        // the resize.
+                        if matches!(balloon_cmd, BalloonAction::Start { .. }) {
+                            balloon_cmd = BalloonAction::None;
+                            trace.balloon = BalloonGate::Idle;
+                            trace.gates.retain(|&g| g != RuleId::BalloonStart);
+                            explanations
+                                .retain(|e| !matches!(e, Explanation::BalloonStarted { .. }));
+                        }
+                        if from_headroom {
+                            if let (Some(obs), Some(g)) = (sig.latency.observed_ms, goal) {
+                                trace.gates.push(RuleId::LatencyHeadroom);
+                                explanations.push(Explanation::ScaleDownLatencyHeadroom {
+                                    observed_ms: obs,
+                                    goal_ms: g,
+                                });
+                            } else {
+                                explanations.push(Explanation::ScaleDownLowDemand {
+                                    resources: RESOURCE_KINDS.to_vec(),
+                                });
+                            }
                         } else {
                             explanations.push(Explanation::ScaleDownLowDemand {
-                                resources: RESOURCE_KINDS.to_vec(),
+                                resources: est.down_resources(),
                             });
                         }
-                    } else {
-                        explanations.push(Explanation::ScaleDownLowDemand {
-                            resources: est.down_resources(),
-                        });
+                        self.last_resize = Some(sig.interval);
+                        return Self::finish(trace, explanations, t, current, balloon_cmd);
                     }
-                    self.last_resize = Some(sig.interval);
-                    return PolicyDecision {
-                        target: t.id,
-                        explanations,
-                        balloon: balloon_cmd,
-                    };
                 }
+                self.finish_no_move(ctx, trace, explanations, balloon_cmd)
             }
-        }
 
-        self.finish_no_move(ctx, explanations, balloon_cmd)
+            // HoldSteady (and, defensively, anything else): keep the
+            // container, still enforcing the budget.
+            _ => self.finish_no_move(ctx, trace, explanations, balloon_cmd),
+        }
     }
 }
 
 impl AutoPolicy {
+    /// Seals a decision: records the granted rung delta and the
+    /// explanations in the trace, then wraps everything up.
+    fn finish(
+        mut trace: DecisionTrace,
+        explanations: Vec<Explanation>,
+        target: &Container,
+        current: &Container,
+        balloon: BalloonCommand,
+    ) -> PolicyDecision {
+        trace.target = target.id;
+        trace.grant(current.rung, target.rung);
+        trace.explanations = explanations;
+        PolicyDecision {
+            target: target.id,
+            trace,
+            balloon,
+        }
+    }
+
     /// Terminal no-move path, still enforcing the budget: if the bucket can
     /// no longer afford the *current* container, downgrade to the most
     /// expensive affordable one.
     fn finish_no_move(
         &mut self,
         ctx: &PolicyContext<'_>,
+        mut trace: DecisionTrace,
         mut explanations: Vec<Explanation>,
         balloon: BalloonCommand,
     ) -> PolicyDecision {
         if let Some(b) = ctx.available_budget {
             if ctx.current.cost > b + 1e-9 {
+                trace.budget_limited = true;
+                trace.gates.push(RuleId::BudgetForcedDowngrade);
                 explanations.push(Explanation::ScaleUpConstrainedByBudget);
                 if let Some(t) = ctx.catalog.most_expensive_under(b) {
                     self.last_resize = Some(ctx.signals.interval);
-                    return PolicyDecision {
-                        target: t.id,
-                        explanations,
-                        balloon,
-                    };
+                    return Self::finish(trace, explanations, t, ctx.current, balloon);
                 }
             }
         }
         if explanations.is_empty() {
             explanations.push(Explanation::NoChange);
         }
-        PolicyDecision {
-            target: ctx.current.id,
-            explanations,
-            balloon,
-        }
+        Self::finish(trace, explanations, ctx.current, ctx.current, balloon)
     }
 }
 
@@ -465,7 +527,7 @@ mod tests {
         let target = cat.get(d.target).unwrap();
         assert!(target.cost > current.cost, "must scale up: {d:?}");
         assert!(d
-            .explanations
+            .explanations()
             .iter()
             .any(|e| matches!(e, Explanation::ScaleUpBottleneck { .. })));
     }
@@ -493,7 +555,7 @@ mod tests {
         let d = p.decide(&ctx(&s, &current, &cat, None));
         assert_eq!(d.target, current.id);
         assert!(
-            d.explanations
+            d.explanations()
                 .iter()
                 .any(|e| matches!(e, Explanation::NonResourceBottleneck { .. })),
             "{d:?}"
@@ -528,7 +590,7 @@ mod tests {
         let target = cat.get(d.target).unwrap();
         assert!(target.cost < current.cost, "{d:?}");
         assert!(d
-            .explanations
+            .explanations()
             .iter()
             .any(|e| matches!(e, Explanation::ScaleDownLatencyHeadroom { .. })));
     }
@@ -569,7 +631,7 @@ mod tests {
         let after = cat.get(d1.target).unwrap().clone();
         let d1b = p.decide(&ctx(&s5b, &after, &cat, None));
         assert_eq!(d1b.target, after.id);
-        assert!(d1b.explanations.contains(&Explanation::Cooldown));
+        assert!(d1b.explanations().contains(&Explanation::Cooldown));
         // Next interval, mildly bad latency again: scale-ups still cool
         // down (no further climb), though scale-downs would be allowed.
         let mut s6 = bad_latency(high_cpu_pressure(quiet_signal_set(6)));
@@ -577,7 +639,7 @@ mod tests {
         let d2 = p.decide(&ctx(&s6, &after, &cat, None));
         assert_eq!(d2.target, after.id);
         assert!(!d2
-            .explanations
+            .explanations()
             .iter()
             .any(|e| matches!(e, Explanation::ScaleUpBottleneck { .. })));
     }
@@ -620,7 +682,7 @@ mod tests {
         let target = cat.get(d.target).unwrap();
         assert!(target.cost <= 40.0, "{d:?}");
         assert!(d
-            .explanations
+            .explanations()
             .contains(&Explanation::ScaleUpConstrainedByBudget));
     }
 }

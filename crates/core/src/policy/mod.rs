@@ -9,6 +9,7 @@ pub use util::UtilPolicy;
 
 use crate::estimator::memory::{BalloonAction, BalloonProbe};
 use crate::explain::Explanation;
+use crate::trace::DecisionTrace;
 use dasr_containers::{Catalog, Container, ContainerId};
 use dasr_telemetry::SignalSet;
 
@@ -36,24 +37,40 @@ pub struct PolicyContext<'a> {
 }
 
 /// A policy's decision for the next billing interval.
+///
+/// Every decision carries a complete [`DecisionTrace`] — signals seen,
+/// rules evaluated/fired, steps demanded vs granted, gates engaged — and
+/// the §4 explanations live inside it as structured data.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PolicyDecision {
     /// Container for the next interval (may equal the current one).
     pub target: ContainerId,
-    /// Why (§4's explanations).
-    pub explanations: Vec<Explanation>,
+    /// The structured end-to-end record of this decision.
+    pub trace: DecisionTrace,
     /// Balloon command for the engine.
     pub balloon: BalloonCommand,
 }
 
 impl PolicyDecision {
-    /// A no-op decision.
-    pub fn stay(current: ContainerId) -> Self {
+    /// A decision pinning `target` regardless of signals (the static and
+    /// schedule baselines). The trace still records what the signals said.
+    pub fn pin(ctx: &PolicyContext<'_>, target: ContainerId) -> Self {
+        let mut trace = DecisionTrace::from_signals(ctx.signals, ctx.current.id);
+        trace.target = target;
+        if let Some(t) = ctx.catalog.get(target) {
+            trace.grant(ctx.current.rung, t.rung);
+        }
+        trace.explanations.push(Explanation::NoChange);
         Self {
-            target: current,
-            explanations: vec![Explanation::NoChange],
+            target,
+            trace,
             balloon: BalloonCommand::None,
         }
+    }
+
+    /// The §4 explanations this decision carries.
+    pub fn explanations(&self) -> &[Explanation] {
+        &self.trace.explanations
     }
 }
 
@@ -91,8 +108,8 @@ impl ScalingPolicy for StaticPolicy {
         self.name
     }
 
-    fn decide(&mut self, _ctx: &PolicyContext<'_>) -> PolicyDecision {
-        PolicyDecision::stay(self.container)
+    fn decide(&mut self, ctx: &PolicyContext<'_>) -> PolicyDecision {
+        PolicyDecision::pin(ctx, self.container)
     }
 }
 
@@ -121,12 +138,12 @@ impl ScalingPolicy for SchedulePolicy {
         "trace"
     }
 
-    fn decide(&mut self, _ctx: &PolicyContext<'_>) -> PolicyDecision {
+    fn decide(&mut self, ctx: &PolicyContext<'_>) -> PolicyDecision {
         // decide() is called at the END of interval i to pick interval
         // i+1's container.
         self.next += 1;
         let idx = self.next.min(self.schedule.len() - 1);
-        PolicyDecision::stay(self.schedule[idx])
+        PolicyDecision::pin(ctx, self.schedule[idx])
     }
 }
 

@@ -14,7 +14,9 @@
 
 use crate::explain::Explanation;
 use crate::policy::{BalloonCommand, PolicyContext, PolicyDecision, ScalingPolicy};
-use dasr_containers::{ResourceKind, RESOURCE_KINDS};
+use crate::rules::RuleId;
+use crate::trace::DecisionTrace;
+use dasr_containers::{Container, ResourceKind, RESOURCE_KINDS};
 use dasr_telemetry::categorize::UtilLevel;
 
 /// Intervals between scale-downs: cloud autoscalers scale in deliberately
@@ -31,6 +33,27 @@ impl UtilPolicy {
     /// Creates the policy.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Wraps a move into a decision whose trace names `branch` and carries
+    /// `explanation`. Util has no rule tables; its trace records the branch
+    /// taken and the signals it saw.
+    fn moved(
+        ctx: &PolicyContext<'_>,
+        branch: RuleId,
+        target: &Container,
+        explanation: Explanation,
+    ) -> PolicyDecision {
+        let mut trace = DecisionTrace::from_signals(ctx.signals, ctx.current.id);
+        trace.branch = branch;
+        trace.target = target.id;
+        trace.grant(ctx.current.rung, target.rung);
+        trace.explanations = vec![explanation];
+        PolicyDecision {
+            target: target.id,
+            trace,
+            balloon: BalloonCommand::None,
+        }
     }
 }
 
@@ -71,23 +94,22 @@ impl ScalingPolicy for UtilPolicy {
             {
                 if t.id != ctx.current.id {
                     self.last_resize = Some(sig.interval);
-                    return PolicyDecision {
-                        target: t.id,
-                        explanations: vec![Explanation::ScaleUpBottleneck {
-                            resource: RESOURCE_KINDS
-                                .iter()
-                                .copied()
-                                .max_by(|a, b| {
-                                    sig.resource(*a)
-                                        .util_pct
-                                        .partial_cmp(&sig.resource(*b).util_pct)
-                                        .expect("finite")
-                                })
-                                .expect("non-empty"),
-                            rule: "latency BAD with utilization (no wait signals)".into(),
-                        }],
-                        balloon: BalloonCommand::None,
-                    };
+                    let busiest = RESOURCE_KINDS
+                        .iter()
+                        .copied()
+                        .max_by(|a, b| {
+                            sig.resource(*a)
+                                .util_pct
+                                .partial_cmp(&sig.resource(*b).util_pct)
+                                .expect("finite")
+                        })
+                        .expect("non-empty");
+                    return Self::moved(
+                        ctx,
+                        RuleId::ScaleUpDemand,
+                        t,
+                        Explanation::UtilScaleUp { resource: busiest },
+                    );
                 }
             }
         } else if !sig.latency.needs_attention()
@@ -102,17 +124,18 @@ impl ScalingPolicy for UtilPolicy {
             {
                 if t.cost < ctx.current.cost {
                     self.last_resize = Some(sig.interval);
-                    return PolicyDecision {
-                        target: t.id,
-                        explanations: vec![Explanation::ScaleDownLowDemand {
+                    return Self::moved(
+                        ctx,
+                        RuleId::ScaleDownDemand,
+                        t,
+                        Explanation::ScaleDownLowDemand {
                             resources: RESOURCE_KINDS.to_vec(),
-                        }],
-                        balloon: BalloonCommand::None,
-                    };
+                        },
+                    );
                 }
             }
         }
-        PolicyDecision::stay(ctx.current.id)
+        PolicyDecision::pin(ctx, ctx.current.id)
     }
 }
 

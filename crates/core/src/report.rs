@@ -1,5 +1,7 @@
 //! Run reports: per-interval timelines and whole-run summaries.
 
+use crate::rules::RuleHistogram;
+use crate::trace::DecisionTrace;
 use dasr_containers::{ContainerId, ResourceVector};
 use dasr_engine::waits::WAIT_CLASSES;
 use dasr_stats::{percentile, percentile_interpolated};
@@ -31,11 +33,17 @@ pub struct IntervalRecord {
     pub mem_used_mb: f64,
     /// Whether a resize was issued at the end of this interval.
     pub resized: bool,
-    /// The decision's explanations, rendered.
-    pub explanations: Vec<String>,
+    /// The decision's full structured trace (explanations are rendered
+    /// from it on demand).
+    pub trace: DecisionTrace,
 }
 
 impl IntervalRecord {
+    /// The decision's explanations, rendered from the structured trace.
+    pub fn explanations(&self) -> Vec<String> {
+        self.trace.render_explanations()
+    }
+
     /// Performance factor (Figure 13): how far inside the goal the
     /// interval's latency is, as a percentage. Positive = inside the goal,
     /// negative = goal missed. `None` without a goal or traffic.
@@ -112,6 +120,26 @@ impl RunReport {
         self.intervals.iter().map(|i| i.completed).sum()
     }
 
+    /// Aggregated rule-fire counts across every interval's decision trace
+    /// — which rules drove this run's scaling.
+    pub fn rule_histogram(&self) -> RuleHistogram {
+        let mut hist = RuleHistogram::new();
+        for rec in &self.intervals {
+            rec.trace.record_fires(&mut hist);
+        }
+        hist
+    }
+
+    /// Every interval's decision trace as JSON lines (one per interval).
+    pub fn traces_jsonl(&self) -> String {
+        let mut out = String::new();
+        for rec in &self.intervals {
+            out.push_str(&rec.trace.to_json_line());
+            out.push('\n');
+        }
+        out
+    }
+
     /// One-line summary for experiment tables.
     pub fn summary(&self) -> String {
         format!(
@@ -144,7 +172,7 @@ mod tests {
             wait_pct: [0.0; 7],
             mem_used_mb: 0.0,
             resized,
-            explanations: vec![],
+            trace: DecisionTrace::empty(minute, ContainerId(0)),
         }
     }
 

@@ -17,6 +17,7 @@
 
 use crate::policy::ScalingPolicy;
 use crate::report::RunReport;
+use crate::rules::RuleHistogram;
 use crate::runner::{ClosedLoop, RunConfig};
 use dasr_stats::{percentile, percentile_interpolated};
 use dasr_workloads::{Trace, Workload};
@@ -103,12 +104,19 @@ impl FleetRunner {
         let reports = self.map(tenants.len(), |i| {
             let tenant = &tenants[i];
             let mut policy = make_policy(i, tenant);
-            ClosedLoop::run(
+            let mut report = ClosedLoop::run(
                 &tenant.cfg,
                 &tenant.trace,
                 tenant.workload.clone(),
                 policy.as_mut(),
-            )
+            );
+            // Stamp the tenant index into every decision trace so fleet-wide
+            // JSONL dumps stay attributable (pure function of `i`, so the
+            // determinism contract is untouched).
+            for rec in &mut report.intervals {
+                rec.trace.tenant = Some(i as u64);
+            }
+            report
         });
         FleetReport { reports }
     }
@@ -192,6 +200,16 @@ impl FleetReport {
     /// Resize operations across the fleet.
     pub fn resizes_total(&self) -> u64 {
         self.reports.iter().map(|r| r.resizes).sum()
+    }
+
+    /// Rule-fire counts merged across every tenant's run — the fleet-wide
+    /// picture of which §4/§6 rules drove scaling.
+    pub fn rule_histogram(&self) -> RuleHistogram {
+        let mut hist = RuleHistogram::new();
+        for r in &self.reports {
+            hist.merge(&r.rule_histogram());
+        }
+        hist
     }
 
     /// 95th-percentile latency over the *pooled* request population, ms.
@@ -283,7 +301,10 @@ mod tests {
             let parallel = run(threads);
             assert_eq!(parallel.len(), sequential.len());
             for (a, b) in parallel.reports.iter().zip(sequential.reports.iter()) {
-                assert_eq!(a.all_latencies_ms, b.all_latencies_ms, "threads = {threads}");
+                assert_eq!(
+                    a.all_latencies_ms, b.all_latencies_ms,
+                    "threads = {threads}"
+                );
                 assert_eq!(a.total_cost(), b.total_cost());
                 assert_eq!(a.resizes, b.resizes);
             }
@@ -300,7 +321,11 @@ mod tests {
         assert!(!report.is_empty());
         assert_eq!(
             report.completed_total(),
-            report.reports.iter().map(|r| r.completed_total()).sum::<u64>()
+            report
+                .reports
+                .iter()
+                .map(|r| r.completed_total())
+                .sum::<u64>()
         );
         assert!(report.total_cost() > 0.0);
         assert!(report.p95_ms().is_some());

@@ -171,6 +171,7 @@ impl ClosedLoop {
             }
 
             let resized = decision.target != current.id;
+            let target = decision.target;
             intervals.push(IntervalRecord {
                 minute: minute as u64,
                 container: current.id,
@@ -184,16 +185,12 @@ impl ClosedLoop {
                 wait_pct,
                 mem_used_mb: stats.mem_used_mb,
                 resized,
-                explanations: decision
-                    .explanations
-                    .iter()
-                    .map(|e| e.to_string())
-                    .collect(),
+                trace: decision.trace,
             });
 
             if resized {
                 current = catalog
-                    .get(decision.target)
+                    .get(target)
                     .expect("policy picked an unknown container")
                     .clone();
                 engine.apply_resources(current.resources);

@@ -1,0 +1,247 @@
+//! Golden decision-equivalence test: the declarative §4 rule tables must
+//! reproduce the legacy if-chain oracle (`estimator::rules`) **bit-for-bit**
+//! — same step and same rendered explanation string — over a seeded fleet
+//! of 1 000 tenants across a full 1 440-minute horizon of randomized
+//! signal sets.
+//!
+//! The generator samples categorized levels independently of the raw
+//! percentages, which covers corners a closed-loop run rarely reaches
+//! (e.g. HIGH utilization with a near-idle percentage) and exercises every
+//! threshold in [`EstimatorConfig`].
+
+use dasr_containers::{ResourceKind, RESOURCE_KINDS};
+use dasr_core::estimator::rules as legacy;
+use dasr_core::estimator::EstimatorConfig;
+use dasr_core::rules::{EvalCtx, HIGH_DEMAND, LOW_DEMAND};
+use dasr_core::tenant_seed;
+use dasr_stats::{Trend, TrendDirection};
+use dasr_telemetry::categorize::{LatencyVerdict, UtilLevel, WaitPctLevel, WaitTimeLevel};
+use dasr_telemetry::signals::{LatencySignals, ResourceSignals};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const TENANTS: u64 = 1_000;
+const HORIZON: usize = 1_440;
+const FLEET_SEED: u64 = 0x4EC1_51F0;
+
+fn random_trend(rng: &mut StdRng) -> Trend {
+    match rng.gen_range(0..4u32) {
+        0 | 1 => Trend::None,
+        2 => Trend::Significant {
+            direction: TrendDirection::Increasing,
+            slope: rng.gen_range(0.01..5.0),
+            agreement: rng.gen_range(0.5..1.0),
+        },
+        _ => Trend::Significant {
+            direction: TrendDirection::Decreasing,
+            slope: -rng.gen_range(0.01..5.0),
+            agreement: rng.gen_range(0.5..1.0),
+        },
+    }
+}
+
+fn random_resource(rng: &mut StdRng, kind: ResourceKind) -> ResourceSignals {
+    ResourceSignals {
+        kind,
+        util_pct: rng.gen_range(0.0..100.0),
+        util_level: match rng.gen_range(0..3u32) {
+            0 => UtilLevel::Low,
+            1 => UtilLevel::Medium,
+            _ => UtilLevel::High,
+        },
+        wait_ms: rng.gen_range(0.0..10_000.0),
+        wait_level: match rng.gen_range(0..3u32) {
+            0 => WaitTimeLevel::Low,
+            1 => WaitTimeLevel::Medium,
+            _ => WaitTimeLevel::High,
+        },
+        wait_pct: rng.gen_range(0.0..100.0),
+        wait_pct_level: if rng.gen_bool(0.5) {
+            WaitPctLevel::Significant
+        } else {
+            WaitPctLevel::NotSignificant
+        },
+        util_trend: random_trend(rng),
+        wait_trend: random_trend(rng),
+        corr_latency_wait: rng.gen_bool(0.5).then(|| rng.gen_range(-1.0..1.0)),
+        corr_latency_util: rng.gen_bool(0.5).then(|| rng.gen_range(-1.0..1.0)),
+    }
+}
+
+fn random_latency(rng: &mut StdRng) -> LatencySignals {
+    let goal_ms = rng.gen_bool(0.8).then(|| rng.gen_range(1.0..500.0));
+    LatencySignals {
+        observed_ms: rng.gen_bool(0.9).then(|| rng.gen_range(0.1..5_000.0)),
+        goal_ms,
+        verdict: if goal_ms.is_some() && rng.gen_bool(0.5) {
+            LatencyVerdict::Bad
+        } else {
+            LatencyVerdict::Good
+        },
+        trend: random_trend(rng),
+    }
+}
+
+/// The legacy oracle's answer, exactly as `DemandEstimator::estimate` used
+/// to combine the two if-chains: high-demand first, low-demand only when
+/// nothing fired and the resource is not memory (§4.3: ballooning handles
+/// memory scale-down).
+fn oracle(
+    cfg: &EstimatorConfig,
+    sig: &ResourceSignals,
+    latency: &LatencySignals,
+) -> Option<(i8, String)> {
+    legacy::high_demand(cfg, sig, latency).or_else(|| {
+        if sig.kind == ResourceKind::Memory {
+            None
+        } else {
+            legacy::low_demand(cfg, sig)
+        }
+    })
+}
+
+/// The rule-table answer, rendered through `RuleFire::render` — the same
+/// path `ResourceDemand::rule_text` takes in production.
+fn engine(
+    cfg: &EstimatorConfig,
+    sig: &ResourceSignals,
+    latency: &LatencySignals,
+) -> Option<(i8, String)> {
+    let ctx = EvalCtx::demand(cfg, sig, latency);
+    let fired = HIGH_DEMAND.evaluate(&ctx).fired.or_else(|| {
+        if sig.kind == ResourceKind::Memory {
+            None
+        } else {
+            LOW_DEMAND.evaluate(&ctx).fired
+        }
+    });
+    fired.map(|f| (f.step, f.render()))
+}
+
+#[test]
+fn rule_tables_reproduce_legacy_chains_bit_for_bit() {
+    let cfg = EstimatorConfig::default();
+    let mut mismatches = 0usize;
+    let mut fired = 0u64;
+    let mut total = 0u64;
+
+    for tenant in 0..TENANTS {
+        let mut rng = StdRng::seed_from_u64(tenant_seed(FLEET_SEED, tenant));
+        for interval in 0..HORIZON {
+            let latency = random_latency(&mut rng);
+            for kind in RESOURCE_KINDS {
+                let sig = random_resource(&mut rng, kind);
+                let want = oracle(&cfg, &sig, &latency);
+                let got = engine(&cfg, &sig, &latency);
+                total += 1;
+                if want.is_some() {
+                    fired += 1;
+                }
+                if want != got {
+                    mismatches += 1;
+                    assert!(
+                        mismatches <= 5,
+                        "too many mismatches; first few reported above"
+                    );
+                    eprintln!(
+                        "tenant {tenant} interval {interval} {kind:?}:\n  \
+                         legacy = {want:?}\n  tables = {got:?}\n  sig = {sig:?}"
+                    );
+                }
+            }
+        }
+    }
+    assert_eq!(mismatches, 0, "rule tables diverged from the legacy chains");
+    assert_eq!(
+        total,
+        TENANTS * HORIZON as u64 * RESOURCE_KINDS.len() as u64
+    );
+    // The generator must actually reach the rules: a healthy fraction of
+    // the samples fires *something*, in both directions.
+    assert!(
+        fired > total / 20,
+        "generator too weak: only {fired}/{total} samples fired a rule"
+    );
+}
+
+/// Directed corners the uniform sweep could in principle miss: the exact
+/// threshold boundaries of every numeric comparison in the tables.
+#[test]
+fn threshold_boundaries_agree() {
+    let cfg = EstimatorConfig::default();
+    let up = Trend::Significant {
+        direction: TrendDirection::Increasing,
+        slope: 1.0,
+        agreement: 0.8,
+    };
+    let latency_good = LatencySignals {
+        observed_ms: Some(10.0),
+        goal_ms: Some(50.0),
+        verdict: LatencyVerdict::Good,
+        trend: Trend::None,
+    };
+    let latency_bad = LatencySignals {
+        observed_ms: Some(100.0),
+        goal_ms: Some(50.0),
+        verdict: LatencyVerdict::Bad,
+        trend: Trend::None,
+    };
+
+    let mut cases = Vec::new();
+    for util_pct in [
+        cfg.very_low_util_pct - 0.01,
+        cfg.very_low_util_pct,
+        cfg.very_low_util_pct + 0.01,
+        cfg.very_high_util_pct - 0.01,
+        cfg.very_high_util_pct,
+        cfg.very_high_util_pct + 0.01,
+    ] {
+        for wait_pct in [
+            cfg.dominant_wait_pct - 0.01,
+            cfg.dominant_wait_pct,
+            cfg.dominant_wait_pct + 0.01,
+        ] {
+            for corr in [
+                None,
+                Some(cfg.corr_threshold - 0.01),
+                Some(cfg.corr_threshold),
+                Some(cfg.corr_threshold + 0.01),
+            ] {
+                for util_level in [UtilLevel::Low, UtilLevel::Medium, UtilLevel::High] {
+                    for wait_level in [
+                        WaitTimeLevel::Low,
+                        WaitTimeLevel::Medium,
+                        WaitTimeLevel::High,
+                    ] {
+                        for pct_level in [WaitPctLevel::NotSignificant, WaitPctLevel::Significant] {
+                            for trend in [Trend::None, up] {
+                                cases.push(ResourceSignals {
+                                    kind: ResourceKind::Cpu,
+                                    util_pct,
+                                    util_level,
+                                    wait_ms: 500.0,
+                                    wait_level,
+                                    wait_pct,
+                                    wait_pct_level: pct_level,
+                                    util_trend: trend,
+                                    wait_trend: Trend::None,
+                                    corr_latency_wait: corr,
+                                    corr_latency_util: None,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    for sig in &cases {
+        for latency in [&latency_good, &latency_bad] {
+            assert_eq!(
+                oracle(&cfg, sig, latency),
+                engine(&cfg, sig, latency),
+                "boundary case diverged: {sig:?}"
+            );
+        }
+    }
+}

@@ -12,13 +12,13 @@
 //! - [`quantile`] — medians and percentiles (breakdown point 50% for the
 //!   median), both nearest-rank and linearly interpolated;
 //! - [`robust`] — trimmed means, MAD, robust summaries;
-//! - [`theil_sen`] — the Theil–Sen slope estimator (breakdown point 29%) with
+//! - [`theil_sen()`] — the Theil–Sen slope estimator (breakdown point 29%) with
 //!   the paper's α-sign-agreement trend-acceptance test (§3.2.1);
 //! - [`ols`] — ordinary least squares with R², the *rejected* baseline the
 //!   paper compares against (breakdown point 0);
-//! - [`rank`] / [`spearman`] — average-rank computation and Spearman's ρ
+//! - [`rank`] / [`spearman()`] — average-rank computation and Spearman's ρ
 //!   (§3.2.2), robust to outliers because values are first mapped to ranks;
-//! - [`pearson`] — Pearson correlation (used internally by Spearman);
+//! - [`pearson()`] — Pearson correlation (used internally by Spearman);
 //! - [`ewma`] — exponentially weighted moving averages;
 //! - [`histogram`] — fixed-bin histograms and empirical CDFs used by the
 //!   figure-reproduction benches;

@@ -1,6 +1,6 @@
 //! Pearson product-moment correlation.
 //!
-//! Used directly by [`crate::spearman`] (Spearman's ρ is the Pearson
+//! Used directly by [`crate::spearman()`] (Spearman's ρ is the Pearson
 //! correlation of ranks) and exposed for diagnostics.
 
 /// Pearson correlation coefficient of paired samples `(x[i], y[i])`.
@@ -18,7 +18,10 @@
 /// ```
 pub fn pearson(x: &[f64], y: &[f64]) -> Option<f64> {
     assert_eq!(x.len(), y.len(), "x and y must have equal length");
-    if x.iter().zip(y.iter()).all(|(a, b)| a.is_finite() && b.is_finite()) {
+    if x.iter()
+        .zip(y.iter())
+        .all(|(a, b)| a.is_finite() && b.is_finite())
+    {
         return pearson_of_finite(x, y);
     }
     let pts: Vec<(f64, f64)> = x

@@ -46,7 +46,10 @@ pub fn spearman_in(x: &[f64], y: &[f64], scratch: &mut SpearmanScratch) -> Optio
     // All-pairs-finite fast path: rank the inputs directly, skipping the
     // pair-filtering copy. Identical results — the filtered copy would be
     // the input itself.
-    if x.iter().zip(y.iter()).all(|(a, b)| a.is_finite() && b.is_finite()) {
+    if x.iter()
+        .zip(y.iter())
+        .all(|(a, b)| a.is_finite() && b.is_finite())
+    {
         if x.len() < 2 {
             return None;
         }

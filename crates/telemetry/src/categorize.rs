@@ -87,6 +87,32 @@ impl fmt::Display for LatencyVerdict {
     }
 }
 
+/// One resource dimension's complete categorical snapshot — the §4.1
+/// categorical value domain as a value.
+///
+/// The rule engine's predicates (`dasr-core::rules`) match on this struct
+/// rather than re-deriving categories from the continuous signals, so a
+/// decision trace can record *exactly* the categorical facts the rules saw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResourceCategories {
+    /// Utilization category.
+    pub util: UtilLevel,
+    /// Wait-magnitude category.
+    pub wait: WaitTimeLevel,
+    /// Wait-percentage category.
+    pub wait_pct: WaitPctLevel,
+}
+
+impl fmt::Display for ResourceCategories {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "util {} / waits {} / share {}",
+            self.util, self.wait, self.wait_pct
+        )
+    }
+}
+
 /// Categorizes a utilization percentage.
 pub fn categorize_util(cfg: &ThresholdConfig, util_pct: f64) -> UtilLevel {
     if util_pct >= cfg.util_high_pct {

@@ -17,7 +17,7 @@
 //!    wait thresholds are *derived from service-wide telemetry* — see
 //!    [`thresholds::derive_wait_thresholds`] and the `dasr-fleet` crate.
 //!
-//! The output is a [`SignalSet`](signals::SignalSet), the sole input of the
+//! The output is a [`SignalSet`], the sole input of the
 //! resource demand estimator in `dasr-core`.
 
 #![forbid(unsafe_code)]
@@ -30,7 +30,7 @@ pub mod signals;
 pub mod thresholds;
 pub mod window;
 
-pub use categorize::{LatencyVerdict, UtilLevel, WaitPctLevel, WaitTimeLevel};
+pub use categorize::{LatencyVerdict, ResourceCategories, UtilLevel, WaitPctLevel, WaitTimeLevel};
 pub use counters::{LatencyGoal, TelemetrySample};
 pub use manager::{TelemetryConfig, TelemetryManager};
 pub use signals::{LatencySignals, ResourceSignals, SignalSet};

@@ -208,8 +208,11 @@ fn resource_signals(
 
     let util_pct =
         median_in(window.util_series(kind, smoothing), &mut scratch.median).unwrap_or(0.0);
-    let wait_ms =
-        median_in(wait_series(cfg, window, class, smoothing), &mut scratch.median).unwrap_or(0.0);
+    let wait_ms = median_in(
+        wait_series(cfg, window, class, smoothing),
+        &mut scratch.median,
+    )
+    .unwrap_or(0.0);
     let wait_pct = median_wait_pct(window, scratch, class, smoothing);
 
     let util_series_t = window.util_series(kind, cfg.trend_window);

@@ -1,6 +1,8 @@
 //! The signal set: everything the demand estimator consumes.
 
-use crate::categorize::{LatencyVerdict, UtilLevel, WaitPctLevel, WaitTimeLevel};
+use crate::categorize::{
+    LatencyVerdict, ResourceCategories, UtilLevel, WaitPctLevel, WaitTimeLevel,
+};
 use dasr_containers::{ResourceKind, RESOURCE_KINDS};
 use dasr_engine::WaitClass;
 use dasr_stats::Trend;
@@ -44,6 +46,16 @@ pub struct ResourceSignals {
 }
 
 impl ResourceSignals {
+    /// The categorical snapshot of this dimension (§4.1) — what the rule
+    /// predicates match on.
+    pub fn categories(&self) -> ResourceCategories {
+        ResourceCategories {
+            util: self.util_level,
+            wait: self.wait_level,
+            wait_pct: self.wait_pct_level,
+        }
+    }
+
     /// True when either the utilization or the wait series shows a
     /// significant *increasing* trend (§4.2's "SIGNIFICANT increasing trend
     /// over time in utilization and/or wait").

@@ -267,8 +267,7 @@ mod tests {
             for i in 0..(3 * cap as u64 + 1) {
                 w.push(sample(i, i as f64 * 1.5, i as f64 * 2.0, Some(i as f64)));
                 for n in 0..=cap + 2 {
-                    let expect: Vec<f64> =
-                        w.recent(n).map(|s| s.util(ResourceKind::Cpu)).collect();
+                    let expect: Vec<f64> = w.recent(n).map(|s| s.util(ResourceKind::Cpu)).collect();
                     assert_eq!(w.util_series(ResourceKind::Cpu, n), &expect[..]);
                     let expect: Vec<f64> = w.recent(n).map(|s| s.wait(WaitClass::Cpu)).collect();
                     assert_eq!(w.wait_series(WaitClass::Cpu, n), &expect[..]);
@@ -286,6 +285,9 @@ mod tests {
         let mut s = sample(1, 0.0, 60.0, None);
         s.completed = 4;
         w.push(s);
-        assert_eq!(w.wait_per_request_series(WaitClass::Cpu, 2), vec![50.0, 15.0]);
+        assert_eq!(
+            w.wait_per_request_series(WaitClass::Cpu, 2),
+            vec![50.0, 15.0]
+        );
     }
 }

@@ -52,7 +52,7 @@ fn main() {
         let constrained = report
             .intervals
             .iter()
-            .filter(|i| i.explanations.iter().any(|e| e.contains("budget")))
+            .filter(|i| i.explanations().iter().any(|e| e.contains("budget")))
             .count();
         println!("== {label} ==");
         println!(

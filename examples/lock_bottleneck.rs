@@ -49,11 +49,11 @@ fn main() {
     let explanation = auto_report
         .intervals
         .iter()
-        .flat_map(|i| i.explanations.iter())
+        .flat_map(|i| i.explanations())
         .find(|e| e.contains("locks"));
     println!(
         "\nAuto's explanation (§4): {}",
-        explanation.map_or("<none>", |s| s.as_str())
+        explanation.as_deref().unwrap_or("<none>")
     );
     println!(
         "Paper (Figure 13): lock waits dominate; Util buys up to 70% of the server and \

@@ -50,7 +50,7 @@ fn main() {
             i.rung,
             i.cost,
             i.latency_ms.unwrap_or(f64::NAN),
-            i.explanations.join("; ")
+            i.explanations().join("; ")
         );
     }
     println!();

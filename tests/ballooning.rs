@@ -84,7 +84,7 @@ fn without_ballooning_the_memory_trap_springs() {
 fn balloon_probes_are_explained() {
     let with = run(true, 40);
     let mentions_balloon = with.intervals.iter().any(|i| {
-        i.explanations
+        i.explanations()
             .iter()
             .any(|e| e.contains("Balloon") || e.contains("ballooning"))
     });

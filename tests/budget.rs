@@ -95,7 +95,7 @@ fn budget_constrained_runs_annotate_decisions() {
         report
             .intervals
             .iter()
-            .any(|i| i.explanations.iter().any(|e| e.contains("budget"))),
+            .any(|i| i.explanations().iter().any(|e| e.contains("budget"))),
         "constrained scaling must be explained"
     );
 }

@@ -129,12 +129,15 @@ fn offline_profile_baselines_are_ordered() {
 fn explanations_accompany_every_interval() {
     let trace = burst_trace(25);
     let report = run_auto(&trace, 100.0);
-    assert!(report.intervals.iter().all(|i| !i.explanations.is_empty()));
+    assert!(report
+        .intervals
+        .iter()
+        .all(|i| !i.explanations().is_empty()));
     // At least one scale-up explanation mentions a bottleneck during the burst.
     assert!(report
         .intervals
         .iter()
-        .any(|i| i.explanations.iter().any(|e| e.contains("Scale-up"))));
+        .any(|i| i.explanations().iter().any(|e| e.contains("Scale-up"))));
 }
 
 #[test]

@@ -218,10 +218,7 @@ impl Bencher {
             }
         }
         let est_per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
-        let target = self
-            .measurement_time
-            .as_secs_f64()
-            .max(est_per_iter); // at least one iteration
+        let target = self.measurement_time.as_secs_f64().max(est_per_iter); // at least one iteration
         let iters = ((target / est_per_iter).round() as u64).clamp(1, 1 << 28);
 
         let start = Instant::now();

@@ -268,7 +268,10 @@ pub mod collection {
         S: Strategy,
         S::Value: Ord,
     {
-        assert!(size.start < size.end, "btree_set strategy: empty size range");
+        assert!(
+            size.start < size.end,
+            "btree_set strategy: empty size range"
+        );
         BTreeSetStrategy { element, size }
     }
 }
