@@ -174,4 +174,6 @@ pub fn print_comparison(title: &str, goal_desc: &str, result: &ComparisonResult)
     }
     println!("auto rule fires (§4 demand + §6 arbitration, ranked):");
     print!("{}", result.report("auto").rule_histogram());
+    println!("auto run observability (metrics registry + event stream):");
+    print!("{}", result.report("auto").obs.summary());
 }

@@ -102,6 +102,11 @@ impl BudgetManager {
         self.spent
     }
 
+    /// The whole-period budget (`B`).
+    pub fn budget(&self) -> f64 {
+        self.budget
+    }
+
     /// Remaining whole-period budget (`B − spent`).
     pub fn remaining(&self) -> f64 {
         (self.budget - self.spent).max(0.0)

@@ -30,7 +30,11 @@
 //!   independent tenant loops across OS threads with bit-identical results
 //!   regardless of thread count;
 //! - [`report`] — per-interval timelines and whole-run summaries (cost per
-//!   interval, 95th-percentile latency, resize counts).
+//!   interval, 95th-percentile latency, resize counts);
+//! - [`obs`] — the **fleet observability layer**: a metrics registry
+//!   (counters, gauges, fixed-bucket histograms) plus a structured
+//!   [`obs::RunEvent`] stream, recorded per interval and merged
+//!   deterministically across a fleet — the §7 aggregate-telemetry view.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,6 +43,7 @@ pub mod budget;
 pub mod estimator;
 pub mod explain;
 pub mod knobs;
+pub mod obs;
 pub mod policy;
 pub mod report;
 pub mod rules;
@@ -49,6 +54,10 @@ pub use budget::{BudgetManager, BudgetStrategy};
 pub use estimator::{DemandEstimate, DemandEstimator, EstimatorConfig};
 pub use explain::Explanation;
 pub use knobs::{PerfSensitivity, TenantKnobs};
+pub use obs::{
+    CounterId, EventKind, EventVerbosity, GaugeId, HistogramId, MetricRegistry, ObsConfig,
+    RunEvent, RunObservability, TimerId,
+};
 pub use policy::{
     AutoPolicy, BalloonCommand, BalloonStatus, PolicyContext, PolicyDecision, ScalingPolicy,
     SchedulePolicy, StaticPolicy, UtilPolicy,

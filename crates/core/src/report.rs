@@ -1,5 +1,6 @@
 //! Run reports: per-interval timelines and whole-run summaries.
 
+use crate::obs::RunObservability;
 use crate::rules::RuleHistogram;
 use crate::trace::DecisionTrace;
 use dasr_containers::{ContainerId, ResourceVector};
@@ -7,7 +8,7 @@ use dasr_engine::waits::WAIT_CLASSES;
 use dasr_stats::{percentile, percentile_interpolated};
 
 /// One billing interval's record.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IntervalRecord {
     /// Billing interval index (minute).
     pub minute: u64,
@@ -53,7 +54,13 @@ impl IntervalRecord {
 }
 
 /// A full closed-loop run.
-#[derive(Debug, Clone)]
+///
+/// Equality is bit-exact over the deterministic run state — intervals,
+/// latencies, counters and the [`RunObservability`]'s deterministic
+/// sections — which is what the fleet thread-count-invariance property
+/// test compares (wall-clock timers are excluded; see
+/// [`crate::obs::MetricRegistry`]).
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
     /// Policy name.
     pub policy: String,
@@ -69,6 +76,9 @@ pub struct RunReport {
     pub resizes: u64,
     /// Requests rejected across the run.
     pub rejected_total: u64,
+    /// The run's observability: metrics registry + event stream
+    /// (see [`crate::obs`]).
+    pub obs: RunObservability,
 }
 
 impl RunReport {
@@ -190,6 +200,7 @@ mod tests {
             all_latencies_ms: (1..=100).map(f64::from).collect(),
             resizes: 2,
             rejected_total: 1,
+            obs: RunObservability::default(),
         }
     }
 
@@ -241,6 +252,7 @@ mod tests {
             all_latencies_ms: vec![],
             resizes: 0,
             rejected_total: 0,
+            obs: RunObservability::default(),
         };
         assert_eq!(r.avg_cost_per_interval(), 0.0);
         assert_eq!(r.p95_ms(), None);

@@ -529,6 +529,31 @@ pub struct Evaluation {
 
 impl RuleTable {
     /// Evaluates the table first-match-wins under `ctx`.
+    ///
+    /// # Examples
+    ///
+    /// The §6 arbitration table evaluated over a per-decision fact set —
+    /// the first row whose predicate holds wins:
+    ///
+    /// ```
+    /// use dasr_core::rules::{EvalCtx, Fact, FactSet, RuleId, ARBITRATION};
+    /// use dasr_core::EstimatorConfig;
+    ///
+    /// let cfg = EstimatorConfig::default();
+    ///
+    /// // Scale-up demand with the gate open and no cooldown block…
+    /// let facts = FactSet::new()
+    ///     .with(Fact::ScaleUpGate, true)
+    ///     .with(Fact::DemandUp, true);
+    /// let eval = ARBITRATION.evaluate(&EvalCtx::arbitration(&cfg, facts));
+    /// assert_eq!(eval.fired.map(|f| f.id), Some(RuleId::ScaleUpDemand));
+    ///
+    /// // …while an empty fact set falls through every branch to the
+    /// // catch-all hold row, recording each rule it tried on the way.
+    /// let eval = ARBITRATION.evaluate(&EvalCtx::arbitration(&cfg, FactSet::new()));
+    /// assert_eq!(eval.fired.map(|f| f.id), Some(RuleId::HoldSteady));
+    /// assert_eq!(eval.evaluated.len(), 6);
+    /// ```
     pub fn evaluate(&self, ctx: &EvalCtx<'_>) -> Evaluation {
         let mut evaluated = Vec::with_capacity(self.rules.len());
         for rule in self.rules {

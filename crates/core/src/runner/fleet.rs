@@ -15,6 +15,7 @@
 //! the output, so neither scheduling nor chunking can reorder or perturb
 //! anything. `FleetRunner::new(1)` is the sequential reference.
 
+use crate::obs::{MetricRegistry, RunObservability};
 use crate::policy::ScalingPolicy;
 use crate::report::RunReport;
 use crate::rules::RuleHistogram;
@@ -110,12 +111,13 @@ impl FleetRunner {
                 tenant.workload.clone(),
                 policy.as_mut(),
             );
-            // Stamp the tenant index into every decision trace so fleet-wide
-            // JSONL dumps stay attributable (pure function of `i`, so the
-            // determinism contract is untouched).
+            // Stamp the tenant index into every decision trace and run
+            // event so fleet-wide JSONL dumps stay attributable (pure
+            // function of `i`, so the determinism contract is untouched).
             for rec in &mut report.intervals {
                 rec.trace.tenant = Some(i as u64);
             }
+            report.obs.stamp_tenant(i as u64);
             report
         });
         FleetReport { reports }
@@ -210,6 +212,33 @@ impl FleetReport {
             hist.merge(&r.rule_histogram());
         }
         hist
+    }
+
+    /// The fleet-wide [`MetricRegistry`]: every tenant's registry merged
+    /// in tenant-index order — a pure fold, so the result is bit-identical
+    /// for any thread count (timers aside; see [`MetricRegistry`]).
+    pub fn fleet_metrics(&self) -> MetricRegistry {
+        let mut merged = MetricRegistry::new();
+        for r in &self.reports {
+            merged.merge(&r.obs.metrics);
+        }
+        merged
+    }
+
+    /// The fleet-wide observability: merged metrics plus every tenant's
+    /// event stream concatenated in tenant-index order (events carry their
+    /// tenant stamp from [`FleetRunner::run_fleet`]).
+    pub fn fleet_obs(&self) -> RunObservability {
+        let mut merged = RunObservability::default();
+        for r in &self.reports {
+            merged.merge(&r.obs);
+        }
+        merged
+    }
+
+    /// The fleet's event stream as JSON lines, tenant by tenant.
+    pub fn events_jsonl(&self) -> String {
+        self.fleet_obs().events_jsonl()
     }
 
     /// 95th-percentile latency over the *pooled* request population, ms.

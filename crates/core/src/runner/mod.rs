@@ -8,6 +8,7 @@ pub mod fleet;
 
 use crate::budget::{BudgetManager, BudgetStrategy};
 use crate::knobs::TenantKnobs;
+use crate::obs::{IntervalObservation, ObsConfig, RunObservability, TimerId};
 use crate::policy::{BalloonCommand, BalloonStatus, PolicyContext, ScalingPolicy};
 use crate::report::{IntervalRecord, RunReport};
 use dasr_containers::{Catalog, ContainerId, ResourceVector};
@@ -36,6 +37,9 @@ pub struct RunConfig {
     pub prewarm_pages: u64,
     /// Seed for workload randomness.
     pub seed: u64,
+    /// Observability configuration (event-stream verbosity; metrics are
+    /// always recorded).
+    pub obs: ObsConfig,
 }
 
 impl Default for RunConfig {
@@ -49,6 +53,7 @@ impl Default for RunConfig {
             initial: None,
             prewarm_pages: 0,
             seed: 0xDA5A,
+            obs: ObsConfig::default(),
         }
     }
 }
@@ -114,6 +119,7 @@ impl ClosedLoop {
         let mut all_latencies = Vec::new();
         let mut resizes = 0u64;
         let mut rejected_total = 0u64;
+        let mut obs = RunObservability::new(cfg.obs.verbosity);
 
         for minute in 0..minutes {
             driver.submit_minute(minute, &mut engine);
@@ -131,7 +137,12 @@ impl ClosedLoop {
                 }
                 out
             };
+            // §3 signal computation, timed (wall-clock; the timer section
+            // is excluded from the determinism contract).
+            let t0 = std::time::Instant::now();
             let signals = tm.observe(sample);
+            obs.metrics
+                .observe_ns(TimerId::SignalsNs, t0.elapsed().as_nanos() as u64);
 
             // Bill the interval that just ran.
             let cost = current.cost;
@@ -161,7 +172,10 @@ impl ClosedLoop {
                 available_budget: budget.as_ref().map(|b| b.available()),
                 balloon: balloon_status,
             };
+            let t0 = std::time::Instant::now();
             let decision = policy.decide(&ctx);
+            obs.metrics
+                .observe_ns(TimerId::DecideNs, t0.elapsed().as_nanos() as u64);
 
             match decision.balloon {
                 BalloonCommand::None => {}
@@ -172,6 +186,19 @@ impl ClosedLoop {
 
             let resized = decision.target != current.id;
             let target = decision.target;
+            let target_rung = catalog
+                .get(target)
+                .expect("policy picked an unknown container")
+                .rung;
+            obs.record_interval(IntervalObservation {
+                trace: &decision.trace,
+                latency_ms,
+                completed: stats.completed,
+                rejected: stats.rejected,
+                from_rung: current.rung,
+                to_rung: target_rung,
+                budget_headroom_pct: budget.as_ref().map(|b| b.remaining() / b.budget() * 100.0),
+            });
             intervals.push(IntervalRecord {
                 minute: minute as u64,
                 container: current.id,
@@ -198,6 +225,8 @@ impl ClosedLoop {
             }
         }
 
+        obs.finish(current.rung, budget.as_ref().map(BudgetManager::remaining));
+
         RunReport {
             policy: policy.name().to_string(),
             workload: workload_name,
@@ -206,6 +235,7 @@ impl ClosedLoop {
             all_latencies_ms: all_latencies,
             resizes,
             rejected_total,
+            obs,
         }
     }
 }

@@ -593,8 +593,8 @@ fn explanation_from_json(v: &Json) -> Result<Explanation, String> {
 }
 
 /// A minimal JSON value with a writer and a recursive-descent parser —
-/// exactly the subset the trace format needs.
-mod json {
+/// exactly the subset the trace and [`crate::obs`] formats need.
+pub(crate) mod json {
     use std::fmt::Write as _;
 
     /// A JSON value.

@@ -32,7 +32,9 @@ pub mod waitmodel;
 pub use archetype::TenantArchetype;
 pub use events::{ChangeAnalysis, StepSizeDistribution};
 pub use population::{TenantPopulation, TenantTrace};
-pub use thresholds::derive_threshold_config;
+pub use thresholds::{
+    derive_threshold_config, derive_threshold_config_observed, DerivationSummary,
+};
 pub use waitmodel::{WaitModel, WaitObservation};
 
 /// Number of 5-minute intervals in the week-long analysis window (§2.2).

@@ -12,6 +12,51 @@ use dasr_containers::RESOURCE_KINDS;
 use dasr_core::FleetRunner;
 use dasr_telemetry::thresholds::derive_wait_thresholds;
 use dasr_telemetry::ThresholdConfig;
+use std::fmt;
+
+/// Structured observability of one threshold derivation (§4.1): how many
+/// fleet observations each resource contributed to the low- and
+/// high-utilization conditional distributions, and whether derivation
+/// succeeded. Human-readable output is rendered from this via
+/// [`fmt::Display`], never stored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DerivationSummary {
+    /// Observations generated per resource.
+    pub observations_per_resource: usize,
+    /// Observations below the low-utilization boundary, per resource
+    /// (order of [`RESOURCE_KINDS`]).
+    pub low_counts: [usize; RESOURCE_KINDS.len()],
+    /// Observations above the high-utilization boundary, per resource.
+    pub high_counts: [usize; RESOURCE_KINDS.len()],
+    /// Whether each resource's derivation produced thresholds (enough
+    /// separation in the conditionals).
+    pub derived: [bool; RESOURCE_KINDS.len()],
+}
+
+impl fmt::Display for DerivationSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "threshold derivation over {} observations/resource:",
+            self.observations_per_resource
+        )?;
+        for (i, kind) in RESOURCE_KINDS.into_iter().enumerate() {
+            writeln!(
+                f,
+                "  {:>8}: {:>7} low-util obs, {:>7} high-util obs, derived: {}",
+                kind.to_string(),
+                self.low_counts[i],
+                self.high_counts[i],
+                if self.derived[i] {
+                    "yes"
+                } else {
+                    "no (defaults kept)"
+                }
+            )?;
+        }
+        Ok(())
+    }
+}
 
 /// Derives a full [`ThresholdConfig`] from `observations_per_resource`
 /// synthetic fleet observations.
@@ -25,6 +70,16 @@ pub fn derive_threshold_config(
     interval_scale: f64,
     seed: u64,
 ) -> ThresholdConfig {
+    derive_threshold_config_observed(observations_per_resource, interval_scale, seed).0
+}
+
+/// Like [`derive_threshold_config`], additionally returning the
+/// [`DerivationSummary`] describing what the derivation saw.
+pub fn derive_threshold_config_observed(
+    observations_per_resource: usize,
+    interval_scale: f64,
+    seed: u64,
+) -> (ThresholdConfig, DerivationSummary) {
     assert!(
         observations_per_resource >= 100,
         "need a meaningful fleet sample"
@@ -52,16 +107,28 @@ pub fn derive_threshold_config(
                 pct_high.push(o.wait_pct);
             }
         }
-        derive_wait_thresholds(&wait_low, &wait_high, &pct_low, &pct_high)
+        let derived = derive_wait_thresholds(&wait_low, &wait_high, &pct_low, &pct_high);
+        (derived, wait_low.len(), wait_high.len())
     });
-    for (kind, derived) in RESOURCE_KINDS.into_iter().zip(derived_per_kind) {
+    let mut summary = DerivationSummary {
+        observations_per_resource,
+        low_counts: [0; RESOURCE_KINDS.len()],
+        high_counts: [0; RESOURCE_KINDS.len()],
+        derived: [false; RESOURCE_KINDS.len()],
+    };
+    for (i, (kind, (derived, low_n, high_n))) in
+        RESOURCE_KINDS.into_iter().zip(derived_per_kind).enumerate()
+    {
+        summary.low_counts[i] = low_n;
+        summary.high_counts[i] = high_n;
+        summary.derived[i] = derived.is_some();
         if let Some(mut derived) = derived {
             derived.low_ms *= interval_scale;
             derived.high_ms *= interval_scale;
             *cfg.waits_for_mut(kind) = derived;
         }
     }
-    cfg.validated()
+    (cfg.validated(), summary)
 }
 
 #[cfg(test)]
@@ -119,5 +186,23 @@ mod tests {
         let a = derive_threshold_config(5_000, 1.0, 11);
         let b = derive_threshold_config(5_000, 1.0, 11);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn summary_accounts_for_every_split_observation() {
+        let (cfg, summary) = derive_threshold_config_observed(5_000, 1.0, 11);
+        assert_eq!(cfg, derive_threshold_config(5_000, 1.0, 11));
+        assert_eq!(summary.observations_per_resource, 5_000);
+        for i in 0..RESOURCE_KINDS.len() {
+            assert!(summary.low_counts[i] > 0, "some low-util observations");
+            assert!(summary.high_counts[i] > 0, "some high-util observations");
+            assert!(
+                summary.low_counts[i] + summary.high_counts[i] <= 5_000,
+                "splits are disjoint subsets"
+            );
+            assert!(summary.derived[i], "a 5k sample should derive thresholds");
+        }
+        let text = summary.to_string();
+        assert!(text.contains("cpu") && text.contains("derived: yes"));
     }
 }

@@ -216,6 +216,23 @@ impl TheilSen {
     /// flat or noisy: a constant series yields `Some(0.0)`. (Earlier
     /// versions routed through the agreement test, which both paid its full
     /// cost and wrongly returned `None` for flat series.)
+    ///
+    /// # Examples
+    ///
+    /// The median of pairwise slopes shrugs off an outlier that would drag
+    /// a least-squares fit (§3.2.1):
+    ///
+    /// ```
+    /// use dasr_stats::TheilSen;
+    ///
+    /// let ts = TheilSen::new();
+    /// let x = [0.0, 1.0, 2.0, 3.0, 4.0];
+    /// assert_eq!(ts.slope(&x, &[1.0, 3.0, 5.0, 7.0, 9.0]), Some(2.0));
+    /// // One corrupted sample: the median slope is still 2.
+    /// assert_eq!(ts.slope(&x, &[1.0, 3.0, 5.0, 7.0, 100.0]), Some(2.0));
+    /// // A flat series is a valid zero slope, not a rejection.
+    /// assert_eq!(ts.slope(&x, &[5.0; 5]), Some(0.0));
+    /// ```
     pub fn slope(&self, x: &[f64], y: &[f64]) -> Option<f64> {
         self.slope_in(x, y, &mut TrendScratch::default())
     }

@@ -18,6 +18,36 @@ use dasr_engine::WaitClass;
 
 /// A bounded FIFO window of [`TelemetrySample`]s with zero-copy series
 /// extraction.
+///
+/// # Examples
+///
+/// ```
+/// use dasr_containers::ResourceKind;
+/// use dasr_telemetry::window::SampleWindow;
+/// use dasr_telemetry::TelemetrySample;
+///
+/// let mut w = SampleWindow::new(3);
+/// for i in 0..5u64 {
+///     w.push(TelemetrySample {
+///         interval: i,
+///         util_pct: [10.0 * i as f64, 0.0, 0.0, 0.0],
+///         wait_ms: [0.0; 7],
+///         latency_ms: Some(8.0),
+///         avg_latency_ms: Some(6.0),
+///         completed: 100,
+///         arrivals: 100,
+///         rejected: 0,
+///         mem_used_mb: 512.0,
+///         mem_capacity_mb: 1024.0,
+///         disk_reads_per_sec: 0.0,
+///     });
+/// }
+/// // Only the last `cap` samples survive…
+/// assert_eq!(w.len(), 3);
+/// assert_eq!(w.latest().unwrap().interval, 4);
+/// // …and every series is one contiguous zero-copy slice, oldest → newest.
+/// assert_eq!(w.util_series(ResourceKind::Cpu, 3), &[20.0, 30.0, 40.0]);
+/// ```
 #[derive(Debug, Clone)]
 pub struct SampleWindow {
     cap: usize,
