@@ -1,31 +1,60 @@
 //! Criterion micro-benchmarks for the engine substrate: request throughput
 //! of the discrete-event simulator.
+//!
+//! `engine_1000_requests_mixed` is the headline fast-path number (tracked
+//! in `BENCH_engine.json` by CI); `engine_oracle_1000_requests_mixed` runs
+//! the identical workload through the preserved pre-fast-path
+//! [`OracleEngine`], so the pair measures the slab + event-wheel +
+//! allocation-free-dispatch speedup directly. The lock-contention and
+//! resize-churn groups stress the two paths the mixed workload exercises
+//! least: waiter hand-off chains and capacity churn with eviction
+//! writeback. `engine_fleet_16_tenants` is the closed-loop wall-time view
+//! (engine + telemetry + policy per minute) on one thread.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use dasr_containers::ResourceVector;
+use dasr_core::{tenant_seed, AutoPolicy, FleetRunner, RunConfig, ScalingPolicy, TenantSpec};
 use dasr_engine::request::RequestBuilder;
-use dasr_engine::{Engine, EngineConfig, SimTime};
+use dasr_engine::{Engine, EngineConfig, OracleEngine, SimTime};
+use dasr_workloads::{CpuIoConfig, CpuIoWorkload, Trace};
+
+/// Submits the headline mixed workload (locks + CPU + reads + dirty
+/// writes + log appends) into either engine via the `submit` closure.
+macro_rules! mixed_workload {
+    ($e:ident) => {
+        for i in 0..1_000u64 {
+            $e.submit_at(
+                SimTime::from_micros(i * 500),
+                RequestBuilder::new()
+                    .lock((i % 16) as u32, i % 4 == 0)
+                    .cpu(2_000)
+                    .read(i % 150_000)
+                    .write((i * 7) % 150_000)
+                    .log(1_024)
+                    .build(),
+            );
+        }
+    };
+}
 
 fn bench_engine(c: &mut Criterion) {
+    let container = ResourceVector::new(4.0, 4_096.0, 800.0, 40.0);
+
     c.bench_function("engine_1000_requests_mixed", |b| {
         b.iter(|| {
-            let mut e = Engine::new(
-                EngineConfig::default(),
-                ResourceVector::new(4.0, 4_096.0, 800.0, 40.0),
-            );
+            let mut e = Engine::new(EngineConfig::default(), container);
             e.prewarm(100_000);
-            for i in 0..1_000u64 {
-                e.submit_at(
-                    SimTime::from_micros(i * 500),
-                    RequestBuilder::new()
-                        .lock((i % 16) as u32, i % 4 == 0)
-                        .cpu(2_000)
-                        .read(i % 150_000)
-                        .write((i * 7) % 150_000)
-                        .log(1_024)
-                        .build(),
-                );
-            }
+            mixed_workload!(e);
+            e.run_until(SimTime::from_secs(30));
+            black_box(e.end_interval())
+        })
+    });
+
+    c.bench_function("engine_oracle_1000_requests_mixed", |b| {
+        b.iter(|| {
+            let mut e = OracleEngine::new(EngineConfig::default(), container);
+            e.prewarm(100_000);
+            mixed_workload!(e);
             e.run_until(SimTime::from_secs(30));
             black_box(e.end_interval())
         })
@@ -51,5 +80,96 @@ fn bench_engine(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_engine);
+/// Long waiter chains on a handful of hot locks: almost every request
+/// blocks, so the run is dominated by lock grant hand-off and waiter
+/// resumption (the `release`/`release_all` scratch path).
+fn bench_lock_contention(c: &mut Criterion) {
+    c.bench_function("engine_lock_contention_heavy", |b| {
+        b.iter(|| {
+            let mut e = Engine::new(
+                EngineConfig::default(),
+                ResourceVector::new(8.0, 1_024.0, 800.0, 40.0),
+            );
+            for i in 0..800u64 {
+                e.submit_at(
+                    SimTime::from_micros(i * 50),
+                    RequestBuilder::new()
+                        .lock((i % 4) as u32, true)
+                        .cpu(300)
+                        .lock(4 + (i % 2) as u32, i % 8 != 0)
+                        .think(200)
+                        .build(),
+                );
+            }
+            e.run_until(SimTime::from_secs(30));
+            black_box(e.end_interval())
+        })
+    });
+}
+
+/// Capacity churn: a resize every simulated 250 ms (alternating shrink and
+/// grow) while a read/write stream keeps the pool full — stresses
+/// `set_capacity` eviction, the page-map rebuild-free delete path, and
+/// writeback coalescing.
+fn bench_resize_churn(c: &mut Criterion) {
+    c.bench_function("engine_resize_churn", |b| {
+        b.iter(|| {
+            let big = ResourceVector::new(4.0, 1_024.0, 800.0, 40.0);
+            let small = ResourceVector::new(2.0, 128.0, 400.0, 20.0);
+            let mut e = Engine::new(EngineConfig::default(), big);
+            e.prewarm(50_000);
+            for i in 0..600u64 {
+                e.submit_at(
+                    SimTime::from_micros(i * 800),
+                    RequestBuilder::new()
+                        .cpu(500)
+                        .write(i % 40_000)
+                        .read((i * 13) % 40_000)
+                        .build(),
+                );
+            }
+            for step in 0..8u64 {
+                e.run_until(SimTime::from_millis(250 * (step + 1)));
+                e.apply_resources(if step % 2 == 0 { small } else { big });
+            }
+            e.run_until(SimTime::from_secs(20));
+            black_box(e.end_interval())
+        })
+    });
+}
+
+/// Fleet wall time: 16 tenants × 10 minutes of the full closed loop
+/// (engine + telemetry + auto-policy) on one thread — the end-to-end view
+/// of what the engine fast path buys a fleet experiment.
+fn bench_fleet(c: &mut Criterion) {
+    let tenants: Vec<TenantSpec<CpuIoWorkload>> = (0..16)
+        .map(|i| TenantSpec {
+            cfg: RunConfig {
+                seed: tenant_seed(0xBE7C, i as u64),
+                ..RunConfig::default()
+            },
+            trace: Trace::new(
+                "bench",
+                (0..10).map(|m| 4.0 + ((i + m) % 6) as f64 * 2.5).collect(),
+            ),
+            workload: CpuIoWorkload::new(CpuIoConfig::small()),
+        })
+        .collect();
+    c.bench_function("engine_fleet_16_tenants_10min", |b| {
+        b.iter(|| {
+            let report = FleetRunner::new(1).run_fleet(&tenants, |_, t| {
+                Box::new(AutoPolicy::with_knobs(t.cfg.knobs)) as Box<dyn ScalingPolicy>
+            });
+            black_box(report.completed_total())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_engine,
+    bench_lock_contention,
+    bench_resize_churn,
+    bench_fleet
+);
 criterion_main!(benches);

@@ -120,11 +120,15 @@ impl ClosedLoop {
         let mut resizes = 0u64;
         let mut rejected_total = 0u64;
         let mut obs = RunObservability::new(cfg.obs.verbosity);
+        // Reused across intervals: `end_interval_into` ping-pongs the
+        // latency buffer with the engine, so the per-minute hot loop does
+        // not allocate telemetry.
+        let mut stats = dasr_engine::IntervalStats::default();
 
         for minute in 0..minutes {
             driver.submit_minute(minute, &mut engine);
             engine.run_until(SimTime::from_mins(minute as u64 + 1));
-            let stats = engine.end_interval();
+            engine.end_interval_into(&mut stats);
             rejected_total += stats.rejected;
             all_latencies.extend_from_slice(&stats.latencies_ms);
 

@@ -10,8 +10,7 @@
 use crate::governor::{Dispatched, PacedQueue};
 use crate::time::SimTime;
 
-/// Identifier of a request inside the engine.
-pub type ReqId = u64;
+pub use crate::request::ReqId;
 
 /// Burst headroom, µs of virtual-time lag: `cores × CPU_ALLOWANCE_US`
 /// core-µs of work may run unthrottled after idle periods.
@@ -74,15 +73,21 @@ impl CpuScheduler {
         );
     }
 
-    /// Dispatches admissible bursts; returns them plus an optional ready
-    /// callback time the engine must schedule.
-    pub fn pump(&mut self, now: SimTime) -> (Vec<Dispatched<CpuJob>>, Option<u64>) {
-        self.q.pump(now.as_micros())
+    /// Dispatches admissible bursts into `out` (cleared first; the caller
+    /// owns and reuses the buffer, so pumping never allocates). Returns an
+    /// optional ready callback time the engine must schedule.
+    pub fn pump(&mut self, now: SimTime, out: &mut Vec<Dispatched<CpuJob>>) -> Option<u64> {
+        self.q.pump(now.as_micros(), out)
     }
 
-    /// Handles a ready callback.
-    pub fn on_ready(&mut self, at_us: u64, now: SimTime) -> (Vec<Dispatched<CpuJob>>, Option<u64>) {
-        self.q.on_ready(at_us, now.as_micros())
+    /// Handles a ready callback, dispatching into `out` (cleared first).
+    pub fn on_ready(
+        &mut self,
+        at_us: u64,
+        now: SimTime,
+        out: &mut Vec<Dispatched<CpuJob>>,
+    ) -> Option<u64> {
+        self.q.on_ready(at_us, now.as_micros(), out)
     }
 
     /// Bursts queued behind the governor.
@@ -107,10 +112,10 @@ mod tests {
 
     fn drain(cpu: &mut CpuScheduler, mut ready: Option<u64>) -> Vec<Dispatched<CpuJob>> {
         let mut out = Vec::new();
+        let mut buf = Vec::new();
         while let Some(at) = ready {
-            let (d, r) = cpu.on_ready(at, SimTime::from_micros(at));
-            out.extend(d);
-            ready = r;
+            ready = cpu.on_ready(at, SimTime::from_micros(at), &mut buf);
+            out.extend_from_slice(&buf);
         }
         out
     }
@@ -121,7 +126,8 @@ mod tests {
         // (credit semantics, not speed division).
         let mut cpu = CpuScheduler::new(0.5);
         cpu.submit(1, 20_000, SimTime::from_secs(10));
-        let (d, ready) = cpu.pump(SimTime::from_secs(10));
+        let mut d = Vec::new();
+        let ready = cpu.pump(SimTime::from_secs(10), &mut d);
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].queued_wait_us, 0);
         assert!(ready.is_none());
@@ -133,7 +139,8 @@ mod tests {
         for _ in 0..10 {
             cpu.submit(1, 50_000, SimTime::ZERO);
         }
-        let (d, ready) = cpu.pump(SimTime::ZERO);
+        let mut d = Vec::new();
+        let ready = cpu.pump(SimTime::ZERO, &mut d);
         assert_eq!(d.len(), 2, "the allowance covers ~100 ms of work");
         assert!(ready.is_some());
         let rest = drain(&mut cpu, ready);
@@ -149,7 +156,7 @@ mod tests {
             for _ in 0..20 {
                 cpu.submit(1, 50_000, SimTime::ZERO);
             }
-            let (_, ready) = cpu.pump(SimTime::ZERO);
+            let ready = cpu.pump(SimTime::ZERO, &mut Vec::new());
             drain(&mut cpu, ready).last().map_or(0, |d| d.start_us)
         };
         assert!(last_start(8.0) < last_start(1.0) / 4);
@@ -161,7 +168,7 @@ mod tests {
         for _ in 0..20 {
             cpu.submit(1, 100_000, SimTime::ZERO);
         }
-        let (_, ready) = cpu.pump(SimTime::ZERO);
+        let ready = cpu.pump(SimTime::ZERO, &mut Vec::new());
         cpu.resize(10.0);
         let rest = drain(&mut cpu, ready);
         let last = rest.last().unwrap().start_us;
@@ -173,7 +180,7 @@ mod tests {
         let mut cpu = CpuScheduler::new(2.0);
         cpu.submit(1, 300, SimTime::ZERO);
         cpu.submit(1, 700, SimTime::ZERO);
-        let _ = cpu.pump(SimTime::ZERO);
+        let _ = cpu.pump(SimTime::ZERO, &mut Vec::new());
         assert_eq!(cpu.take_work_done_us(), 1_000.0);
         assert_eq!(cpu.take_work_done_us(), 0.0);
     }

@@ -84,20 +84,22 @@ impl IoDevice {
         self.q.submit_low(token, cost.max(1.0), now.as_micros());
     }
 
-    /// Dispatches admissible operations. Completion is at
-    /// `start + base_latency`; the caller schedules those events, plus the
-    /// optional ready callback.
-    pub fn pump(&mut self, now: SimTime) -> (Vec<Dispatched<IoToken>>, Option<u64>) {
-        self.q.pump(now.as_micros())
+    /// Dispatches admissible operations into `out` (cleared first; the
+    /// caller owns and reuses the buffer, so pumping never allocates).
+    /// Completion is at `start + base_latency`; the caller schedules those
+    /// events, plus the optional ready callback.
+    pub fn pump(&mut self, now: SimTime, out: &mut Vec<Dispatched<IoToken>>) -> Option<u64> {
+        self.q.pump(now.as_micros(), out)
     }
 
-    /// Handles a ready callback.
+    /// Handles a ready callback, dispatching into `out` (cleared first).
     pub fn on_ready(
         &mut self,
         at_us: u64,
         now: SimTime,
-    ) -> (Vec<Dispatched<IoToken>>, Option<u64>) {
-        self.q.on_ready(at_us, now.as_micros())
+        out: &mut Vec<Dispatched<IoToken>>,
+    ) -> Option<u64> {
+        self.q.on_ready(at_us, now.as_micros(), out)
     }
 
     /// Operations queued behind the governor.
@@ -122,10 +124,10 @@ mod tests {
 
     fn drain(d: &mut IoDevice, mut ready: Option<u64>) -> Vec<Dispatched<IoToken>> {
         let mut out = Vec::new();
+        let mut buf = Vec::new();
         while let Some(at) = ready {
-            let (batch, r) = d.on_ready(at, SimTime::from_micros(at));
-            out.extend(batch);
-            ready = r;
+            ready = d.on_ready(at, SimTime::from_micros(at), &mut buf);
+            out.extend_from_slice(&buf);
         }
         out
     }
@@ -135,7 +137,8 @@ mod tests {
         for iops in [100.0, 6_400.0] {
             let mut d = IoDevice::disk(iops);
             d.submit(IoToken::Request(1), 1.0, SimTime::from_secs(5));
-            let (batch, ready) = d.pump(SimTime::from_secs(5));
+            let mut batch = Vec::new();
+            let ready = d.pump(SimTime::from_secs(5), &mut batch);
             assert_eq!(batch.len(), 1, "iops {iops}");
             assert_eq!(batch[0].queued_wait_us, 0);
             assert!(ready.is_none());
@@ -148,7 +151,8 @@ mod tests {
         for i in 0..200u64 {
             d.submit(IoToken::Request(i), 1.0, SimTime::ZERO);
         }
-        let (first, ready) = d.pump(SimTime::ZERO);
+        let mut first = Vec::new();
+        let ready = d.pump(SimTime::ZERO, &mut first);
         assert!(
             first.len() <= 30,
             "only the burst dispatches: {}",
@@ -167,7 +171,7 @@ mod tests {
             for i in 0..500u64 {
                 d.submit(IoToken::Request(i), 1.0, SimTime::ZERO);
             }
-            let (_, ready) = d.pump(SimTime::ZERO);
+            let ready = d.pump(SimTime::ZERO, &mut Vec::new());
             drain(&mut d, ready).last().map_or(0, |x| x.start_us)
         };
         assert!(last(6_400.0) < last(100.0) / 10);
@@ -177,13 +181,14 @@ mod tests {
     fn log_cost_is_bytes() {
         let mut log = IoDevice::log(5.0); // 5 bytes/µs; allowance 1.25 MB
         log.submit(IoToken::Request(1), 512.0, SimTime::ZERO);
-        let (batch, _) = log.pump(SimTime::ZERO);
+        let mut batch = Vec::new();
+        let _ = log.pump(SimTime::ZERO, &mut batch);
         assert_eq!(batch[0].queued_wait_us, 0);
         // A 10 MB append blows through the burst allowance: the following
         // small append queues for seconds.
         log.submit(IoToken::Request(2), 10_000_000.0, SimTime::ZERO);
         log.submit(IoToken::Request(3), 512.0, SimTime::ZERO);
-        let (batch, ready) = log.pump(SimTime::ZERO);
+        let ready = log.pump(SimTime::ZERO, &mut batch);
         assert_eq!(batch.len(), 1, "big append rides the remaining burst");
         let rest = drain(&mut log, ready);
         assert!(rest[0].start_us > 1_000_000, "{}", rest[0].start_us);
@@ -195,7 +200,7 @@ mod tests {
         for i in 0..200u64 {
             d.submit(IoToken::Request(i), 1.0, SimTime::ZERO);
         }
-        let (_, ready) = d.pump(SimTime::ZERO);
+        let ready = d.pump(SimTime::ZERO, &mut Vec::new());
         d.set_rate_per_us(6_400.0 / 1_000_000.0);
         let rest = drain(&mut d, ready);
         assert!(
@@ -210,7 +215,7 @@ mod tests {
         let mut d = IoDevice::disk(1_000.0);
         d.submit(IoToken::Background, 1.0, SimTime::ZERO);
         d.submit(IoToken::Background, 1.0, SimTime::ZERO);
-        let _ = d.pump(SimTime::ZERO);
+        let _ = d.pump(SimTime::ZERO, &mut Vec::new());
         assert_eq!(d.take_consumed(), 2.0);
         assert_eq!(d.take_consumed(), 0.0);
     }

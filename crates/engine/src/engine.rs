@@ -6,27 +6,45 @@
 //! telemetry with [`Engine::end_interval`], and applies container resizes
 //! with [`Engine::apply_resources`] — an online operation, exactly as in the
 //! paper (§6).
+//!
+//! ## Fast path
+//!
+//! The engine is the inner loop of every fleet experiment (1k tenants ×
+//! 1440 intervals), so its core data structures are chosen for throughput:
+//!
+//! - request state lives in a [`GenSlab`] (one array access + generation
+//!   check per event) instead of `HashMap<ReqId, _>` tables;
+//! - the event queue is an [`EventWheel`]
+//!   (µs-granularity buckets + overflow heap) instead of a `BinaryHeap`,
+//!   preserving the `(time, seq)` total order exactly;
+//! - every dispatch path (CPU/disk/log pumps, lock-waiter resumption,
+//!   buffer-pool eviction, latency collection) writes into engine-owned
+//!   scratch buffers, so steady-state operation never allocates.
+//!
+//! Telemetry is **bit-identical** to the pre-fast-path implementation,
+//! which is preserved as [`OracleEngine`](crate::oracle::OracleEngine) and
+//! enforced by the property tests in `tests/engine_equivalence.rs`.
 
 use crate::bufferpool::{Access, BufferPool};
 use crate::config::EngineConfig;
-use crate::cpu::CpuScheduler;
+use crate::cpu::{CpuJob, CpuScheduler};
 use crate::device::{IoDevice, IoToken};
-use crate::grants::GrantPool;
-use crate::locks::LockTable;
+use crate::governor::Dispatched;
+use crate::grants::{GrantPool, GrantedMemory};
+use crate::locks::{GrantedWaiter, LockTable};
 use crate::meter;
-use crate::request::{CompletedRequest, Op, RequestSpec};
+use crate::request::{CompletedRequest, Op, ReqId, RequestSpec};
+use crate::slab::GenSlab;
 use crate::time::SimTime;
 use crate::waits::{WaitClass, WaitStats};
+use crate::wheel::EventWheel;
 use dasr_containers::ResourceVector;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::VecDeque;
 
-type ReqId = u64;
-
-/// Events in the simulation heap.
+/// Events in the simulation queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum Ev {
-    /// A request arrives (spec parked in `pending`).
+    /// A request arrives (spec parked in the slab, inactive).
     Arrival(ReqId),
     /// A CPU burst finishes.
     CpuDone {
@@ -62,11 +80,13 @@ struct ReqState {
     pending_page: Option<(u64, bool)>,
     /// Memory grant held (MB), released at completion.
     granted_mb: u32,
+    /// False between `submit_at` and admission at arrival time.
+    active: bool,
 }
 
 /// Telemetry for one billing/monitoring interval, drained by
 /// [`Engine::end_interval`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IntervalStats {
     /// Interval start.
     pub start: SimTime,
@@ -102,6 +122,29 @@ pub struct IntervalStats {
     pub outstanding: usize,
 }
 
+impl Default for IntervalStats {
+    fn default() -> Self {
+        Self {
+            start: SimTime::ZERO,
+            end: SimTime::ZERO,
+            cpu_util_pct: 0.0,
+            mem_util_pct: 0.0,
+            disk_util_pct: 0.0,
+            log_util_pct: 0.0,
+            mem_used_mb: 0.0,
+            mem_capacity_mb: 0.0,
+            waits: WaitStats::new(),
+            latencies_ms: Vec::new(),
+            arrivals: 0,
+            completed: 0,
+            rejected: 0,
+            disk_reads: 0,
+            disk_writes: 0,
+            outstanding: 0,
+        }
+    }
+}
+
 impl IntervalStats {
     /// Interval length in microseconds.
     pub fn interval_us(&self) -> u64 {
@@ -120,10 +163,11 @@ pub struct Engine {
     cfg: EngineConfig,
     clock: SimTime,
     seq: u64,
-    events: BinaryHeap<Reverse<(SimTime, u64, Ev)>>,
-    next_req: ReqId,
-    pending: HashMap<ReqId, RequestSpec>,
-    requests: HashMap<ReqId, ReqState>,
+    events: EventWheel<Ev>,
+    /// All known requests (pending and running); the slab key is the
+    /// `ReqId`. `running` counts admitted (active) entries.
+    requests: GenSlab<ReqState>,
+    running: usize,
     runnable: VecDeque<ReqId>,
 
     cpu: CpuScheduler,
@@ -139,12 +183,25 @@ pub struct Engine {
 
     waits: WaitStats,
     waits_at_interval_start: WaitStats,
-    completed: Vec<CompletedRequest>,
+    /// Latencies (ms) of requests completed this interval; swapped out by
+    /// [`end_interval_into`](Self::end_interval_into).
+    completed_latencies_ms: Vec<f64>,
     interval_start: SimTime,
     arrivals: u64,
     rejected: u64,
     disk_reads: u64,
     disk_writes: u64,
+
+    // Reused scratch buffers: dispatch paths write into these instead of
+    // returning fresh `Vec`s, so the event loop is allocation-free in
+    // steady state. Each is taken (`std::mem::take`) for the duration of
+    // the call that iterates it, then restored with its capacity intact.
+    cpu_scratch: Vec<Dispatched<CpuJob>>,
+    disk_scratch: Vec<Dispatched<IoToken>>,
+    log_scratch: Vec<Dispatched<IoToken>>,
+    lock_scratch: Vec<GrantedWaiter>,
+    grant_scratch: Vec<GrantedMemory>,
+    evict_scratch: Vec<u64>,
 }
 
 impl Engine {
@@ -164,20 +221,25 @@ impl Engine {
             cfg,
             clock: SimTime::ZERO,
             seq: 0,
-            events: BinaryHeap::new(),
-            next_req: 0,
-            pending: HashMap::new(),
-            requests: HashMap::new(),
+            events: EventWheel::new(),
+            requests: GenSlab::new(),
+            running: 0,
             runnable: VecDeque::new(),
             balloon_target: None,
             waits: WaitStats::new(),
             waits_at_interval_start: WaitStats::new(),
-            completed: Vec::new(),
+            completed_latencies_ms: Vec::new(),
             interval_start: SimTime::ZERO,
             arrivals: 0,
             rejected: 0,
             disk_reads: 0,
             disk_writes: 0,
+            cpu_scratch: Vec::new(),
+            disk_scratch: Vec::new(),
+            log_scratch: Vec::new(),
+            lock_scratch: Vec::new(),
+            grant_scratch: Vec::new(),
+            evict_scratch: Vec::new(),
         }
     }
 
@@ -198,7 +260,7 @@ impl Engine {
 
     /// Requests currently in flight.
     pub fn outstanding(&self) -> usize {
-        self.requests.len()
+        self.running
     }
 
     /// Buffer-pool pages in use, as MB of container memory.
@@ -218,9 +280,11 @@ impl Engine {
     /// experiments resize a live tenant rather than cold-start one.
     pub fn prewarm(&mut self, pages: u64) {
         let n = (pages as usize).min(self.pool.capacity());
+        let mut scratch = std::mem::take(&mut self.evict_scratch);
         for page in 0..n as u64 {
-            self.pool.insert(page, false);
+            self.pool.insert(page, false, &mut scratch);
         }
+        self.evict_scratch = scratch;
     }
 
     /// Schedules `spec` to arrive at `at`.
@@ -229,20 +293,25 @@ impl Engine {
     /// Panics if `at` is in the simulated past.
     pub fn submit_at(&mut self, at: SimTime, spec: RequestSpec) {
         assert!(at >= self.clock, "arrival scheduled in the past");
-        let id = self.next_req;
-        self.next_req += 1;
-        self.pending.insert(id, spec);
+        let id = self.requests.insert(ReqState {
+            spec,
+            op: 0,
+            arrived: SimTime::ZERO,
+            cpu_service_us: 0,
+            waits: WaitStats::new(),
+            pending_page: None,
+            granted_mb: 0,
+            active: false,
+        });
         self.push_event(at, Ev::Arrival(id));
     }
 
     /// Processes every event with timestamp ≤ `t`, then advances the clock
     /// to `t`.
     pub fn run_until(&mut self, t: SimTime) {
-        while let Some(Reverse((et, _, _))) = self.events.peek() {
-            if *et > t {
-                break;
-            }
-            let Reverse((et, _, ev)) = self.events.pop().expect("peeked");
+        let horizon = t.as_micros();
+        while let Some((et, _, ev)) = self.events.pop_due(horizon) {
+            let et = SimTime::from_micros(et);
             debug_assert!(et >= self.clock, "time went backwards");
             self.clock = et;
             self.dispatch(ev);
@@ -267,10 +336,12 @@ impl Engine {
         self.log.set_rate_per_us(resources.log_mbps);
         self.grants.resize(self.cfg.grant_mb(resources.memory_mb));
         if self.balloon_target.is_none() {
-            let dirty = self
-                .pool
-                .set_capacity(self.cfg.pool_pages(resources.memory_mb));
-            self.writeback(dirty.len());
+            let mut dirty = std::mem::take(&mut self.evict_scratch);
+            self.pool
+                .set_capacity(self.cfg.pool_pages(resources.memory_mb), &mut dirty);
+            let n = dirty.len();
+            self.evict_scratch = dirty;
+            self.writeback(n);
         }
         // Increased rates may admit queued work right away.
         self.pump_cpu();
@@ -293,10 +364,12 @@ impl Engine {
     /// allocation.
     pub fn abort_balloon(&mut self) {
         if self.balloon_target.take().is_some() {
-            let dirty = self
-                .pool
-                .set_capacity(self.cfg.pool_pages(self.resources.memory_mb));
-            self.writeback(dirty.len());
+            let mut dirty = std::mem::take(&mut self.evict_scratch);
+            self.pool
+                .set_capacity(self.cfg.pool_pages(self.resources.memory_mb), &mut dirty);
+            let n = dirty.len();
+            self.evict_scratch = dirty;
+            self.writeback(n);
         }
     }
 
@@ -319,7 +392,21 @@ impl Engine {
 
     /// Drains telemetry for the interval since the previous call (or since
     /// simulation start).
+    ///
+    /// Allocates a fresh [`IntervalStats`]; hot callers should reuse one
+    /// via [`end_interval_into`](Self::end_interval_into).
     pub fn end_interval(&mut self) -> IntervalStats {
+        let mut out = IntervalStats::default();
+        self.end_interval_into(&mut out);
+        out
+    }
+
+    /// Drains telemetry for the interval since the previous call into
+    /// `out`, reusing its `latencies_ms` allocation: the engine's internal
+    /// latency buffer and `out.latencies_ms` are swapped (ping-pong), so a
+    /// caller that reuses the same `IntervalStats` every interval incurs
+    /// no allocation in steady state.
+    pub fn end_interval_into(&mut self, out: &mut IntervalStats) {
         let start = self.interval_start;
         let end = self.clock;
         let interval_us = (end - start).max(1);
@@ -327,34 +414,29 @@ impl Engine {
         self.waits_at_interval_start = self.waits;
         self.interval_start = end;
 
-        let latencies_ms: Vec<f64> = self.completed.drain(..).map(|c| c.latency_ms()).collect();
-        let cpu_util_pct = (self.cpu.take_work_done_us() / (self.cpu.cores() * interval_us as f64)
+        out.latencies_ms.clear();
+        std::mem::swap(&mut out.latencies_ms, &mut self.completed_latencies_ms);
+        out.start = start;
+        out.end = end;
+        out.cpu_util_pct = (self.cpu.take_work_done_us() / (self.cpu.cores() * interval_us as f64)
             * 100.0)
             .clamp(0.0, 100.0);
-        let disk_util_pct =
+        out.disk_util_pct =
             (self.disk.take_consumed() / (self.disk.rate_per_us() * interval_us as f64) * 100.0)
                 .clamp(0.0, 100.0);
-        let log_util_pct =
+        out.log_util_pct =
             (self.log.take_consumed() / (self.log.rate_per_us() * interval_us as f64) * 100.0)
                 .clamp(0.0, 100.0);
-        IntervalStats {
-            start,
-            end,
-            cpu_util_pct,
-            mem_util_pct: meter::memory_utilization_pct(self.pool.used(), self.pool.capacity()),
-            disk_util_pct,
-            log_util_pct,
-            mem_used_mb: self.pool_used_mb(),
-            mem_capacity_mb: self.pool_capacity_mb(),
-            waits: waits_delta,
-            completed: latencies_ms.len() as u64,
-            latencies_ms,
-            arrivals: std::mem::take(&mut self.arrivals),
-            rejected: std::mem::take(&mut self.rejected),
-            disk_reads: std::mem::take(&mut self.disk_reads),
-            disk_writes: std::mem::take(&mut self.disk_writes),
-            outstanding: self.requests.len(),
-        }
+        out.mem_util_pct = meter::memory_utilization_pct(self.pool.used(), self.pool.capacity());
+        out.mem_used_mb = self.pool_used_mb();
+        out.mem_capacity_mb = self.pool_capacity_mb();
+        out.waits = waits_delta;
+        out.completed = out.latencies_ms.len() as u64;
+        out.arrivals = std::mem::take(&mut self.arrivals);
+        out.rejected = std::mem::take(&mut self.rejected);
+        out.disk_reads = std::mem::take(&mut self.disk_reads);
+        out.disk_writes = std::mem::take(&mut self.disk_writes);
+        out.outstanding = self.running;
     }
 
     // ------------------------------------------------------------------
@@ -363,12 +445,12 @@ impl Engine {
 
     fn push_event(&mut self, at: SimTime, ev: Ev) {
         self.seq += 1;
-        self.events.push(Reverse((at, self.seq, ev)));
+        self.events.push(at.as_micros(), self.seq, ev);
     }
 
-    /// Dispatches admissible CPU bursts and schedules their completions.
-    fn pump_cpu(&mut self) {
-        let (dispatched, ready) = self.cpu.pump(self.clock);
+    /// Schedules completions for dispatched CPU bursts plus the optional
+    /// governor ready callback.
+    fn flush_cpu(&mut self, dispatched: &[Dispatched<CpuJob>], ready: Option<u64>) {
         for d in dispatched {
             self.push_event(
                 SimTime::from_micros(d.start_us) + d.payload.work_us.max(1),
@@ -384,10 +466,19 @@ impl Engine {
         }
     }
 
-    /// Dispatches admissible disk I/Os and schedules their completions.
-    fn pump_disk(&mut self) {
+    /// Dispatches admissible CPU bursts and schedules their completions.
+    fn pump_cpu(&mut self) {
+        let mut buf = std::mem::take(&mut self.cpu_scratch);
+        let ready = self.cpu.pump(self.clock, &mut buf);
+        self.flush_cpu(&buf, ready);
+        self.cpu_scratch = buf;
+    }
+
+    /// Schedules completions for dispatched disk operations (reads complete
+    /// after the base latency; background writebacks complete immediately
+    /// for accounting) plus the ready callback.
+    fn flush_disk(&mut self, dispatched: &[Dispatched<IoToken>], ready: Option<u64>) {
         let base = self.disk.base_latency_us();
-        let (dispatched, ready) = self.disk.pump(self.clock);
         for d in dispatched {
             match d.payload {
                 IoToken::Request(req) => {
@@ -409,10 +500,18 @@ impl Engine {
         }
     }
 
-    /// Dispatches admissible log appends and schedules their completions.
-    fn pump_log(&mut self) {
+    /// Dispatches admissible disk I/Os and schedules their completions.
+    fn pump_disk(&mut self) {
+        let mut buf = std::mem::take(&mut self.disk_scratch);
+        let ready = self.disk.pump(self.clock, &mut buf);
+        self.flush_disk(&buf, ready);
+        self.disk_scratch = buf;
+    }
+
+    /// Schedules completions for dispatched log appends plus the ready
+    /// callback.
+    fn flush_log(&mut self, dispatched: &[Dispatched<IoToken>], ready: Option<u64>) {
         let base = self.log.base_latency_us();
-        let (dispatched, ready) = self.log.pump(self.clock);
         for d in dispatched {
             if let IoToken::Request(req) = d.payload {
                 self.push_event(
@@ -429,6 +528,14 @@ impl Engine {
         }
     }
 
+    /// Dispatches admissible log appends and schedules their completions.
+    fn pump_log(&mut self) {
+        let mut buf = std::mem::take(&mut self.log_scratch);
+        let ready = self.log.pump(self.clock, &mut buf);
+        self.flush_log(&buf, ready);
+        self.log_scratch = buf;
+    }
+
     fn dispatch(&mut self, ev: Ev) {
         match ev {
             Ev::Arrival(id) => self.on_arrival(id),
@@ -437,7 +544,7 @@ impl Engine {
                 work_us,
                 signal_wait_us,
             } => {
-                if let Some(state) = self.requests.get_mut(&req) {
+                if let Some(state) = self.requests.get_mut(req) {
                     state.cpu_service_us += work_us;
                     if signal_wait_us > 0 {
                         state.waits.add(WaitClass::Cpu, signal_wait_us);
@@ -448,62 +555,37 @@ impl Engine {
                 }
             }
             Ev::CpuReady(at) => {
-                let (dispatched, ready) = self.cpu.on_ready(at, self.clock);
-                for d in dispatched {
-                    self.push_event(
-                        SimTime::from_micros(d.start_us) + d.payload.work_us.max(1),
-                        Ev::CpuDone {
-                            req: d.payload.req,
-                            work_us: d.payload.work_us,
-                            signal_wait_us: d.queued_wait_us,
-                        },
-                    );
-                }
-                if let Some(at) = ready {
-                    self.push_event(SimTime::from_micros(at), Ev::CpuReady(at));
-                }
+                let mut buf = std::mem::take(&mut self.cpu_scratch);
+                let ready = self.cpu.on_ready(at, self.clock, &mut buf);
+                self.flush_cpu(&buf, ready);
+                self.cpu_scratch = buf;
             }
             Ev::DiskReadDone { req, wait_us } => {
                 self.disk_reads += 1;
                 let mut dirty_evicted = 0;
-                if let Some(state) = self.requests.get_mut(&req) {
+                if let Some(state) = self.requests.get_mut(req) {
                     state.waits.add(WaitClass::DiskIo, wait_us);
                     self.waits.add(WaitClass::DiskIo, wait_us);
                     let (page, write) = state
                         .pending_page
                         .take()
                         .expect("disk completion without pending page");
-                    dirty_evicted = self.pool.insert(page, write).len();
+                    self.pool.insert(page, write, &mut self.evict_scratch);
+                    dirty_evicted = self.evict_scratch.len();
+                    let state = self.requests.get_mut(req).expect("request vanished");
                     state.op += 1;
                     self.runnable.push_back(req);
                 }
                 self.writeback(dirty_evicted);
             }
             Ev::DiskReady(at) => {
-                let base = self.disk.base_latency_us();
-                let (dispatched, ready) = self.disk.on_ready(at, self.clock);
-                for d in dispatched {
-                    match d.payload {
-                        IoToken::Request(req) => {
-                            self.push_event(
-                                SimTime::from_micros(d.start_us) + base,
-                                Ev::DiskReadDone {
-                                    req,
-                                    wait_us: d.queued_wait_us + base,
-                                },
-                            );
-                        }
-                        IoToken::Background => {
-                            self.disk_writes += 1;
-                        }
-                    }
-                }
-                if let Some(at) = ready {
-                    self.push_event(SimTime::from_micros(at), Ev::DiskReady(at));
-                }
+                let mut buf = std::mem::take(&mut self.disk_scratch);
+                let ready = self.disk.on_ready(at, self.clock, &mut buf);
+                self.flush_disk(&buf, ready);
+                self.disk_scratch = buf;
             }
             Ev::LogDone { req, wait_us } => {
-                if let Some(state) = self.requests.get_mut(&req) {
+                if let Some(state) = self.requests.get_mut(req) {
                     state.waits.add(WaitClass::LogIo, wait_us);
                     self.waits.add(WaitClass::LogIo, wait_us);
                     state.op += 1;
@@ -511,25 +593,13 @@ impl Engine {
                 }
             }
             Ev::LogReady(at) => {
-                let base = self.log.base_latency_us();
-                let (dispatched, ready) = self.log.on_ready(at, self.clock);
-                for d in dispatched {
-                    if let IoToken::Request(req) = d.payload {
-                        self.push_event(
-                            SimTime::from_micros(d.start_us) + base,
-                            Ev::LogDone {
-                                req,
-                                wait_us: d.queued_wait_us + base,
-                            },
-                        );
-                    }
-                }
-                if let Some(at) = ready {
-                    self.push_event(SimTime::from_micros(at), Ev::LogReady(at));
-                }
+                let mut buf = std::mem::take(&mut self.log_scratch);
+                let ready = self.log.on_ready(at, self.clock, &mut buf);
+                self.flush_log(&buf, ready);
+                self.log_scratch = buf;
             }
             Ev::Wake { req, think_us } => {
-                if let Some(state) = self.requests.get_mut(&req) {
+                if let Some(state) = self.requests.get_mut(req) {
                     state.waits.add(WaitClass::Other, think_us);
                     self.waits.add(WaitClass::Other, think_us);
                     state.op += 1;
@@ -541,24 +611,17 @@ impl Engine {
     }
 
     fn on_arrival(&mut self, id: ReqId) {
-        let spec = self.pending.remove(&id).expect("arrival without spec");
-        if self.requests.len() >= self.cfg.max_outstanding {
+        if self.running >= self.cfg.max_outstanding {
             self.rejected += 1;
+            self.requests.remove(id).expect("arrival without spec");
             return;
         }
         self.arrivals += 1;
-        self.requests.insert(
-            id,
-            ReqState {
-                spec,
-                op: 0,
-                arrived: self.clock,
-                cpu_service_us: 0,
-                waits: WaitStats::new(),
-                pending_page: None,
-                granted_mb: 0,
-            },
-        );
+        let now = self.clock;
+        let state = self.requests.get_mut(id).expect("arrival without spec");
+        state.active = true;
+        state.arrived = now;
+        self.running += 1;
         self.runnable.push_back(id);
     }
 
@@ -571,8 +634,11 @@ impl Engine {
             let step = ((cap as f64 * self.cfg.balloon_step_fraction) as usize)
                 .max(self.cfg.balloon_step_min_pages);
             let new_cap = cap.saturating_sub(step).max(target);
-            let dirty = self.pool.set_capacity(new_cap);
-            self.writeback(dirty.len());
+            let mut dirty = std::mem::take(&mut self.evict_scratch);
+            self.pool.set_capacity(new_cap, &mut dirty);
+            let n = dirty.len();
+            self.evict_scratch = dirty;
+            self.writeback(n);
             if new_cap > target {
                 let at = self.clock + self.cfg.balloon_step_us;
                 self.push_event(at, Ev::BalloonStep);
@@ -603,7 +669,7 @@ impl Engine {
     /// Advances a request's state machine until it blocks or completes.
     fn advance(&mut self, req: ReqId) {
         loop {
-            let Some(state) = self.requests.get_mut(&req) else {
+            let Some(state) = self.requests.get_mut(req) else {
                 return;
             };
             let Some(&op) = state.spec.ops.get(state.op) else {
@@ -642,8 +708,9 @@ impl Engine {
                 }
                 Op::LockRelease { lock } => {
                     state.op += 1;
-                    let granted = self.locks.release(req, lock, self.clock);
-                    self.resume_lock_waiters(granted);
+                    self.locks
+                        .release(req, lock, self.clock, &mut self.lock_scratch);
+                    self.resume_lock_waiters();
                 }
                 Op::MemoryGrant { mb } => {
                     // One grant per request (as engines grant per
@@ -670,29 +737,37 @@ impl Engine {
         }
     }
 
-    fn resume_lock_waiters(&mut self, granted: Vec<crate::locks::GrantedWaiter>) {
-        for g in granted {
-            if let Some(state) = self.requests.get_mut(&g.req) {
+    /// Resumes the waiters in `lock_scratch` (filled by the preceding
+    /// `locks.release`/`release_all` call), charging their lock waits.
+    fn resume_lock_waiters(&mut self) {
+        let buf = std::mem::take(&mut self.lock_scratch);
+        for g in &buf {
+            if let Some(state) = self.requests.get_mut(g.req) {
                 state.waits.add(WaitClass::Lock, g.wait_us);
                 self.waits.add(WaitClass::Lock, g.wait_us);
                 state.op += 1;
                 self.runnable.push_back(g.req);
             }
         }
+        self.lock_scratch = buf;
     }
 
     fn complete_request(&mut self, req: ReqId) {
         let state = self
             .requests
-            .remove(&req)
+            .remove(req)
             .expect("completing unknown request");
+        self.running -= 1;
         // Strict 2PL: release everything still held.
-        let granted = self.locks.release_all(req, self.clock);
-        self.resume_lock_waiters(granted);
+        self.locks
+            .release_all(req, self.clock, &mut self.lock_scratch);
+        self.resume_lock_waiters();
         if state.granted_mb > 0 {
-            let woken = self.grants.release(state.granted_mb, self.clock);
-            for w in woken {
-                if let Some(ws) = self.requests.get_mut(&w.req) {
+            self.grants
+                .release(state.granted_mb, self.clock, &mut self.grant_scratch);
+            let buf = std::mem::take(&mut self.grant_scratch);
+            for w in &buf {
+                if let Some(ws) = self.requests.get_mut(w.req) {
                     ws.waits.add(WaitClass::Memory, w.wait_us);
                     self.waits.add(WaitClass::Memory, w.wait_us);
                     ws.granted_mb += w.mb;
@@ -700,13 +775,17 @@ impl Engine {
                     self.runnable.push_back(w.req);
                 }
             }
+            self.grant_scratch = buf;
         }
-        self.completed.push(CompletedRequest {
-            arrived: state.arrived,
-            completed: self.clock,
-            cpu_service_us: state.cpu_service_us,
-            waits: state.waits,
-        });
+        self.completed_latencies_ms.push(
+            CompletedRequest {
+                arrived: state.arrived,
+                completed: self.clock,
+                cpu_service_us: state.cpu_service_us,
+                waits: state.waits,
+            }
+            .latency_ms(),
+        );
     }
 }
 
@@ -1009,6 +1088,25 @@ mod tests {
             (s.completed, s.waits, s.latencies_ms.clone())
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn end_interval_into_reuses_the_latency_buffer() {
+        let mut e = engine();
+        let mut stats = IntervalStats::default();
+        for round in 0..3u64 {
+            e.submit_at(e.now(), RequestBuilder::new().cpu(1_000).build());
+            e.run_until(e.now() + 1_000_000);
+            e.end_interval_into(&mut stats);
+            assert_eq!(stats.completed, 1, "round {round}");
+            assert_eq!(stats.latencies_ms.len(), 1);
+        }
+        // The reused buffer must match the allocating wrapper.
+        e.submit_at(e.now(), RequestBuilder::new().cpu(2_000).build());
+        e.run_until(e.now() + 1_000_000);
+        let fresh = e.end_interval();
+        assert_eq!(fresh.completed, 1);
+        assert_eq!(fresh.latencies_ms, vec![2.0]);
     }
 
     #[test]

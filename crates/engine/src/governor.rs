@@ -104,16 +104,17 @@ impl<P: Copy> PacedQueue<P> {
         self.low_queue.push_back((payload, cost, now_us));
     }
 
-    /// Dispatches every operation the credit allows at `now_us`. Returns
-    /// the dispatched operations plus `Some(t)` when the caller must
-    /// schedule a ready callback at `t` (the queue is non-empty and
+    /// Dispatches every operation the credit allows at `now_us`, writing
+    /// them into `out` (cleared first — callers own and reuse the buffer,
+    /// so the hot path never allocates). Returns `Some(t)` when the caller
+    /// must schedule a ready callback at `t` (the queue is non-empty and
     /// throttled, and no earlier callback is outstanding).
-    pub fn pump(&mut self, now_us: u64) -> (Vec<Dispatched<P>>, Option<u64>) {
+    pub fn pump(&mut self, now_us: u64, out: &mut Vec<Dispatched<P>>) -> Option<u64> {
+        out.clear();
         let now = now_us as f64;
         if self.vt < now - self.allowance_us {
             self.vt = now - self.allowance_us;
         }
-        let mut out = Vec::new();
         while self.vt <= now {
             let Some((payload, cost, submitted)) = self
                 .queue
@@ -130,7 +131,7 @@ impl<P: Copy> PacedQueue<P> {
                 queued_wait_us: now_us.saturating_sub(submitted),
             });
         }
-        let ready = if self.queue.is_empty() && self.low_queue.is_empty() {
+        if self.queue.is_empty() && self.low_queue.is_empty() {
             None
         } else {
             let at = self.vt.ceil() as u64;
@@ -141,17 +142,21 @@ impl<P: Copy> PacedQueue<P> {
                     Some(at)
                 }
             }
-        };
-        (out, ready)
+        }
     }
 
     /// Handles a ready callback scheduled for `at_us`: clears the dedup
-    /// marker and pumps.
-    pub fn on_ready(&mut self, at_us: u64, now_us: u64) -> (Vec<Dispatched<P>>, Option<u64>) {
+    /// marker and pumps into `out` (cleared first).
+    pub fn on_ready(
+        &mut self,
+        at_us: u64,
+        now_us: u64,
+        out: &mut Vec<Dispatched<P>>,
+    ) -> Option<u64> {
         if self.ready_at == Some(at_us) {
             self.ready_at = None;
         }
-        self.pump(now_us)
+        self.pump(now_us, out)
     }
 
     /// Operations waiting behind the governor (both priorities).
@@ -178,10 +183,10 @@ mod tests {
     /// `(payload, start_us)` in dispatch order.
     fn drain_from(q: &mut PacedQueue<u32>, mut ready: Option<u64>) -> Vec<(u32, u64)> {
         let mut out = Vec::new();
+        let mut buf = Vec::new();
         while let Some(at) = ready {
-            let (d, r) = q.on_ready(at, at);
-            out.extend(d.iter().map(|d| (d.payload, d.start_us)));
-            ready = r;
+            ready = q.on_ready(at, at, &mut buf);
+            out.extend(buf.iter().map(|d| (d.payload, d.start_us)));
         }
         out
     }
@@ -190,7 +195,8 @@ mod tests {
     fn isolated_work_dispatches_immediately() {
         let mut q = PacedQueue::new(0.5, 10_000.0);
         q.submit(1, 20_000.0, 1_000);
-        let (d, ready) = q.pump(1_000);
+        let mut d = Vec::new();
+        let ready = q.pump(1_000, &mut d);
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].start_us, 1_000);
         assert_eq!(d[0].queued_wait_us, 0);
@@ -204,12 +210,14 @@ mod tests {
         for i in 0..3 {
             q.submit(i, 500.0, 0);
         }
-        let (d, ready) = q.pump(0);
+        let mut d = Vec::new();
+        let ready = q.pump(0, &mut d);
         assert_eq!(d.len(), 3);
         assert!(ready.is_none());
-        // The 4th must wait until vt (now 500) passes.
+        // The 4th must wait until vt (now 500) passes. The scratch buffer
+        // is cleared on entry, so stale dispatches never linger.
         q.submit(9, 500.0, 0);
-        let (d, ready) = q.pump(0);
+        let ready = q.pump(0, &mut d);
         assert!(d.is_empty());
         assert_eq!(ready, Some(500));
     }
@@ -220,7 +228,8 @@ mod tests {
         for i in 0..4 {
             q.submit(i, 100.0, 0);
         }
-        let (first, ready) = q.pump(0);
+        let mut first = Vec::new();
+        let ready = q.pump(0, &mut first);
         assert_eq!(first.len(), 1);
         assert_eq!(first[0].payload, 0);
         let rest = drain_from(&mut q, ready);
@@ -238,7 +247,7 @@ mod tests {
         let mut q = PacedQueue::new(1.0, 0.0);
         q.submit(1, 500.0, 0);
         q.submit(2, 500.0, 0);
-        let (_, ready) = q.pump(0);
+        let ready = q.pump(0, &mut Vec::new());
         let rest = drain_from(&mut q, ready);
         assert_eq!(rest.len(), 1);
         assert_eq!(rest[0].1, 500, "dispatched at vt");
@@ -249,12 +258,12 @@ mod tests {
         let mut q = PacedQueue::new(1.0, 0.0);
         q.submit(1, 1_000.0, 0);
         q.submit(2, 1_000.0, 0);
-        let (_, r1) = q.pump(0);
+        let r1 = q.pump(0, &mut Vec::new());
         assert_eq!(r1, Some(1_000));
         // More submissions while throttled must not request earlier/equal
         // callbacks again.
         q.submit(3, 1_000.0, 0);
-        let (_, r2) = q.pump(0);
+        let r2 = q.pump(0, &mut Vec::new());
         assert_eq!(r2, None);
     }
 
@@ -264,7 +273,8 @@ mod tests {
         for i in 0..10 {
             q.submit(i, 1_000.0, 0);
         }
-        let (first, ready) = q.pump(0);
+        let mut first = Vec::new();
+        let ready = q.pump(0, &mut first);
         assert_eq!(first.len(), 1);
         // At 1 unit/µs the last op would start at 9_000. Scale rate 10x:
         // the queued backlog re-rates to 100 µs per op.
@@ -279,12 +289,13 @@ mod tests {
     fn idle_accrues_at_most_the_allowance() {
         let mut q = PacedQueue::new(1.0, 100.0);
         q.submit(1, 1_000.0, 0);
-        let _ = q.pump(0);
+        let _ = q.pump(0, &mut Vec::new());
         // Long idle: at t=1e6 only the 100-unit allowance has re-accrued.
         q.submit(2, 50.0, 1_000_000);
         q.submit(3, 60.0, 1_000_000);
         q.submit(4, 60.0, 1_000_000);
-        let (d, ready) = q.pump(1_000_000);
+        let mut d = Vec::new();
+        let ready = q.pump(1_000_000, &mut d);
         assert_eq!(d.len(), 2, "allowance covers roughly 110 units");
         assert!(ready.is_some());
     }
@@ -294,7 +305,7 @@ mod tests {
         let mut q = PacedQueue::new(1.0, 0.0);
         q.submit(1, 100.0, 0);
         q.submit(2, 100.0, 0);
-        let _ = q.pump(0);
+        let _ = q.pump(0, &mut Vec::new());
         assert_eq!(q.take_consumed(), 100.0, "second op still queued");
         assert_eq!(q.queued(), 1);
         assert_eq!(q.take_consumed(), 0.0);
@@ -304,7 +315,7 @@ mod tests {
     fn backlog_reporting() {
         let mut q = PacedQueue::new(1.0, 0.0);
         q.submit(1, 500.0, 0);
-        let _ = q.pump(0);
+        let _ = q.pump(0, &mut Vec::new());
         assert_eq!(q.backlog_us(0), 500.0);
         assert_eq!(q.backlog_us(600), 0.0);
     }

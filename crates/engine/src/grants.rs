@@ -10,8 +10,7 @@
 use crate::time::SimTime;
 use std::collections::VecDeque;
 
-/// Identifier of a request.
-pub type ReqId = u64;
+pub use crate::request::ReqId;
 
 /// A waiter that has just received its grant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,16 +77,17 @@ impl GrantPool {
     }
 
     /// Releases `mb` previously granted to a request, waking FIFO waiters
-    /// that now fit.
-    pub fn release(&mut self, mb: u32, now: SimTime) -> Vec<GrantedMemory> {
+    /// that now fit. Woken waiters are written into `out` (cleared first —
+    /// the caller owns and reuses the buffer, so releasing never allocates).
+    pub fn release(&mut self, mb: u32, now: SimTime, out: &mut Vec<GrantedMemory>) {
+        out.clear();
         self.granted_mb = self.granted_mb.saturating_sub(u64::from(mb));
-        let mut granted = Vec::new();
         while let Some(&(req, need, since)) = self.waiters.front() {
             let need_clamped = u64::from(need).min(self.pool_mb).max(1);
             if self.granted_mb + need_clamped <= self.pool_mb {
                 self.waiters.pop_front();
                 self.granted_mb += need_clamped;
-                granted.push(GrantedMemory {
+                out.push(GrantedMemory {
                     req,
                     mb: need_clamped as u32,
                     wait_us: now - since,
@@ -96,7 +96,6 @@ impl GrantPool {
                 break;
             }
         }
-        granted
     }
 
     /// Removes `req` from the wait queue (abort).
@@ -126,7 +125,8 @@ mod tests {
         assert!(g.acquire(1, 80, T0));
         assert!(!g.acquire(2, 50, SimTime(10)));
         assert!(!g.acquire(3, 10, SimTime(20)), "no barging");
-        let woken = g.release(80, SimTime(500));
+        let mut woken = Vec::new();
+        g.release(80, SimTime(500), &mut woken);
         assert_eq!(woken.len(), 2);
         assert_eq!(woken[0].req, 2);
         assert_eq!(woken[0].wait_us, 490);
@@ -147,7 +147,8 @@ mod tests {
         assert!(g.acquire(1, 100, T0));
         g.resize(40);
         assert!(!g.acquire(2, 10, T0));
-        let woken = g.release(100, SimTime(100));
+        let mut woken = Vec::new();
+        g.release(100, SimTime(100), &mut woken);
         assert_eq!(woken.len(), 1);
         assert_eq!(woken[0].mb, 10);
         assert_eq!(g.granted_mb(), 10);
@@ -159,7 +160,13 @@ mod tests {
         assert!(g.acquire(1, 10, T0));
         assert!(!g.acquire(2, 10, T0));
         g.cancel(2);
-        assert!(g.release(10, SimTime(5)).is_empty());
+        let mut woken = vec![GrantedMemory {
+            req: 9,
+            mb: 1,
+            wait_us: 0,
+        }];
+        g.release(10, SimTime(5), &mut woken);
+        assert!(woken.is_empty(), "scratch cleared on entry");
     }
 
     #[test]

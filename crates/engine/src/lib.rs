@@ -47,12 +47,16 @@ pub mod governor;
 pub mod grants;
 pub mod locks;
 pub mod meter;
+pub mod oracle;
 pub mod request;
+pub mod slab;
 pub mod time;
 pub mod waits;
+pub mod wheel;
 
 pub use config::EngineConfig;
 pub use engine::{Engine, IntervalStats};
+pub use oracle::OracleEngine;
 pub use request::{Op, RequestSpec};
 pub use time::SimTime;
 pub use waits::{WaitClass, WaitStats, WAIT_CLASSES};

@@ -13,8 +13,7 @@ use std::collections::{HashMap, VecDeque};
 /// Identifier of a lockable object.
 pub type LockId = u32;
 
-/// Identifier of a request (matches `cpu::ReqId`).
-pub type ReqId = u64;
+pub use crate::request::ReqId;
 
 #[derive(Debug, Default)]
 struct LockState {
@@ -44,10 +43,19 @@ pub struct GrantedWaiter {
 }
 
 /// The lock table.
+///
+/// Empty `LockState` entries are kept in the map as a free-list of
+/// allocated holder/waiter buffers: re-locking a recently released object
+/// reuses its buffers instead of re-allocating, which matters on the
+/// engine's lock-heavy hot path. [`active_locks`](Self::active_locks)
+/// counts only non-empty states.
 #[derive(Debug, Default)]
 pub struct LockTable {
     locks: HashMap<LockId, LockState>,
     held: HashMap<ReqId, Vec<LockId>>,
+    /// Reused buffer for the lock list drained in
+    /// [`release_all`](Self::release_all).
+    drain_scratch: Vec<LockId>,
 }
 
 impl LockTable {
@@ -77,46 +85,52 @@ impl LockTable {
         }
     }
 
-    /// Releases one lock held by `req`, returning the waiters granted as a
-    /// result (the engine resumes them and charges their lock wait).
-    pub fn release(&mut self, req: ReqId, lock: LockId, now: SimTime) -> Vec<GrantedWaiter> {
-        let mut granted = Vec::new();
+    /// Releases one lock held by `req`, writing the waiters granted as a
+    /// result into `out` (cleared first — the engine resumes them and
+    /// charges their lock wait). The caller owns and reuses the buffer, so
+    /// releasing never allocates.
+    pub fn release(
+        &mut self,
+        req: ReqId,
+        lock: LockId,
+        now: SimTime,
+        out: &mut Vec<GrantedWaiter>,
+    ) {
+        out.clear();
         if let Some(state) = self.locks.get_mut(&lock) {
             state.holders.retain(|&(r, _)| r != req);
             if let Some(list) = self.held.get_mut(&req) {
                 list.retain(|&l| l != lock);
             }
-            Self::grant_from_queue(state, now, &mut granted);
-            for g in &granted {
+            Self::grant_from_queue(state, now, out);
+            for g in out.iter() {
                 self.held.entry(g.req).or_default().push(lock);
             }
-            if state.holders.is_empty() && state.waiters.is_empty() {
-                self.locks.remove(&lock);
-            }
         }
-        granted
     }
 
     /// Releases every lock held by `req` (request completion under strict
-    /// 2PL). Returns all newly granted waiters.
-    pub fn release_all(&mut self, req: ReqId, now: SimTime) -> Vec<GrantedWaiter> {
-        let locks = self.held.remove(&req).unwrap_or_default();
-        let mut granted = Vec::new();
-        for lock in locks {
+    /// 2PL), writing all newly granted waiters into `out` (cleared first).
+    pub fn release_all(&mut self, req: ReqId, now: SimTime, out: &mut Vec<GrantedWaiter>) {
+        out.clear();
+        // Drain the held list through a reused scratch so the entry keeps
+        // its capacity for the next request reusing this `ReqId` slot.
+        self.drain_scratch.clear();
+        if let Some(list) = self.held.get_mut(&req) {
+            self.drain_scratch.append(list);
+        }
+        for i in 0..self.drain_scratch.len() {
+            let lock = self.drain_scratch[i];
+            let start = out.len();
             if let Some(state) = self.locks.get_mut(&lock) {
                 state.holders.retain(|&(r, _)| r != req);
-                let mut newly = Vec::new();
-                Self::grant_from_queue(state, now, &mut newly);
-                for g in &newly {
-                    self.held.entry(g.req).or_default().push(lock);
-                }
-                granted.extend(newly);
-                if state.holders.is_empty() && state.waiters.is_empty() {
-                    self.locks.remove(&lock);
-                }
+                Self::grant_from_queue(state, now, out);
+            }
+            for j in start..out.len() {
+                let g = out[j];
+                self.held.entry(g.req).or_default().push(lock);
             }
         }
-        granted
     }
 
     /// Removes `req` from every wait queue (request abort/rejection).
@@ -131,9 +145,13 @@ impl LockTable {
         self.locks.values().map(|s| s.waiters.len()).sum()
     }
 
-    /// Locks with at least one holder or waiter.
+    /// Locks with at least one holder or waiter. Empty states linger in
+    /// the map as recycled buffers and are not counted.
     pub fn active_locks(&self) -> usize {
-        self.locks.len()
+        self.locks
+            .values()
+            .filter(|s| !s.holders.is_empty() || !s.waiters.is_empty())
+            .count()
     }
 
     fn grant_from_queue(state: &mut LockState, now: SimTime, out: &mut Vec<GrantedWaiter>) {
@@ -185,7 +203,8 @@ mod tests {
         assert!(t.acquire(1, 10, true, T0));
         assert!(!t.acquire(2, 10, false, SimTime(100)));
         assert!(!t.acquire(3, 10, false, SimTime(200)));
-        let granted = t.release(1, 10, SimTime(1_000));
+        let mut granted = Vec::new();
+        t.release(1, 10, SimTime(1_000), &mut granted);
         // Both shared waiters are granted together, in order.
         assert_eq!(granted.len(), 2);
         assert_eq!(
@@ -213,11 +232,13 @@ mod tests {
             !t.acquire(3, 10, false, SimTime(20)),
             "no barging past X waiter"
         );
-        let granted = t.release_all(1, SimTime(500));
+        let mut granted = Vec::new();
+        t.release_all(1, SimTime(500), &mut granted);
         assert_eq!(granted.len(), 1);
         assert_eq!(granted[0].req, 2);
-        // 3 still waits until 2 releases.
-        let granted2 = t.release_all(2, SimTime(900));
+        // 3 still waits until 2 releases. The scratch is cleared on entry.
+        let mut granted2 = granted;
+        t.release_all(2, SimTime(900), &mut granted2);
         assert_eq!(granted2.len(), 1);
         assert_eq!(
             granted2[0],
@@ -234,7 +255,7 @@ mod tests {
         assert!(t.acquire(1, 10, true, T0));
         assert!(t.acquire(1, 10, true, T0));
         assert!(t.acquire(1, 10, false, T0));
-        t.release_all(1, SimTime(5));
+        t.release_all(1, SimTime(5), &mut Vec::new());
         assert_eq!(t.active_locks(), 0);
     }
 
@@ -245,7 +266,8 @@ mod tests {
         assert!(t.acquire(1, 11, true, T0));
         assert!(!t.acquire(2, 10, true, T0));
         assert!(!t.acquire(3, 11, true, T0));
-        let granted = t.release_all(1, SimTime(100));
+        let mut granted = Vec::new();
+        t.release_all(1, SimTime(100), &mut granted);
         let reqs: Vec<ReqId> = granted.iter().map(|g| g.req).collect();
         assert!(reqs.contains(&2) && reqs.contains(&3));
         assert_eq!(t.waiting(), 0);
@@ -257,9 +279,10 @@ mod tests {
         assert!(t.acquire(1, 10, true, T0));
         assert!(!t.acquire(2, 10, true, T0));
         t.cancel_waits(2);
-        let granted = t.release_all(1, SimTime(100));
+        let mut granted = Vec::new();
+        t.release_all(1, SimTime(100), &mut granted);
         assert!(granted.is_empty());
-        assert_eq!(t.active_locks(), 0, "empty lock states are pruned");
+        assert_eq!(t.active_locks(), 0, "empty lock states are not counted");
     }
 
     #[test]
@@ -268,8 +291,9 @@ mod tests {
         for req in 0..100u64 {
             assert!(t.acquire(req, (req % 5) as LockId, false, T0));
         }
+        let mut granted = Vec::new();
         for req in 0..100u64 {
-            t.release_all(req, SimTime(10));
+            t.release_all(req, SimTime(10), &mut granted);
         }
         assert_eq!(t.active_locks(), 0);
     }

@@ -8,6 +8,12 @@
 use crate::time::SimTime;
 use crate::waits::WaitStats;
 
+/// Request identifier, assigned by the engine at submission.
+///
+/// Opaque: the engine packs a slab slot index and generation into the
+/// value, so ids are unique per engine but not dense or sequential.
+pub type ReqId = u64;
+
 /// One operation within a request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Op {

@@ -1,0 +1,188 @@
+//! Generational slab — dense request-state storage with stale-key safety.
+//!
+//! The engine previously kept per-request state in `HashMap<ReqId, _>`
+//! tables: every event handler paid a SipHash probe, and request churn
+//! caused constant rehashing traffic. [`GenSlab`] replaces them with a
+//! plain `Vec` of slots plus a free list: a key is `generation << 32 |
+//! slot_index`, so lookups are one bounds-checked array access plus a
+//! generation compare, inserts reuse freed slots, and a key left over from
+//! a completed request can never alias the slot's next occupant (the
+//! generation is bumped on removal) — the same "get on a removed key
+//! returns `None`" behaviour the `HashMap` provided.
+
+/// A slab whose `u64` keys embed a slot index (low 32 bits) and a
+/// generation (high 32 bits).
+///
+/// ```
+/// use dasr_engine::slab::GenSlab;
+///
+/// let mut slab = GenSlab::new();
+/// let key = slab.insert("req");
+/// assert_eq!(slab.get(key), Some(&"req"));
+/// assert_eq!(slab.remove(key), Some("req"));
+/// assert_eq!(slab.get(key), None, "stale keys never alias");
+/// ```
+#[derive(Debug)]
+pub struct GenSlab<T> {
+    slots: Vec<Slot<T>>,
+    free: Vec<u32>,
+    len: usize,
+}
+
+#[derive(Debug)]
+struct Slot<T> {
+    generation: u32,
+    value: Option<T>,
+}
+
+impl<T> GenSlab<T> {
+    /// Creates an empty slab.
+    pub fn new() -> Self {
+        Self {
+            slots: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Stores `value`, returning its key. Freed slots are reused (most
+    /// recently freed first), so steady-state request churn allocates
+    /// nothing.
+    pub fn insert(&mut self, value: T) -> u64 {
+        self.len += 1;
+        if let Some(idx) = self.free.pop() {
+            let slot = &mut self.slots[idx as usize];
+            debug_assert!(slot.value.is_none());
+            slot.value = Some(value);
+            key(slot.generation, idx)
+        } else {
+            let idx = u32::try_from(self.slots.len()).expect("slab exceeds u32 slots");
+            self.slots.push(Slot {
+                generation: 0,
+                value: Some(value),
+            });
+            key(0, idx)
+        }
+    }
+
+    /// Looks up a key; `None` when it was removed (any generation
+    /// mismatch) or never existed.
+    pub fn get(&self, key: u64) -> Option<&T> {
+        let slot = self.slots.get(index_of(key))?;
+        if slot.generation != generation_of(key) {
+            return None;
+        }
+        slot.value.as_ref()
+    }
+
+    /// Mutable lookup; same staleness rules as [`get`](Self::get).
+    pub fn get_mut(&mut self, key: u64) -> Option<&mut T> {
+        let slot = self.slots.get_mut(index_of(key))?;
+        if slot.generation != generation_of(key) {
+            return None;
+        }
+        slot.value.as_mut()
+    }
+
+    /// Removes and returns the entry, bumping the slot's generation so the
+    /// key (and any copies of it) go stale.
+    pub fn remove(&mut self, key: u64) -> Option<T> {
+        let idx = index_of(key);
+        let slot = self.slots.get_mut(idx)?;
+        if slot.generation != generation_of(key) {
+            return None;
+        }
+        let value = slot.value.take()?;
+        slot.generation = slot.generation.wrapping_add(1);
+        self.free.push(idx as u32);
+        self.len -= 1;
+        Some(value)
+    }
+}
+
+impl<T> Default for GenSlab<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[inline]
+fn key(generation: u32, idx: u32) -> u64 {
+    (u64::from(generation) << 32) | u64::from(idx)
+}
+
+#[inline]
+fn index_of(key: u64) -> usize {
+    (key & u64::from(u32::MAX)) as usize
+}
+
+#[inline]
+fn generation_of(key: u64) -> u32 {
+    (key >> 32) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut s = GenSlab::new();
+        let a = s.insert(10);
+        let b = s.insert(20);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(a), Some(&10));
+        *s.get_mut(b).unwrap() += 1;
+        assert_eq!(s.remove(b), Some(21));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(b), None);
+    }
+
+    #[test]
+    fn slots_are_reused_with_fresh_generations() {
+        let mut s = GenSlab::new();
+        let a = s.insert("old");
+        assert_eq!(s.remove(a), Some("old"));
+        let b = s.insert("new");
+        assert_eq!(index_of(a), index_of(b), "freed slot is reused");
+        assert_ne!(a, b, "but the key differs by generation");
+        assert_eq!(s.get(a), None);
+        assert_eq!(s.get(b), Some(&"new"));
+        assert_eq!(s.remove(a), None, "stale remove is a no-op");
+        assert_eq!(s.get(b), Some(&"new"));
+    }
+
+    #[test]
+    fn heavy_churn_stays_dense() {
+        let mut s = GenSlab::new();
+        let mut keys = Vec::new();
+        for round in 0..100 {
+            for i in 0..10 {
+                keys.push(s.insert(round * 10 + i));
+            }
+            for k in keys.drain(..) {
+                assert!(s.remove(k).is_some());
+            }
+        }
+        assert!(s.is_empty());
+        assert!(s.slots.len() <= 10, "churn must not grow the slab");
+    }
+
+    #[test]
+    fn unknown_keys_are_safe() {
+        let mut s: GenSlab<u8> = GenSlab::new();
+        assert_eq!(s.get(12345), None);
+        assert_eq!(s.get_mut(u64::MAX), None);
+        assert_eq!(s.remove(7), None);
+    }
+}

@@ -1,0 +1,283 @@
+//! Hierarchical bucketed event wheel — the engine's fast event queue.
+//!
+//! The simulation's event queue was a `BinaryHeap<Reverse<(SimTime, u64,
+//! Ev)>>`: every push and pop pays `O(log n)` comparisons on a 24-byte
+//! tuple, and the heap's access pattern is cache-hostile. Discrete-event
+//! timestamps, however, are *almost sorted*: most events (governor ready
+//! callbacks, CPU-burst and I/O completions) land within a few milliseconds
+//! of the clock. [`EventWheel`] exploits that, the classic timer-wheel
+//! design used by OS timer subsystems:
+//!
+//! - **Near events** (`time < base + SPAN`, with `SPAN` = 4096 µs) go into
+//!   one of `SPAN` µs-granularity buckets (`slot = time % SPAN`). A bucket
+//!   holds events of exactly one timestamp at a time, in push order — which
+//!   is sequence order, so FIFO pop preserves the `(time, seq)` total
+//!   order. An occupancy bitmap (64 words) finds the next non-empty bucket
+//!   with a handful of `trailing_zeros` scans.
+//! - **Far events** overflow into a small `BinaryHeap` ordered by
+//!   `(time, seq)`. Whenever the window advances (`base` moves up to the
+//!   time of the event just popped, or to the overflow minimum when the
+//!   buckets are empty), due overflow entries drain into buckets — in heap
+//!   order, so same-timestamp ties drain in sequence order.
+//!
+//! The pop order is **exactly** the heap's `(time, seq)` order; the
+//! property test in `tests/event_wheel_properties.rs` checks this against a
+//! `BinaryHeap` oracle over randomized streams including ties and
+//! far-future times.
+//!
+//! ## Window invariants
+//!
+//! 1. Every bucketed event has `base <= time < base + SPAN`; the slot↔time
+//!    mapping is a bijection within the window, so a bucket never mixes
+//!    timestamps.
+//! 2. Every overflow event has `time >= base + SPAN` (maintained by
+//!    draining on every rebase), so bucketed events always precede
+//!    overflow events.
+//! 3. `base` only advances to timestamps that have already been reached by
+//!    the popped-event clock, so a later push (which the engine issues at
+//!    its current clock or after) is never below `base`.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Width of the near window, in microseconds (= number of buckets).
+const SPAN: usize = 4096;
+/// Occupancy bitmap words (`SPAN / 64`).
+const WORDS: usize = SPAN / 64;
+
+/// A monotone event queue ordered by `(time, seq)`.
+///
+/// `seq` values must be unique per queue (the engine's global event
+/// counter); times pushed after a pop must be `>=` that pop's time.
+#[derive(Debug)]
+pub struct EventWheel<E> {
+    /// Window start: no event below this time remains in the wheel.
+    base: u64,
+    /// `SPAN` µs-granularity buckets; `slot = time % SPAN`.
+    buckets: Vec<VecDeque<(u64, u64, E)>>,
+    /// One bit per bucket: set iff the bucket is non-empty.
+    occupied: [u64; WORDS],
+    /// Events currently held in buckets.
+    bucket_len: usize,
+    /// Far-future events (`time >= base + SPAN`), min-ordered.
+    overflow: BinaryHeap<Reverse<(u64, u64, E)>>,
+}
+
+impl<E: Copy + Ord> EventWheel<E> {
+    /// Creates an empty wheel with its window starting at time 0.
+    pub fn new() -> Self {
+        Self {
+            base: 0,
+            buckets: (0..SPAN).map(|_| VecDeque::new()).collect(),
+            occupied: [0; WORDS],
+            bucket_len: 0,
+            overflow: BinaryHeap::new(),
+        }
+    }
+
+    /// Total queued events.
+    pub fn len(&self) -> usize {
+        self.bucket_len + self.overflow.len()
+    }
+
+    /// True when no events are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Queues `ev` at `(time, seq)`.
+    ///
+    /// `time` must be `>=` the time of the most recent [`pop_due`]
+    /// result (debug-asserted via the window base).
+    ///
+    /// [`pop_due`]: Self::pop_due
+    pub fn push(&mut self, time: u64, seq: u64, ev: E) {
+        debug_assert!(time >= self.base, "push below the wheel window");
+        if time < self.base + SPAN as u64 {
+            let slot = (time % SPAN as u64) as usize;
+            self.buckets[slot].push_back((time, seq, ev));
+            self.occupied[slot / 64] |= 1 << (slot % 64);
+            self.bucket_len += 1;
+        } else {
+            self.overflow.push(Reverse((time, seq, ev)));
+        }
+    }
+
+    /// Pops the `(time, seq)`-minimal event if its time is `<= t`;
+    /// `None` when the wheel is empty or the next event is after `t`.
+    pub fn pop_due(&mut self, t: u64) -> Option<(u64, u64, E)> {
+        if self.bucket_len == 0 {
+            let &Reverse((ot, _, _)) = self.overflow.peek()?;
+            if ot > t {
+                return None;
+            }
+            // Jump the window to the overflow minimum; the drain below
+            // refills the buckets, so the scan always finds this event.
+            self.rebase(ot);
+        }
+        let slot = self
+            .first_occupied()
+            .expect("non-zero bucket_len implies an occupied slot");
+        let &(time, seq, ev) = self.buckets[slot]
+            .front()
+            .expect("occupancy bit set on empty bucket");
+        if time > t {
+            return None;
+        }
+        self.buckets[slot].pop_front();
+        self.bucket_len -= 1;
+        if self.buckets[slot].is_empty() {
+            self.occupied[slot / 64] &= !(1 << (slot % 64));
+        }
+        if time > self.base {
+            self.rebase(time);
+        }
+        Some((time, seq, ev))
+    }
+
+    /// Advances the window start to `new_base` and drains newly-due
+    /// overflow events into their buckets (in heap order, preserving seq
+    /// order for equal timestamps).
+    fn rebase(&mut self, new_base: u64) {
+        debug_assert!(new_base >= self.base);
+        self.base = new_base;
+        let limit = new_base + SPAN as u64;
+        while let Some(&Reverse((time, _, _))) = self.overflow.peek() {
+            if time >= limit {
+                break;
+            }
+            let Reverse((time, seq, ev)) = self.overflow.pop().expect("peeked");
+            let slot = (time % SPAN as u64) as usize;
+            self.buckets[slot].push_back((time, seq, ev));
+            self.occupied[slot / 64] |= 1 << (slot % 64);
+            self.bucket_len += 1;
+        }
+    }
+
+    /// First occupied slot in circular order from `base % SPAN` — the
+    /// bucket holding the earliest timestamp (window times map to slots
+    /// monotonically along that circular order).
+    fn first_occupied(&self) -> Option<usize> {
+        let start = (self.base % SPAN as u64) as usize;
+        let sw = start / 64;
+        let sb = start % 64;
+        let head = self.occupied[sw] & (u64::MAX << sb);
+        if head != 0 {
+            return Some(sw * 64 + head.trailing_zeros() as usize);
+        }
+        for i in 1..=WORDS {
+            let idx = (sw + i) % WORDS;
+            let mut word = self.occupied[idx];
+            if idx == sw {
+                // Wrapped all the way around: only bits below the start.
+                word &= !(u64::MAX << sb);
+            }
+            if word != 0 {
+                return Some(idx * 64 + word.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+}
+
+impl<E: Copy + Ord> Default for EventWheel<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drains everything due by `t`, returning `(time, seq)` pairs.
+    fn drain(w: &mut EventWheel<u8>, t: u64) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        while let Some((time, seq, _)) = w.pop_due(t) {
+            out.push((time, seq));
+        }
+        out
+    }
+
+    #[test]
+    fn pops_in_time_then_seq_order() {
+        let mut w = EventWheel::new();
+        w.push(30, 1, 0u8);
+        w.push(10, 2, 0);
+        w.push(10, 3, 0);
+        w.push(20, 4, 0);
+        assert_eq!(w.len(), 4);
+        assert_eq!(drain(&mut w, 100), vec![(10, 2), (10, 3), (20, 4), (30, 1)]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn respects_the_due_horizon() {
+        let mut w = EventWheel::new();
+        w.push(10, 1, 0u8);
+        w.push(50, 2, 0);
+        assert_eq!(w.pop_due(9), None);
+        assert_eq!(w.pop_due(10), Some((10, 1, 0)));
+        assert_eq!(w.pop_due(10), None, "50 is not due yet");
+        assert_eq!(w.pop_due(50), Some((50, 2, 0)));
+    }
+
+    #[test]
+    fn far_future_events_overflow_and_return() {
+        let mut w = EventWheel::new();
+        w.push(5, 1, 0u8);
+        w.push(1_000_000, 2, 0); // way beyond the 4096 µs window
+        w.push(1_000_000, 3, 0); // same-timestamp tie in overflow
+        w.push(9_000_000, 4, 0);
+        assert_eq!(w.pop_due(u64::MAX), Some((5, 1, 0)));
+        assert_eq!(w.pop_due(u64::MAX), Some((1_000_000, 2, 0)));
+        // Push near the new window position after the jump.
+        w.push(1_000_001, 5, 0);
+        assert_eq!(w.pop_due(u64::MAX), Some((1_000_000, 3, 0)));
+        assert_eq!(w.pop_due(u64::MAX), Some((1_000_001, 5, 0)));
+        assert_eq!(w.pop_due(u64::MAX), Some((9_000_000, 4, 0)));
+        assert_eq!(w.pop_due(u64::MAX), None);
+    }
+
+    #[test]
+    fn interleaves_pushes_at_the_popped_clock() {
+        // The engine pushes follow-up events at the clock of the event
+        // just handled; the wheel must order them against queued ones.
+        let mut w = EventWheel::new();
+        w.push(100, 1, 0u8);
+        w.push(300, 2, 0);
+        assert_eq!(w.pop_due(1_000), Some((100, 1, 0)));
+        w.push(200, 3, 0); // handler schedules something before 300
+        w.push(100, 4, 0); // and something right now
+        assert_eq!(drain(&mut w, 1_000), vec![(100, 4), (200, 3), (300, 2)]);
+    }
+
+    #[test]
+    fn window_boundary_times() {
+        let mut w = EventWheel::new();
+        w.push(SPAN as u64 - 1, 1, 0u8); // last bucket of the window
+        w.push(SPAN as u64, 2, 0); // first overflow time
+        assert_eq!(w.pop_due(u64::MAX), Some((SPAN as u64 - 1, 1, 0)));
+        assert_eq!(w.pop_due(u64::MAX), Some((SPAN as u64, 2, 0)));
+    }
+
+    #[test]
+    fn slot_collision_across_windows_stays_ordered() {
+        // `t` and `t + SPAN` share a slot; the second must wait in
+        // overflow until the first is gone, never mixing into its bucket.
+        let mut w = EventWheel::new();
+        w.push(7, 1, 0u8);
+        w.push(7 + SPAN as u64, 2, 0);
+        assert_eq!(w.pop_due(u64::MAX), Some((7, 1, 0)));
+        assert_eq!(w.pop_due(u64::MAX), Some((7 + SPAN as u64, 2, 0)));
+    }
+
+    #[test]
+    fn empty_wheel_behaves() {
+        let mut w: EventWheel<u8> = EventWheel::new();
+        assert!(w.is_empty());
+        assert_eq!(w.pop_due(u64::MAX), None);
+        w.push(1, 1, 0);
+        assert_eq!(w.len(), 1);
+    }
+}
