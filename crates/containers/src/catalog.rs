@@ -167,7 +167,7 @@ impl Catalog {
     pub fn smallest(&self) -> &Container {
         self.containers
             .iter()
-            .min_by(|a, b| a.cost.partial_cmp(&b.cost).expect("finite costs"))
+            .min_by(|a, b| a.cost.total_cmp(&b.cost))
             .expect("catalog non-empty")
     }
 
@@ -175,7 +175,7 @@ impl Catalog {
     pub fn largest(&self) -> &Container {
         self.containers
             .iter()
-            .max_by(|a, b| a.cost.partial_cmp(&b.cost).expect("finite costs"))
+            .max_by(|a, b| a.cost.total_cmp(&b.cost))
             .expect("catalog non-empty")
     }
 
@@ -206,13 +206,8 @@ impl Catalog {
             .filter(|c| price_cap.is_none_or(|cap| c.cost <= cap + 1e-9))
             .min_by(|a, b| {
                 a.cost
-                    .partial_cmp(&b.cost)
-                    .expect("finite")
-                    .then_with(|| {
-                        total(&a.resources)
-                            .partial_cmp(&total(&b.resources))
-                            .expect("finite")
-                    })
+                    .total_cmp(&b.cost)
+                    .then_with(|| total(&a.resources).total_cmp(&total(&b.resources)))
                     .then_with(|| a.id.cmp(&b.id))
             })
     }
@@ -228,13 +223,8 @@ impl Catalog {
             .filter(|c| c.cost <= price_cap + 1e-9)
             .max_by(|a, b| {
                 a.cost
-                    .partial_cmp(&b.cost)
-                    .expect("finite")
-                    .then_with(|| {
-                        total(&a.resources)
-                            .partial_cmp(&total(&b.resources))
-                            .expect("finite")
-                    })
+                    .total_cmp(&b.cost)
+                    .then_with(|| total(&a.resources).total_cmp(&total(&b.resources)))
                     .then_with(|| b.id.cmp(&a.id))
             })
     }

@@ -38,6 +38,12 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Library code must surface errors, not crash or chat on stdout:
+// unwraps are for tests, printing is for the bench/lint CLIs, and
+// float equality is only meaningful in the stats oracle tests.
+#![deny(clippy::print_stdout, clippy::print_stderr)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+#![cfg_attr(not(test), deny(clippy::float_cmp))]
 
 pub mod budget;
 pub mod estimator;
@@ -66,4 +72,5 @@ pub use report::{IntervalRecord, RunReport};
 pub use rules::{RuleFire, RuleHistogram, RuleId, RuleTable};
 pub use runner::fleet::{tenant_seed, FleetReport, FleetRunner, TenantSpec};
 pub use runner::{ClosedLoop, RunConfig};
+pub use trace::json;
 pub use trace::{BalloonGate, DecisionTrace};

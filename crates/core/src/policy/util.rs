@@ -100,8 +100,7 @@ impl ScalingPolicy for UtilPolicy {
                         .max_by(|a, b| {
                             sig.resource(*a)
                                 .util_pct
-                                .partial_cmp(&sig.resource(*b).util_pct)
-                                .expect("finite")
+                                .total_cmp(&sig.resource(*b).util_pct)
                         })
                         .expect("non-empty");
                     return Self::moved(

@@ -143,6 +143,7 @@ impl ClosedLoop {
             };
             // §3 signal computation, timed (wall-clock; the timer section
             // is excluded from the determinism contract).
+            // dasr-lint: allow(D1) reason="obs timer: wall-clock durations feed TimerId::SignalsNs only, which PartialEq and the determinism contract exclude"
             let t0 = std::time::Instant::now();
             let signals = tm.observe(sample);
             obs.metrics
@@ -176,6 +177,7 @@ impl ClosedLoop {
                 available_budget: budget.as_ref().map(|b| b.available()),
                 balloon: balloon_status,
             };
+            // dasr-lint: allow(D1) reason="obs timer: wall-clock durations feed TimerId::DecideNs only, which PartialEq and the determinism contract exclude"
             let t0 = std::time::Instant::now();
             let decision = policy.decide(&ctx);
             obs.metrics

@@ -593,8 +593,10 @@ fn explanation_from_json(v: &Json) -> Result<Explanation, String> {
 }
 
 /// A minimal JSON value with a writer and a recursive-descent parser —
-/// exactly the subset the trace and [`crate::obs`] formats need.
-pub(crate) mod json {
+/// exactly the subset the trace and [`crate::obs`] formats need. Public
+/// so out-of-tree tooling (the `dasr-lint` report writer) can emit the
+/// same machine-readable JSONL without pulling in serde.
+pub mod json {
     use std::fmt::Write as _;
 
     /// A JSON value.
@@ -615,10 +617,12 @@ pub(crate) mod json {
     }
 
     impl Json {
+        /// `Num` for `Some`, `Null` for `None`.
         pub fn from_opt(v: Option<f64>) -> Json {
             v.map_or(Json::Null, Json::Num)
         }
 
+        /// Looks up `key` in an object; errors on non-objects.
         pub fn get(&self, key: &str) -> Result<&Json, String> {
             match self {
                 Json::Obj(fields) => fields
@@ -630,6 +634,7 @@ pub(crate) mod json {
             }
         }
 
+        /// The value as a number; errors otherwise.
         pub fn num(&self) -> Result<f64, String> {
             match self {
                 Json::Num(n) => Ok(*n),
@@ -637,6 +642,7 @@ pub(crate) mod json {
             }
         }
 
+        /// The value as a number, with `Null` mapping to `None`.
         pub fn opt_num(&self) -> Result<Option<f64>, String> {
             match self {
                 Json::Null => Ok(None),
@@ -645,6 +651,7 @@ pub(crate) mod json {
             }
         }
 
+        /// The value as a string slice; errors otherwise.
         pub fn str(&self) -> Result<&str, String> {
             match self {
                 Json::Str(s) => Ok(s),
@@ -652,6 +659,7 @@ pub(crate) mod json {
             }
         }
 
+        /// The value as a bool; errors otherwise.
         pub fn bool(&self) -> Result<bool, String> {
             match self {
                 Json::Bool(b) => Ok(*b),
@@ -659,6 +667,7 @@ pub(crate) mod json {
             }
         }
 
+        /// The value as an array slice; errors otherwise.
         pub fn arr(&self) -> Result<&[Json], String> {
             match self {
                 Json::Arr(items) => Ok(items),
@@ -666,6 +675,7 @@ pub(crate) mod json {
             }
         }
 
+        /// Serializes the value to compact single-line JSON.
         pub fn write(&self) -> String {
             let mut out = String::new();
             self.write_into(&mut out);

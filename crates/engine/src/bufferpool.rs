@@ -38,7 +38,17 @@ struct PageMap {
     /// Fibonacci product, which are the well-mixed ones.
     shift: u32,
     len: usize,
+    #[cfg(feature = "strict-invariants")]
+    check_tick: u64,
 }
+
+/// Mutation count below which `strict-invariants` checks run every time
+/// (small tables, unit tests); past it they sample every
+/// [`CHECK_EVERY`]th mutation so the O(table) scan amortizes to ~O(1).
+#[cfg(feature = "strict-invariants")]
+const CHECK_ALWAYS: u64 = 64;
+#[cfg(feature = "strict-invariants")]
+const CHECK_EVERY: u64 = 1024;
 
 impl PageMap {
     const MIN_CAP: usize = 16;
@@ -50,6 +60,8 @@ impl PageMap {
             mask: Self::MIN_CAP - 1,
             shift: 64 - Self::MIN_CAP.trailing_zeros(),
             len: 0,
+            #[cfg(feature = "strict-invariants")]
+            check_tick: 0,
         }
     }
 
@@ -63,6 +75,7 @@ impl PageMap {
     }
 
     #[inline]
+    // dasr-lint: no-alloc
     fn get(&self, key: u64) -> Option<u32> {
         let mut i = self.home(key);
         loop {
@@ -77,6 +90,7 @@ impl PageMap {
         }
     }
 
+    // dasr-lint: no-alloc
     fn insert(&mut self, key: u64, val: u32) {
         debug_assert_ne!(val, NONE);
         if (self.len + 1) * 4 > (self.mask + 1) * 3 {
@@ -88,10 +102,12 @@ impl PageMap {
                 self.keys[i] = key;
                 self.vals[i] = val;
                 self.len += 1;
+                self.debug_check();
                 return;
             }
             if self.keys[i] == key {
                 self.vals[i] = val;
+                self.debug_check();
                 return;
             }
             i = (i + 1) & self.mask;
@@ -100,6 +116,7 @@ impl PageMap {
 
     /// Removes `key` using backward-shift deletion: later entries in the
     /// probe chain slide back so lookups never need tombstones.
+    // dasr-lint: no-alloc
     fn remove(&mut self, key: u64) {
         let mut i = self.home(key);
         loop {
@@ -117,6 +134,7 @@ impl PageMap {
             j = (j + 1) & self.mask;
             if self.vals[j] == NONE {
                 self.vals[i] = NONE;
+                self.debug_check();
                 return;
             }
             let home = self.home(self.keys[j]);
@@ -140,6 +158,37 @@ impl PageMap {
         for (k, v) in old_keys.into_iter().zip(old_vals) {
             if v != NONE {
                 self.insert(k, v);
+            }
+        }
+    }
+
+    /// Structural self-check (`strict-invariants` builds only): every live
+    /// entry's probe chain from its home slot is unbroken, so `get` can
+    /// always reach it — the invariant backward-shift deletion maintains.
+    /// Sampled past the first [`CHECK_ALWAYS`] mutations to keep large
+    /// simulations tractable.
+    #[inline]
+    fn debug_check(&mut self) {
+        #[cfg(feature = "strict-invariants")]
+        {
+            self.check_tick += 1;
+            if self.check_tick > CHECK_ALWAYS && !self.check_tick.is_multiple_of(CHECK_EVERY) {
+                return;
+            }
+            let live = self.vals.iter().filter(|&&v| v != NONE).count();
+            debug_assert_eq!(live, self.len, "occupied slot count must match len");
+            for i in 0..self.vals.len() {
+                if self.vals[i] == NONE {
+                    continue;
+                }
+                let mut j = self.home(self.keys[i]);
+                while j != i {
+                    debug_assert_ne!(
+                        self.vals[j], NONE,
+                        "hole at slot {j} breaks the probe chain to slot {i}"
+                    );
+                    j = (j + 1) & self.mask;
+                }
             }
         }
     }
@@ -204,6 +253,7 @@ impl BufferPool {
     /// Accesses `page`; on a hit the page is touched (moved to MRU) and
     /// marked dirty if `write`. On a miss the caller performs the disk read
     /// and then calls [`insert`](Self::insert).
+    // dasr-lint: no-alloc
     pub fn access(&mut self, page: u64, write: bool) -> Access {
         if let Some(idx) = self.map.get(page) {
             self.hits += 1;
@@ -225,6 +275,7 @@ impl BufferPool {
     /// never allocates in steady state).
     ///
     /// Inserting a page already present just touches it.
+    // dasr-lint: no-alloc
     pub fn insert(&mut self, page: u64, dirty: bool, dirty_evicted: &mut Vec<u64>) {
         dirty_evicted.clear();
         if let Some(idx) = self.map.get(page) {
@@ -264,6 +315,7 @@ impl BufferPool {
     /// `dirty_evicted` (cleared first) when shrinking. Used both for
     /// container resizes (immediate) and balloon steps (gradual, small
     /// decrements).
+    // dasr-lint: no-alloc
     pub fn set_capacity(&mut self, capacity: usize, dirty_evicted: &mut Vec<u64>) {
         dirty_evicted.clear();
         self.capacity = capacity;
@@ -292,6 +344,7 @@ impl BufferPool {
 
     /// Evicts LRU pages while over capacity, appending dirty victims to
     /// `dirty_evicted` (NOT cleared — callers clear before the first call).
+    // dasr-lint: no-alloc
     fn evict_to_capacity(&mut self, dirty_evicted: &mut Vec<u64>) {
         while self.map.len() > self.capacity {
             let tail = self.tail;
@@ -308,6 +361,7 @@ impl BufferPool {
         }
     }
 
+    // dasr-lint: no-alloc
     fn touch(&mut self, idx: u32) {
         if self.head == idx {
             return;
@@ -316,6 +370,7 @@ impl BufferPool {
         self.push_front(idx);
     }
 
+    // dasr-lint: no-alloc
     fn unlink(&mut self, idx: u32) {
         let (prev, next) = {
             let n = &self.nodes[idx as usize];
@@ -336,6 +391,7 @@ impl BufferPool {
         n.next = NONE;
     }
 
+    // dasr-lint: no-alloc
     fn push_front(&mut self, idx: u32) {
         let old_head = self.head;
         {
@@ -485,6 +541,20 @@ mod tests {
         }
         assert_eq!(bp.used(), 2);
         assert!(bp.nodes.len() <= 3, "slab should recycle free nodes");
+    }
+
+    /// Proves the `strict-invariants` wiring is live: a hole punched into
+    /// a probe chain must trip the structural check on the next mutation.
+    #[test]
+    #[cfg(feature = "strict-invariants")]
+    #[should_panic(expected = "occupied slot count must match len")]
+    fn strict_invariants_catch_probe_chain_corruption() {
+        let mut pm = PageMap::new();
+        pm.insert(1, 10);
+        pm.insert(2, 20);
+        let hole = pm.home(1);
+        pm.vals[hole] = NONE; // erase without fixing len or shifting
+        pm.insert(3, 30);
     }
 
     /// Randomized cross-check: the open-addressed [`PageMap`] must behave

@@ -65,6 +65,7 @@ impl CpuScheduler {
     }
 
     /// Enqueues a burst; call [`pump`](Self::pump) to dispatch.
+    // dasr-lint: no-alloc
     pub fn submit(&mut self, req: ReqId, work_us: u64, now: SimTime) {
         self.q.submit(
             CpuJob { req, work_us },
@@ -76,11 +77,13 @@ impl CpuScheduler {
     /// Dispatches admissible bursts into `out` (cleared first; the caller
     /// owns and reuses the buffer, so pumping never allocates). Returns an
     /// optional ready callback time the engine must schedule.
+    // dasr-lint: no-alloc
     pub fn pump(&mut self, now: SimTime, out: &mut Vec<Dispatched<CpuJob>>) -> Option<u64> {
         self.q.pump(now.as_micros(), out)
     }
 
     /// Handles a ready callback, dispatching into `out` (cleared first).
+    // dasr-lint: no-alloc
     pub fn on_ready(
         &mut self,
         at_us: u64,

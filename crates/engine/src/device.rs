@@ -74,12 +74,14 @@ impl IoDevice {
     }
 
     /// Enqueues an operation of `cost` units; call [`pump`](Self::pump).
+    // dasr-lint: no-alloc
     pub fn submit(&mut self, token: IoToken, cost: f64, now: SimTime) {
         self.q.submit(token, cost.max(1.0), now.as_micros());
     }
 
     /// Enqueues a background operation (writeback): consumes credit but
     /// never starves foreground I/O.
+    // dasr-lint: no-alloc
     pub fn submit_low(&mut self, token: IoToken, cost: f64, now: SimTime) {
         self.q.submit_low(token, cost.max(1.0), now.as_micros());
     }
@@ -88,11 +90,13 @@ impl IoDevice {
     /// caller owns and reuses the buffer, so pumping never allocates).
     /// Completion is at `start + base_latency`; the caller schedules those
     /// events, plus the optional ready callback.
+    // dasr-lint: no-alloc
     pub fn pump(&mut self, now: SimTime, out: &mut Vec<Dispatched<IoToken>>) -> Option<u64> {
         self.q.pump(now.as_micros(), out)
     }
 
     /// Handles a ready callback, dispatching into `out` (cleared first).
+    // dasr-lint: no-alloc
     pub fn on_ready(
         &mut self,
         at_us: u64,

@@ -291,6 +291,7 @@ impl Engine {
     ///
     /// # Panics
     /// Panics if `at` is in the simulated past.
+    // dasr-lint: no-alloc
     pub fn submit_at(&mut self, at: SimTime, spec: RequestSpec) {
         assert!(at >= self.clock, "arrival scheduled in the past");
         let id = self.requests.insert(ReqState {
@@ -308,6 +309,7 @@ impl Engine {
 
     /// Processes every event with timestamp ≤ `t`, then advances the clock
     /// to `t`.
+    // dasr-lint: no-alloc
     pub fn run_until(&mut self, t: SimTime) {
         let horizon = t.as_micros();
         while let Some((et, _, ev)) = self.events.pop_due(horizon) {
@@ -326,6 +328,7 @@ impl Engine {
     /// governors re-rate their queued backlogs immediately; the buffer pool
     /// evicts (or gains headroom) immediately unless a balloon is active
     /// (the balloon owns capacity while probing).
+    // dasr-lint: no-alloc
     pub fn apply_resources(&mut self, resources: ResourceVector) {
         assert!(resources.cpu_cores > 0.0, "container needs CPU");
         assert!(resources.disk_iops > 0.0, "container needs disk IOPS");
@@ -406,6 +409,7 @@ impl Engine {
     /// latency buffer and `out.latencies_ms` are swapped (ping-pong), so a
     /// caller that reuses the same `IntervalStats` every interval incurs
     /// no allocation in steady state.
+    // dasr-lint: no-alloc
     pub fn end_interval_into(&mut self, out: &mut IntervalStats) {
         let start = self.interval_start;
         let end = self.clock;
@@ -443,6 +447,7 @@ impl Engine {
     // Internals
     // ------------------------------------------------------------------
 
+    // dasr-lint: no-alloc
     fn push_event(&mut self, at: SimTime, ev: Ev) {
         self.seq += 1;
         self.events.push(at.as_micros(), self.seq, ev);
@@ -450,6 +455,7 @@ impl Engine {
 
     /// Schedules completions for dispatched CPU bursts plus the optional
     /// governor ready callback.
+    // dasr-lint: no-alloc
     fn flush_cpu(&mut self, dispatched: &[Dispatched<CpuJob>], ready: Option<u64>) {
         for d in dispatched {
             self.push_event(
@@ -467,6 +473,7 @@ impl Engine {
     }
 
     /// Dispatches admissible CPU bursts and schedules their completions.
+    // dasr-lint: no-alloc
     fn pump_cpu(&mut self) {
         let mut buf = std::mem::take(&mut self.cpu_scratch);
         let ready = self.cpu.pump(self.clock, &mut buf);
@@ -477,6 +484,7 @@ impl Engine {
     /// Schedules completions for dispatched disk operations (reads complete
     /// after the base latency; background writebacks complete immediately
     /// for accounting) plus the ready callback.
+    // dasr-lint: no-alloc
     fn flush_disk(&mut self, dispatched: &[Dispatched<IoToken>], ready: Option<u64>) {
         let base = self.disk.base_latency_us();
         for d in dispatched {
@@ -501,6 +509,7 @@ impl Engine {
     }
 
     /// Dispatches admissible disk I/Os and schedules their completions.
+    // dasr-lint: no-alloc
     fn pump_disk(&mut self) {
         let mut buf = std::mem::take(&mut self.disk_scratch);
         let ready = self.disk.pump(self.clock, &mut buf);
@@ -510,6 +519,7 @@ impl Engine {
 
     /// Schedules completions for dispatched log appends plus the ready
     /// callback.
+    // dasr-lint: no-alloc
     fn flush_log(&mut self, dispatched: &[Dispatched<IoToken>], ready: Option<u64>) {
         let base = self.log.base_latency_us();
         for d in dispatched {
@@ -529,6 +539,7 @@ impl Engine {
     }
 
     /// Dispatches admissible log appends and schedules their completions.
+    // dasr-lint: no-alloc
     fn pump_log(&mut self) {
         let mut buf = std::mem::take(&mut self.log_scratch);
         let ready = self.log.pump(self.clock, &mut buf);
@@ -536,6 +547,7 @@ impl Engine {
         self.log_scratch = buf;
     }
 
+    // dasr-lint: no-alloc
     fn dispatch(&mut self, ev: Ev) {
         match ev {
             Ev::Arrival(id) => self.on_arrival(id),
@@ -610,6 +622,7 @@ impl Engine {
         }
     }
 
+    // dasr-lint: no-alloc
     fn on_arrival(&mut self, id: ReqId) {
         if self.running >= self.cfg.max_outstanding {
             self.rejected += 1;
@@ -625,6 +638,7 @@ impl Engine {
         self.runnable.push_back(id);
     }
 
+    // dasr-lint: no-alloc
     fn on_balloon_step(&mut self) {
         let Some(target) = self.balloon_target else {
             return; // balloon aborted; stale event
@@ -650,6 +664,7 @@ impl Engine {
     /// pages are coalesced into extent-sized writes and run at low priority
     /// so checkpoint storms never starve foreground I/O; nobody waits on
     /// them.
+    // dasr-lint: no-alloc
     fn writeback(&mut self, n: usize) {
         let writes = n.div_ceil(self.cfg.writeback_coalesce.max(1) as usize);
         for _ in 0..writes {
@@ -660,6 +675,7 @@ impl Engine {
         }
     }
 
+    // dasr-lint: no-alloc
     fn drain_runnable(&mut self) {
         while let Some(req) = self.runnable.pop_front() {
             self.advance(req);
@@ -667,6 +683,7 @@ impl Engine {
     }
 
     /// Advances a request's state machine until it blocks or completes.
+    // dasr-lint: no-alloc
     fn advance(&mut self, req: ReqId) {
         loop {
             let Some(state) = self.requests.get_mut(req) else {
@@ -739,6 +756,7 @@ impl Engine {
 
     /// Resumes the waiters in `lock_scratch` (filled by the preceding
     /// `locks.release`/`release_all` call), charging their lock waits.
+    // dasr-lint: no-alloc
     fn resume_lock_waiters(&mut self) {
         let buf = std::mem::take(&mut self.lock_scratch);
         for g in &buf {
@@ -752,6 +770,7 @@ impl Engine {
         self.lock_scratch = buf;
     }
 
+    // dasr-lint: no-alloc
     fn complete_request(&mut self, req: ReqId) {
         let state = self
             .requests

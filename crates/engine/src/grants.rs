@@ -65,6 +65,7 @@ impl GrantPool {
     /// Attempts to grant `mb` to `req`. Grants exceeding the entire pool are
     /// clamped to the pool size (a query can never get more than exists).
     /// Returns `true` when granted immediately, `false` when queued.
+    // dasr-lint: no-alloc
     pub fn acquire(&mut self, req: ReqId, mb: u32, now: SimTime) -> bool {
         let need = u64::from(mb).min(self.pool_mb).max(1);
         if self.waiters.is_empty() && self.granted_mb + need <= self.pool_mb {
@@ -79,6 +80,7 @@ impl GrantPool {
     /// Releases `mb` previously granted to a request, waking FIFO waiters
     /// that now fit. Woken waiters are written into `out` (cleared first —
     /// the caller owns and reuses the buffer, so releasing never allocates).
+    // dasr-lint: no-alloc
     pub fn release(&mut self, mb: u32, now: SimTime, out: &mut Vec<GrantedMemory>) {
         out.clear();
         self.granted_mb = self.granted_mb.saturating_sub(u64::from(mb));
@@ -99,6 +101,7 @@ impl GrantPool {
     }
 
     /// Removes `req` from the wait queue (abort).
+    // dasr-lint: no-alloc
     pub fn cancel(&mut self, req: ReqId) {
         self.waiters.retain(|&(r, _, _)| r != req);
     }

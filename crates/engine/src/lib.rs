@@ -37,6 +37,12 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Library code must surface errors, not crash or chat on stdout:
+// unwraps are for tests, printing is for the bench/lint CLIs, and
+// float equality is only meaningful in the stats oracle tests.
+#![deny(clippy::print_stdout, clippy::print_stderr)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+#![cfg_attr(not(test), deny(clippy::float_cmp))]
 
 pub mod bufferpool;
 pub mod config;

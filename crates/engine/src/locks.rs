@@ -70,6 +70,7 @@ impl LockTable {
     ///
     /// Re-acquiring a lock already held by `req` is a no-op grant (no
     /// upgrade support — workloads acquire the strongest mode first).
+    // dasr-lint: no-alloc
     pub fn acquire(&mut self, req: ReqId, lock: LockId, exclusive: bool, now: SimTime) -> bool {
         let state = self.locks.entry(lock).or_default();
         if state.holders.iter().any(|&(r, _)| r == req) {
@@ -89,6 +90,7 @@ impl LockTable {
     /// result into `out` (cleared first — the engine resumes them and
     /// charges their lock wait). The caller owns and reuses the buffer, so
     /// releasing never allocates.
+    // dasr-lint: no-alloc
     pub fn release(
         &mut self,
         req: ReqId,
@@ -111,6 +113,7 @@ impl LockTable {
 
     /// Releases every lock held by `req` (request completion under strict
     /// 2PL), writing all newly granted waiters into `out` (cleared first).
+    // dasr-lint: no-alloc
     pub fn release_all(&mut self, req: ReqId, now: SimTime, out: &mut Vec<GrantedWaiter>) {
         out.clear();
         // Drain the held list through a reused scratch so the entry keeps
@@ -134,7 +137,9 @@ impl LockTable {
     }
 
     /// Removes `req` from every wait queue (request abort/rejection).
+    // dasr-lint: no-alloc
     pub fn cancel_waits(&mut self, req: ReqId) {
+        // dasr-lint: allow(D2) reason="order-independent mutation: removing one request from every queue commutes across visit order"
         for state in self.locks.values_mut() {
             state.waiters.retain(|&(r, _, _)| r != req);
         }
@@ -142,6 +147,7 @@ impl LockTable {
 
     /// Number of requests currently waiting across all locks.
     pub fn waiting(&self) -> usize {
+        // dasr-lint: allow(D2) reason="order-independent fold: a sum over queue lengths is invariant to iteration order"
         self.locks.values().map(|s| s.waiters.len()).sum()
     }
 
@@ -149,11 +155,13 @@ impl LockTable {
     /// the map as recycled buffers and are not counted.
     pub fn active_locks(&self) -> usize {
         self.locks
+            // dasr-lint: allow(D2) reason="order-independent fold: counting non-empty states is invariant to iteration order"
             .values()
             .filter(|s| !s.holders.is_empty() || !s.waiters.is_empty())
             .count()
     }
 
+    // dasr-lint: no-alloc
     fn grant_from_queue(state: &mut LockState, now: SimTime, out: &mut Vec<GrantedWaiter>) {
         // Strict FIFO: grant from the front while compatible.
         while let Some(&(req, exclusive, since)) = state.waiters.front() {

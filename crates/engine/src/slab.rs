@@ -27,7 +27,17 @@ pub struct GenSlab<T> {
     slots: Vec<Slot<T>>,
     free: Vec<u32>,
     len: usize,
+    #[cfg(feature = "strict-invariants")]
+    check_tick: u64,
 }
+
+/// Mutation count below which `strict-invariants` checks run every time
+/// (small structures, unit tests); past it they sample every
+/// [`CHECK_EVERY`]th mutation so O(size) scans amortize to ~O(1).
+#[cfg(feature = "strict-invariants")]
+const CHECK_ALWAYS: u64 = 64;
+#[cfg(feature = "strict-invariants")]
+const CHECK_EVERY: u64 = 1024;
 
 #[derive(Debug)]
 struct Slot<T> {
@@ -42,6 +52,8 @@ impl<T> GenSlab<T> {
             slots: Vec::new(),
             free: Vec::new(),
             len: 0,
+            #[cfg(feature = "strict-invariants")]
+            check_tick: 0,
         }
     }
 
@@ -58,9 +70,10 @@ impl<T> GenSlab<T> {
     /// Stores `value`, returning its key. Freed slots are reused (most
     /// recently freed first), so steady-state request churn allocates
     /// nothing.
+    // dasr-lint: no-alloc
     pub fn insert(&mut self, value: T) -> u64 {
         self.len += 1;
-        if let Some(idx) = self.free.pop() {
+        let key = if let Some(idx) = self.free.pop() {
             let slot = &mut self.slots[idx as usize];
             debug_assert!(slot.value.is_none());
             slot.value = Some(value);
@@ -72,11 +85,14 @@ impl<T> GenSlab<T> {
                 value: Some(value),
             });
             key(0, idx)
-        }
+        };
+        self.debug_check();
+        key
     }
 
     /// Looks up a key; `None` when it was removed (any generation
     /// mismatch) or never existed.
+    // dasr-lint: no-alloc
     pub fn get(&self, key: u64) -> Option<&T> {
         let slot = self.slots.get(index_of(key))?;
         if slot.generation != generation_of(key) {
@@ -86,6 +102,7 @@ impl<T> GenSlab<T> {
     }
 
     /// Mutable lookup; same staleness rules as [`get`](Self::get).
+    // dasr-lint: no-alloc
     pub fn get_mut(&mut self, key: u64) -> Option<&mut T> {
         let slot = self.slots.get_mut(index_of(key))?;
         if slot.generation != generation_of(key) {
@@ -96,6 +113,7 @@ impl<T> GenSlab<T> {
 
     /// Removes and returns the entry, bumping the slot's generation so the
     /// key (and any copies of it) go stale.
+    // dasr-lint: no-alloc
     pub fn remove(&mut self, key: u64) -> Option<T> {
         let idx = index_of(key);
         let slot = self.slots.get_mut(idx)?;
@@ -106,7 +124,44 @@ impl<T> GenSlab<T> {
         slot.generation = slot.generation.wrapping_add(1);
         self.free.push(idx as u32);
         self.len -= 1;
+        self.debug_check();
         Some(value)
+    }
+
+    /// Structural self-check (`strict-invariants` builds only): every slot
+    /// is either live or on the free list, exactly once. A violation means
+    /// a key could alias a reused slot or a slot could leak forever.
+    /// Sampled past the first [`CHECK_ALWAYS`] mutations to keep large
+    /// simulations tractable.
+    #[inline]
+    fn debug_check(&mut self) {
+        #[cfg(feature = "strict-invariants")]
+        {
+            self.check_tick += 1;
+            if self.check_tick > CHECK_ALWAYS && !self.check_tick.is_multiple_of(CHECK_EVERY) {
+                return;
+            }
+            let live = self.slots.iter().filter(|s| s.value.is_some()).count();
+            debug_assert_eq!(live, self.len, "live slot count must match len");
+            debug_assert_eq!(
+                self.free.len() + self.len,
+                self.slots.len(),
+                "every slot must be live or free-listed"
+            );
+            let mut on_free_list = vec![false; self.slots.len()];
+            for &idx in &self.free {
+                let idx = idx as usize;
+                debug_assert!(
+                    self.slots[idx].value.is_none(),
+                    "free-listed slot {idx} still holds a value"
+                );
+                debug_assert!(
+                    !on_free_list[idx],
+                    "slot {idx} appears twice on the free list"
+                );
+                on_free_list[idx] = true;
+            }
+        }
     }
 }
 
@@ -176,6 +231,19 @@ mod tests {
         }
         assert!(s.is_empty());
         assert!(s.slots.len() <= 10, "churn must not grow the slab");
+    }
+
+    /// Proves the `strict-invariants` wiring is live: a corrupted free
+    /// list must trip the structural check on the next mutation.
+    #[test]
+    #[cfg(feature = "strict-invariants")]
+    #[should_panic(expected = "every slot must be live or free-listed")]
+    fn strict_invariants_catch_free_list_corruption() {
+        let mut s = GenSlab::new();
+        let a = s.insert(1u8);
+        s.remove(a);
+        s.free.push(0); // duplicate free-list entry for slot 0
+        s.insert(2u8); // reuses slot 0; check sees free + len != slots
     }
 
     #[test]

@@ -45,6 +45,14 @@ const SPAN: usize = 4096;
 /// Occupancy bitmap words (`SPAN / 64`).
 const WORDS: usize = SPAN / 64;
 
+/// Mutation count below which `strict-invariants` checks run every time
+/// (unit tests); past it they sample every [`CHECK_EVERY`]th mutation so
+/// the O(`SPAN`) scan amortizes to ~O(1) in long simulations.
+#[cfg(feature = "strict-invariants")]
+const CHECK_ALWAYS: u64 = 64;
+#[cfg(feature = "strict-invariants")]
+const CHECK_EVERY: u64 = 1024;
+
 /// A monotone event queue ordered by `(time, seq)`.
 ///
 /// `seq` values must be unique per queue (the engine's global event
@@ -61,6 +69,8 @@ pub struct EventWheel<E> {
     bucket_len: usize,
     /// Far-future events (`time >= base + SPAN`), min-ordered.
     overflow: BinaryHeap<Reverse<(u64, u64, E)>>,
+    #[cfg(feature = "strict-invariants")]
+    check_tick: u64,
 }
 
 impl<E: Copy + Ord> EventWheel<E> {
@@ -72,6 +82,8 @@ impl<E: Copy + Ord> EventWheel<E> {
             occupied: [0; WORDS],
             bucket_len: 0,
             overflow: BinaryHeap::new(),
+            #[cfg(feature = "strict-invariants")]
+            check_tick: 0,
         }
     }
 
@@ -91,6 +103,7 @@ impl<E: Copy + Ord> EventWheel<E> {
     /// result (debug-asserted via the window base).
     ///
     /// [`pop_due`]: Self::pop_due
+    // dasr-lint: no-alloc
     pub fn push(&mut self, time: u64, seq: u64, ev: E) {
         debug_assert!(time >= self.base, "push below the wheel window");
         if time < self.base + SPAN as u64 {
@@ -101,10 +114,12 @@ impl<E: Copy + Ord> EventWheel<E> {
         } else {
             self.overflow.push(Reverse((time, seq, ev)));
         }
+        self.debug_check();
     }
 
     /// Pops the `(time, seq)`-minimal event if its time is `<= t`;
     /// `None` when the wheel is empty or the next event is after `t`.
+    // dasr-lint: no-alloc
     pub fn pop_due(&mut self, t: u64) -> Option<(u64, u64, E)> {
         if self.bucket_len == 0 {
             let &Reverse((ot, _, _)) = self.overflow.peek()?;
@@ -132,12 +147,14 @@ impl<E: Copy + Ord> EventWheel<E> {
         if time > self.base {
             self.rebase(time);
         }
+        self.debug_check();
         Some((time, seq, ev))
     }
 
     /// Advances the window start to `new_base` and drains newly-due
     /// overflow events into their buckets (in heap order, preserving seq
     /// order for equal timestamps).
+    // dasr-lint: no-alloc
     fn rebase(&mut self, new_base: u64) {
         debug_assert!(new_base >= self.base);
         self.base = new_base;
@@ -157,6 +174,7 @@ impl<E: Copy + Ord> EventWheel<E> {
     /// First occupied slot in circular order from `base % SPAN` — the
     /// bucket holding the earliest timestamp (window times map to slots
     /// monotonically along that circular order).
+    // dasr-lint: no-alloc
     fn first_occupied(&self) -> Option<usize> {
         let start = (self.base % SPAN as u64) as usize;
         let sw = start / 64;
@@ -177,6 +195,51 @@ impl<E: Copy + Ord> EventWheel<E> {
             }
         }
         None
+    }
+
+    /// Structural self-check (`strict-invariants` builds only): the window
+    /// invariants from the module docs, plus bitmap/bucket agreement. A
+    /// violation here means `pop_due` could skip or misorder an event.
+    /// Sampled past the first [`CHECK_ALWAYS`] mutations to keep large
+    /// simulations tractable.
+    fn debug_check(&mut self) {
+        #[cfg(feature = "strict-invariants")]
+        {
+            self.check_tick += 1;
+            if self.check_tick > CHECK_ALWAYS && !self.check_tick.is_multiple_of(CHECK_EVERY) {
+                return;
+            }
+            let limit = self.base + SPAN as u64;
+            let mut total = 0;
+            for (slot, bucket) in self.buckets.iter().enumerate() {
+                let bit = (self.occupied[slot / 64] >> (slot % 64)) & 1 == 1;
+                debug_assert_eq!(
+                    bit,
+                    !bucket.is_empty(),
+                    "occupancy bit for slot {slot} disagrees with its bucket"
+                );
+                total += bucket.len();
+                for &(time, _, _) in bucket {
+                    debug_assert!(
+                        self.base <= time && time < limit,
+                        "bucketed time {time} outside window [{}, {limit})",
+                        self.base
+                    );
+                    debug_assert_eq!(
+                        (time % SPAN as u64) as usize,
+                        slot,
+                        "time {time} filed in the wrong bucket"
+                    );
+                }
+            }
+            debug_assert_eq!(
+                total, self.bucket_len,
+                "bucket_len must match the sum of bucket lengths"
+            );
+            for &Reverse((time, _, _)) in self.overflow.iter() {
+                debug_assert!(time >= limit, "overflow time {time} is due but not drained");
+            }
+        }
     }
 }
 
@@ -270,6 +333,17 @@ mod tests {
         w.push(7 + SPAN as u64, 2, 0);
         assert_eq!(w.pop_due(u64::MAX), Some((7, 1, 0)));
         assert_eq!(w.pop_due(u64::MAX), Some((7 + SPAN as u64, 2, 0)));
+    }
+
+    /// Proves the `strict-invariants` wiring is live: a stray occupancy
+    /// bit must trip the structural check on the next mutation.
+    #[test]
+    #[cfg(feature = "strict-invariants")]
+    #[should_panic(expected = "disagrees with its bucket")]
+    fn strict_invariants_catch_bitmap_corruption() {
+        let mut w = EventWheel::new();
+        w.occupied[3] |= 1; // bit set, bucket 192 empty
+        w.push(1, 1, 0u8);
     }
 
     #[test]

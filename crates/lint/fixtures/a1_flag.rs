@@ -1,0 +1,17 @@
+//! should_flag: A1 — allocation inside a `no-alloc` body (the ISSUE's
+//! seeded violation: a `format!` in a no-alloc block).
+
+pub struct Pump {
+    scratch: Vec<u64>,
+}
+
+impl Pump {
+    // dasr-lint: no-alloc
+    pub fn pump(&mut self, now: u64) -> usize {
+        let label = format!("pump at {now}");
+        let copied = self.scratch.to_vec();
+        let fresh: Vec<u64> = Vec::new();
+        let n = copied.iter().chain(fresh.iter()).count();
+        n + label.len()
+    }
+}

@@ -1,0 +1,25 @@
+//! should_pass: A1 — the hot path reuses caller-owned scratch; the
+//! allocating constructor lives outside the marked function.
+
+pub struct Pump {
+    scratch: Vec<u64>,
+}
+
+impl Pump {
+    pub fn new() -> Self {
+        // Allocation is fine here: only marked bodies are scanned.
+        Pump {
+            scratch: Vec::with_capacity(64),
+        }
+    }
+
+    // dasr-lint: no-alloc
+    pub fn pump(&mut self, now: u64) -> usize {
+        self.scratch.clear();
+        self.scratch.push(now);
+        let mut moved = std::mem::take(&mut self.scratch);
+        let n = moved.len();
+        std::mem::swap(&mut self.scratch, &mut moved);
+        n
+    }
+}

@@ -1,0 +1,15 @@
+//! should_flag: D1 — wall clock in deterministic code (the ISSUE's
+//! seeded violation: an `Instant::now` in core).
+
+pub struct Loop {
+    started_us: u64,
+}
+
+impl Loop {
+    pub fn tick(&mut self) {
+        // Wall clock leaking into the simulation: nondeterministic.
+        let t0 = std::time::Instant::now();
+        self.started_us = t0.elapsed().as_micros() as u64;
+        let _wall = std::time::SystemTime::now();
+    }
+}

@@ -1,0 +1,24 @@
+//! should_pass: D1 — simulated time only; wall clock confined to tests.
+
+pub struct Loop {
+    now: u64,
+}
+
+impl Loop {
+    pub fn tick(&mut self, sim_now_us: u64) {
+        self.now = sim_now_us;
+    }
+
+    /// `Instant` in type position (no `::now`) is fine — e.g. storing a
+    /// caller-provided timestamp.
+    pub fn note(&self, _at: std::time::Instant) {}
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let t0 = std::time::Instant::now();
+        assert!(t0.elapsed().as_nanos() < u128::MAX);
+    }
+}

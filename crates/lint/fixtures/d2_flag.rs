@@ -1,0 +1,31 @@
+//! should_flag: D2 — `HashMap` iteration in a fleet-merge path (the
+//! ISSUE's seeded violation): merge order follows randomized hash
+//! iteration order, so the merged report is nondeterministic.
+
+use std::collections::{HashMap, HashSet};
+
+pub struct FleetMerge {
+    per_tenant: HashMap<u64, f64>,
+    dirty: HashSet<u64>,
+}
+
+impl FleetMerge {
+    pub fn merge(&self) -> f64 {
+        let mut total = 0.0;
+        // Iteration order is randomized per process.
+        for (_tenant, share) in &self.per_tenant {
+            total += share * 0.5;
+        }
+        total
+    }
+
+    pub fn drain_dirty(&mut self, out: &mut Vec<u64>) {
+        for t in self.dirty.drain() {
+            out.push(t);
+        }
+    }
+
+    pub fn tenants(&self) -> usize {
+        self.per_tenant.keys().count()
+    }
+}

@@ -1,0 +1,31 @@
+//! should_pass: D2 — point lookups on maps are fine; folds go through
+//! `BTreeMap` or a sorted adapter.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub struct FleetMerge {
+    per_tenant: HashMap<u64, f64>,
+    ordered: BTreeMap<u64, f64>,
+}
+
+impl FleetMerge {
+    pub fn lookup(&self, tenant: u64) -> Option<f64> {
+        self.per_tenant.get(&tenant).copied()
+    }
+
+    pub fn merge(&self) -> f64 {
+        // BTreeMap iterates in key order: deterministic.
+        self.ordered.values().sum()
+    }
+
+    pub fn merge_sorted(&self) -> Vec<u64> {
+        // Routing hash iteration through a sorted adapter on the same
+        // statement is the sanctioned escape hatch.
+        let keys: Vec<u64> = self.per_tenant.keys().copied().collect::<std::collections::BTreeSet<_>>().into_iter().collect();
+        keys
+    }
+
+    pub fn size(&self) -> usize {
+        self.per_tenant.len()
+    }
+}

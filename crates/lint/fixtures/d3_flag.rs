@@ -1,0 +1,13 @@
+//! should_flag: D3 — ambient randomness in non-test code: the run is no
+//! longer a pure function of its seed.
+
+pub fn jitter() -> f64 {
+    let mut rng = rand::thread_rng();
+    let _ = rng.next_u64();
+    rand::random::<f64>()
+}
+
+pub fn reseed() -> u64 {
+    let rng = SmallRng::from_entropy();
+    rng.seed()
+}

@@ -1,0 +1,10 @@
+//! should_flag: F1 — NaN-unsafe float ordering: one NaN and the
+//! comparator panics (or breaks `sort_by`'s total-order contract).
+
+pub fn pick_cheapest(costs: &mut Vec<(u32, f64)>) -> Option<u32> {
+    costs.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    costs
+        .iter()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"))
+        .map(|&(id, _)| id)
+}

@@ -1,0 +1,15 @@
+//! should_pass: F1 — `total_cmp` is a total order over all floats
+//! (NaN sorts last among positives), so no unwrap is needed.
+
+pub fn pick_cheapest(costs: &mut Vec<(u32, f64)>) -> Option<u32> {
+    costs.sort_by(|a, b| a.1.total_cmp(&b.1));
+    costs
+        .iter()
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .map(|&(id, _)| id)
+}
+
+pub fn guarded(a: f64, b: f64) -> std::cmp::Ordering {
+    // Handling the None arm explicitly is also fine.
+    a.partial_cmp(&b).unwrap_or(std::cmp::Ordering::Equal)
+}

@@ -1,0 +1,13 @@
+//! should_flag: R1 — human text stored *into* a trace type instead of
+//! being rendered from structure at print time.
+
+pub struct DecisionTrace {
+    pub interval: u64,
+    /// Pre-rendered explanation: violates render-from-structure.
+    pub explanation: String,
+}
+
+pub enum RunEvent {
+    ResizeIssued { why: String },
+    IntervalEnd,
+}

@@ -1,0 +1,29 @@
+//! should_pass: R1 — traces carry structured fields; text is derived.
+
+pub enum Explanation {
+    CpuAboveTarget { util_pct_x100: u32 },
+    NoChange,
+}
+
+pub struct DecisionTrace {
+    pub interval: u64,
+    pub explanations: Vec<Explanation>,
+}
+
+impl DecisionTrace {
+    /// Rendering derives text on demand — `String` in a return position
+    /// is fine; only stored fields violate R1.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.explanations {
+            match e {
+                Explanation::CpuAboveTarget { util_pct_x100 } => {
+                    out.push_str("cpu above target: ");
+                    out.push_str(&(util_pct_x100 / 100).to_string());
+                }
+                Explanation::NoChange => out.push_str("no change"),
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,17 @@
+//! should_flag: W1 — malformed waivers are themselves findings: missing
+//! reason, empty reason, unknown rule, unparseable directive. None of
+//! these waive anything.
+
+// dasr-lint: allow(D1)
+pub fn no_reason() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}
+
+// dasr-lint: allow(D1) reason=""
+pub fn empty_reason() {}
+
+// dasr-lint: allow(Z9) reason="no such rule"
+pub fn unknown_rule() {}
+
+// dasr-lint: frobnicate the invariants
+pub fn unparseable() {}

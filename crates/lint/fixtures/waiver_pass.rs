@@ -1,0 +1,14 @@
+//! should_pass: a well-formed waiver — rule named, reason given —
+//! covers the finding on its own line or the line below.
+
+pub struct Profiler {
+    pub elapsed_ns: u64,
+}
+
+impl Profiler {
+    pub fn sample(&mut self) {
+        // dasr-lint: allow(D1) reason="profiling scratch excluded from the determinism contract"
+        let t0 = std::time::Instant::now();
+        self.elapsed_ns = t0.elapsed().as_nanos() as u64;
+    }
+}

@@ -1,0 +1,402 @@
+//! `dasr-lint` — the workspace invariant linter.
+//!
+//! A dependency-free static-analysis pass (hand-rolled token scanner, no
+//! `syn`, no crates.io) that enforces the project's determinism,
+//! render-from-structure, and hot-path allocation rules over the
+//! workspace source. The invariants it pins are the ones the whole
+//! verification story rests on — oracle equivalence, 1/2/8-thread
+//! bit-identity, trace-derived histograms — moved from "a property test
+//! might catch it" to "CI fails the moment a PR writes it".
+//!
+//! Rules (see [`rules::LintRule`]): **D1** no wall clock outside
+//! `core::obs`, **D2** no `HashMap`/`HashSet` iteration in deterministic
+//! modules, **D3** no ambient randomness outside tests, **R1** no
+//! `String` fields stored in trace/event/metric types, **F1** no
+//! NaN-unsafe float ordering outside the stats kernels, **A1** no
+//! allocation under a `no-alloc` marker, **W1** malformed waivers.
+//!
+//! Violations are waived in place with a mandatory reason:
+//!
+//! ```text
+//! // dasr-lint: allow(D2) reason="order-independent sum over values"
+//! ```
+//!
+//! A standalone waiver comment covers findings on the line below it; a
+//! trailing waiver comment covers its own line. Waivers are counted and
+//! reported, and a missing reason is itself a finding (rule W1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![deny(clippy::print_stdout, clippy::print_stderr)]
+
+pub mod lexer;
+pub mod rules;
+
+use lexer::Directive;
+use rules::{LintRule, RawFinding, Scope};
+use std::path::{Path, PathBuf};
+
+pub use dasr_core::json::Json;
+
+/// One lint finding, waived or active.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// The violated rule.
+    pub rule: LintRule,
+    /// The trimmed source line (truncated to 160 chars).
+    pub snippet: String,
+    /// Whether an in-source waiver covers this finding.
+    pub waived: bool,
+    /// The waiver's reason, when waived.
+    pub reason: Option<String>,
+}
+
+impl Finding {
+    /// Serializes the finding as one JSON object (one JSONL row).
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("file".to_string(), Json::Str(self.file.clone())),
+            ("line".to_string(), Json::Num(f64::from(self.line))),
+            ("rule".to_string(), Json::Str(self.rule.name().to_string())),
+            ("snippet".to_string(), Json::Str(self.snippet.clone())),
+            ("waived".to_string(), Json::Bool(self.waived)),
+        ];
+        if let Some(reason) = &self.reason {
+            fields.push(("reason".to_string(), Json::Str(reason.clone())));
+        }
+        Json::Obj(fields)
+    }
+}
+
+/// Lint result for one file.
+#[derive(Debug, Default)]
+pub struct FileLint {
+    /// All findings, sorted by line then rule.
+    pub findings: Vec<Finding>,
+    /// Lines of well-formed waivers that matched no finding.
+    pub unused_waivers: Vec<u32>,
+}
+
+/// Classifies a workspace-relative path into a rule [`Scope`].
+pub fn classify(rel: &str) -> Scope {
+    let deterministic = [
+        "crates/core/src",
+        "crates/engine/src",
+        "crates/fleet/src",
+        "crates/stats/src",
+    ]
+    .iter()
+    .any(|p| rel.starts_with(p));
+    Scope {
+        deterministic,
+        wallclock_exempt: rel.starts_with("crates/core/src/obs"),
+        float_exempt: rel.starts_with("crates/stats/src"),
+    }
+}
+
+fn snippet_of(src_lines: &[&str], line: u32) -> String {
+    let text = src_lines.get(line as usize - 1).map_or("", |s| s.trim());
+    let mut s = String::with_capacity(text.len().min(160));
+    for c in text.chars().take(160) {
+        s.push(c);
+    }
+    s
+}
+
+/// Lints one file's source text under the scope for `rel_path`.
+pub fn lint_source(rel_path: &str, src: &str, scope: Scope) -> FileLint {
+    let lexed = lexer::lex(src);
+    let in_test = rules::test_mask(&lexed.tokens);
+    let marker_lines: Vec<u32> = lexed
+        .directives
+        .iter()
+        .filter_map(|d| match d {
+            Directive::NoAlloc { line } => Some(*line),
+            _ => None,
+        })
+        .collect();
+    let no_alloc = rules::no_alloc_mask(&lexed.tokens, &marker_lines);
+    let raw = rules::scan(&lexed.tokens, &in_test, &no_alloc, scope);
+    let src_lines: Vec<&str> = src.lines().collect();
+
+    // Well-formed waivers, plus W1 findings for malformed directives.
+    struct Waiver {
+        /// The line the directive sits on (for unused-waiver reports).
+        line: u32,
+        /// The line the waiver *covers*: its own line for a trailing
+        /// comment, the next line for a standalone comment line.
+        covers: u32,
+        rules: Vec<LintRule>,
+        reason: String,
+        used: bool,
+    }
+    let mut waivers: Vec<Waiver> = Vec::new();
+    let mut findings: Vec<Finding> = Vec::new();
+    let w1 = |line: u32| RawFinding {
+        rule: LintRule::W1MalformedWaiver,
+        line,
+    };
+    let mut w1_raw: Vec<RawFinding> = Vec::new();
+    for d in &lexed.directives {
+        match d {
+            Directive::NoAlloc { .. } => {}
+            Directive::Unknown { line, .. } => w1_raw.push(w1(*line)),
+            Directive::Allow {
+                line,
+                rules: names,
+                reason,
+            } => {
+                let parsed: Option<Vec<LintRule>> =
+                    names.iter().map(|n| LintRule::from_name(n)).collect();
+                match (parsed, reason) {
+                    (Some(rules), Some(reason))
+                        if !rules.is_empty() && !reason.trim().is_empty() =>
+                    {
+                        // A standalone comment line waives the line
+                        // below; a trailing comment waives its own line.
+                        let standalone = !lexed.tokens.iter().any(|t| t.line == *line);
+                        waivers.push(Waiver {
+                            line: *line,
+                            covers: if standalone { *line + 1 } else { *line },
+                            rules,
+                            reason: reason.clone(),
+                            used: false,
+                        });
+                    }
+                    // Unknown rule, empty rule list, or missing/empty
+                    // reason: the waiver itself is the violation.
+                    _ => w1_raw.push(w1(*line)),
+                }
+            }
+        }
+    }
+
+    for f in raw.iter().chain(w1_raw.iter()) {
+        let mut waived = false;
+        let mut reason = None;
+        if f.rule != LintRule::W1MalformedWaiver {
+            for w in waivers.iter_mut() {
+                if w.covers == f.line && w.rules.contains(&f.rule) {
+                    waived = true;
+                    reason = Some(w.reason.clone());
+                    w.used = true;
+                    break;
+                }
+            }
+        }
+        findings.push(Finding {
+            file: rel_path.to_string(),
+            line: f.line,
+            rule: f.rule,
+            snippet: snippet_of(&src_lines, f.line),
+            waived,
+            reason,
+        });
+    }
+    findings.sort_by_key(|f| (f.line, f.rule));
+
+    FileLint {
+        findings,
+        unused_waivers: waivers.iter().filter(|w| !w.used).map(|w| w.line).collect(),
+    }
+}
+
+/// Aggregate lint result over a workspace tree.
+#[derive(Debug, Default)]
+pub struct WorkspaceLint {
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// All findings across all files, in file order.
+    pub findings: Vec<Finding>,
+    /// `(file, line)` of well-formed waivers that matched no finding.
+    pub unused_waivers: Vec<(String, u32)>,
+}
+
+impl WorkspaceLint {
+    /// Findings not covered by a waiver (these fail `--deny-all`).
+    pub fn active(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| !f.waived)
+    }
+
+    /// Number of active (unwaived) findings.
+    pub fn active_count(&self) -> usize {
+        self.active().count()
+    }
+
+    /// Number of waived findings.
+    pub fn waived_count(&self) -> usize {
+        self.findings.iter().filter(|f| f.waived).count()
+    }
+
+    /// Serializes every finding as JSONL (one object per line).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&f.to_json().write());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Source roots scanned inside a workspace: the facade crate plus every
+/// `crates/*` library. Vendored shims and lint fixtures are deliberately
+/// excluded.
+fn source_roots(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut roots = Vec::new();
+    let facade = root.join("src");
+    if facade.is_dir() {
+        roots.push(facade);
+    }
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&crates)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        entries.sort();
+        for entry in entries {
+            let src = entry.join("src");
+            if src.is_dir() {
+                roots.push(src);
+            }
+        }
+    }
+    Ok(roots)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for entry in entries {
+        if entry.is_dir() {
+            collect_rs_files(&entry, out)?;
+        } else if entry.extension().is_some_and(|e| e == "rs") {
+            out.push(entry);
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    let mut s = String::new();
+    for comp in rel.components() {
+        if !s.is_empty() {
+            s.push('/');
+        }
+        s.push_str(&comp.as_os_str().to_string_lossy());
+    }
+    s
+}
+
+/// Lints every `.rs` file under the workspace source roots of `root`
+/// (`src/` and `crates/*/src/`), classifying each by path.
+pub fn lint_workspace(root: &Path) -> std::io::Result<WorkspaceLint> {
+    let mut files = Vec::new();
+    for src_root in source_roots(root)? {
+        collect_rs_files(&src_root, &mut files)?;
+    }
+    let mut ws = WorkspaceLint::default();
+    for path in files {
+        let rel = rel_path(root, &path);
+        let src = std::fs::read_to_string(&path)?;
+        let file = lint_source(&rel, &src, classify(&rel));
+        ws.files_scanned += 1;
+        ws.findings.extend(file.findings);
+        ws.unused_waivers
+            .extend(file.unused_waivers.into_iter().map(|l| (rel.clone(), l)));
+    }
+    Ok(ws)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_scopes() {
+        assert!(classify("crates/engine/src/locks.rs").deterministic);
+        assert!(!classify("crates/engine/src/locks.rs").wallclock_exempt);
+        assert!(classify("crates/core/src/obs/metrics.rs").wallclock_exempt);
+        assert!(classify("crates/stats/src/quantile.rs").float_exempt);
+        assert!(!classify("crates/telemetry/src/lib.rs").deterministic);
+        assert!(!classify("src/lib.rs").deterministic);
+    }
+
+    #[test]
+    fn waiver_covers_same_and_next_line() {
+        let src = "\
+fn f() {\n\
+    // dasr-lint: allow(D1) reason=\"profiling scratch\"\n\
+    let t = std::time::Instant::now();\n\
+    let u = std::time::Instant::now(); // dasr-lint: allow(D1) reason=\"same line\"\n\
+    let v = std::time::Instant::now();\n\
+}\n";
+        let lint = lint_source("crates/core/src/x.rs", src, Scope::strict());
+        let waived: Vec<bool> = lint.findings.iter().map(|f| f.waived).collect();
+        assert_eq!(waived, vec![true, true, false]);
+        assert!(lint.unused_waivers.is_empty());
+        assert_eq!(
+            lint.findings[0].reason.as_deref(),
+            Some("profiling scratch")
+        );
+    }
+
+    #[test]
+    fn missing_reason_is_w1() {
+        let src = "// dasr-lint: allow(D2)\nfn f() {}\n";
+        let lint = lint_source("crates/core/src/x.rs", src, Scope::strict());
+        assert_eq!(lint.findings.len(), 1);
+        assert_eq!(lint.findings[0].rule, LintRule::W1MalformedWaiver);
+        assert!(!lint.findings[0].waived);
+    }
+
+    #[test]
+    fn unknown_rule_is_w1() {
+        let src = "// dasr-lint: allow(Z9) reason=\"nope\"\nfn f() {}\n";
+        let lint = lint_source("crates/core/src/x.rs", src, Scope::strict());
+        assert_eq!(lint.findings.len(), 1);
+        assert_eq!(lint.findings[0].rule, LintRule::W1MalformedWaiver);
+    }
+
+    #[test]
+    fn w1_cannot_be_waived() {
+        let src = "\
+// dasr-lint: allow(W1) reason=\"try to waive the waiver rule\"\n\
+// dasr-lint: allow(D2)\n\
+fn f() {}\n";
+        let lint = lint_source("crates/core/src/x.rs", src, Scope::strict());
+        let w1: Vec<&Finding> = lint
+            .findings
+            .iter()
+            .filter(|f| f.rule == LintRule::W1MalformedWaiver)
+            .collect();
+        assert_eq!(w1.len(), 1);
+        assert!(!w1[0].waived);
+    }
+
+    #[test]
+    fn unused_waiver_is_reported() {
+        let src = "// dasr-lint: allow(D1) reason=\"stale\"\nfn f() {}\n";
+        let lint = lint_source("crates/core/src/x.rs", src, Scope::strict());
+        assert!(lint.findings.is_empty());
+        assert_eq!(lint.unused_waivers, vec![1]);
+    }
+
+    #[test]
+    fn findings_serialize_to_jsonl() {
+        let src = "fn f() { let t = std::time::Instant::now(); }\n";
+        let lint = lint_source("crates/core/src/x.rs", src, Scope::strict());
+        let json = lint.findings[0].to_json().write();
+        let parsed = dasr_core::json::parse(&json).unwrap();
+        assert_eq!(parsed.get("rule").unwrap().str().unwrap(), "D1-wall-clock");
+        assert_eq!(parsed.get("line").unwrap().num().unwrap(), 1.0);
+        assert!(!parsed.get("waived").unwrap().bool().unwrap());
+    }
+}

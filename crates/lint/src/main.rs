@@ -1,0 +1,139 @@
+//! `dasr-lint` CLI.
+//!
+//! ```text
+//! cargo run -p dasr-lint -- [--deny-all] [--report PATH] [--root DIR] [FILE...]
+//! ```
+//!
+//! With no file arguments, lints the whole workspace under `--root`
+//! (default: the current directory), classifying each file by path.
+//! Explicit file arguments are linted under the *strictest* scope
+//! (every rule applies) — this is the mode the fixture self-tests use.
+//!
+//! `--deny-all` exits non-zero when any unwaived finding survives;
+//! `--report` writes the findings as JSONL (one object per line).
+
+#![forbid(unsafe_code)]
+
+use dasr_lint::rules::Scope;
+use dasr_lint::{lint_source, lint_workspace, Finding, WorkspaceLint};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    deny_all: bool,
+    report: Option<PathBuf>,
+    root: PathBuf,
+    files: Vec<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        deny_all: false,
+        report: None,
+        root: PathBuf::from("."),
+        files: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--deny-all" => args.deny_all = true,
+            "--report" => {
+                let path = it.next().ok_or("--report requires a path")?;
+                args.report = Some(PathBuf::from(path));
+            }
+            "--root" => {
+                let dir = it.next().ok_or("--root requires a directory")?;
+                args.root = PathBuf::from(dir);
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: dasr-lint [--deny-all] [--report PATH] [--root DIR] [FILE...]"
+                        .to_string(),
+                )
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag {other:?} (try --help)"));
+            }
+            file => args.files.push(PathBuf::from(file)),
+        }
+    }
+    Ok(args)
+}
+
+fn print_finding(f: &Finding) {
+    let status = if f.waived { "waived" } else { "error " };
+    println!(
+        "[{status}] {}:{} {} — {}\n         {}",
+        f.file,
+        f.line,
+        f.rule.name(),
+        f.rule.description(),
+        f.snippet
+    );
+    if let Some(reason) = &f.reason {
+        println!("         reason: {reason}");
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args = parse_args()?;
+
+    let ws: WorkspaceLint = if args.files.is_empty() {
+        if !args.root.join("Cargo.toml").is_file() {
+            return Err(format!(
+                "no Cargo.toml under {:?}; run from the workspace root or pass --root",
+                args.root
+            ));
+        }
+        lint_workspace(&args.root).map_err(|e| format!("scan failed: {e}"))?
+    } else {
+        // Explicit files: strictest scope, used by fixture self-tests.
+        let mut ws = WorkspaceLint::default();
+        for path in &args.files {
+            let src = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            let rel = path.display().to_string().replace('\\', "/");
+            let lint = lint_source(&rel, &src, Scope::strict());
+            ws.files_scanned += 1;
+            ws.findings.extend(lint.findings);
+            ws.unused_waivers
+                .extend(lint.unused_waivers.into_iter().map(|l| (rel.clone(), l)));
+        }
+        ws
+    };
+
+    for f in &ws.findings {
+        print_finding(f);
+    }
+    for (file, line) in &ws.unused_waivers {
+        println!("[unused] {file}:{line} waiver matches no finding");
+    }
+    println!(
+        "dasr-lint: {} files scanned, {} active finding(s), {} waived, {} unused waiver(s)",
+        ws.files_scanned,
+        ws.active_count(),
+        ws.waived_count(),
+        ws.unused_waivers.len()
+    );
+
+    if let Some(report) = &args.report {
+        std::fs::write(report, ws.to_jsonl())
+            .map_err(|e| format!("cannot write {}: {e}", report.display()))?;
+        println!("dasr-lint: report written to {}", report.display());
+    }
+
+    if args.deny_all && ws.active_count() > 0 {
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("dasr-lint: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

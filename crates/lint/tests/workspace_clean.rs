@@ -1,0 +1,38 @@
+//! The real workspace must lint clean: every surviving finding is an
+//! explicit waiver with a reason. This is the same gate CI enforces via
+//! `cargo run -p dasr-lint -- --deny-all`, kept in `cargo test` so a
+//! violation fails fast locally too.
+
+use dasr_lint::lint_workspace;
+use std::path::PathBuf;
+
+#[test]
+fn workspace_has_no_active_findings() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..");
+    let ws = lint_workspace(&root).expect("workspace scan");
+    assert!(
+        ws.files_scanned > 30,
+        "scan looks truncated: {} files",
+        ws.files_scanned
+    );
+
+    let active: Vec<String> = ws
+        .active()
+        .map(|f| format!("{}:{} {} — {}", f.file, f.line, f.rule.name(), f.snippet))
+        .collect();
+    assert!(
+        active.is_empty(),
+        "unwaived lint findings:\n{}",
+        active.join("\n")
+    );
+
+    // Waivers must not rot: every waiver in the tree covers a real
+    // finding.
+    assert!(
+        ws.unused_waivers.is_empty(),
+        "stale waivers: {:?}",
+        ws.unused_waivers
+    );
+}

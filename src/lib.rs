@@ -16,6 +16,7 @@
 //!   and the closed-loop auto-scaler, plus all baseline policies.
 
 #![forbid(unsafe_code)]
+#![deny(clippy::print_stdout, clippy::print_stderr)]
 
 pub use dasr_containers as containers;
 pub use dasr_core as core;
