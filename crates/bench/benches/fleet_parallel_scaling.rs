@@ -1,13 +1,19 @@
-//! Wall-clock scaling of the parallel fleet runner: the same ≥64-tenant
-//! fleet executed at 1, 2, 4 and 8 threads, verifying (a) the speedup and
-//! (b) that every thread count produces bit-identical per-tenant results
-//! (the FleetRunner determinism contract).
+//! Wall-clock scaling of the sharded fleet runner: the same ≥64-tenant
+//! fleet executed at 1, 2, 4 and 8 threads, in both full mode
+//! (`run_fleet`) and streaming summary mode (`run_fleet_summary`),
+//! verifying (a) the speedup, (b) that every thread count produces
+//! bit-identical per-tenant results, and (c) that the streamed summary
+//! equals the full run's folded summary (the FleetRunner determinism
+//! contract).
 //!
 //! `--test` runs a tiny fleet once per thread count (CI smoke). Set
 //! `DASR_BENCH_JSON` to append `{"bench": ..., "ns_per_iter": ...}` lines.
 
 use dasr_core::policy::{AutoPolicy, ScalingPolicy};
-use dasr_core::{tenant_seed, FleetReport, FleetRunner, RunConfig, TenantKnobs, TenantSpec};
+use dasr_core::{
+    tenant_seed, FleetReport, FleetRunner, FleetSummary, NullSink, RunConfig, TenantKnobs,
+    TenantSpec,
+};
 use dasr_telemetry::LatencyGoal;
 use dasr_workloads::{CpuIoConfig, CpuIoWorkload, Trace};
 use std::io::Write as _;
@@ -39,19 +45,22 @@ fn run(tenants: &[TenantSpec<CpuIoWorkload>], threads: usize) -> (FleetReport, f
     (report, start.elapsed().as_secs_f64())
 }
 
-fn assert_identical(a: &FleetReport, b: &FleetReport) {
-    assert_eq!(a.reports.len(), b.reports.len());
-    for (x, y) in a.reports.iter().zip(b.reports.iter()) {
-        assert_eq!(
-            x.all_latencies_ms, y.all_latencies_ms,
-            "latency streams diverge"
-        );
-        assert_eq!(x.resizes, y.resizes);
-        assert_eq!(x.total_cost(), y.total_cost());
-    }
+fn run_summary(tenants: &[TenantSpec<CpuIoWorkload>], threads: usize) -> (FleetSummary, f64) {
+    let mut sink = NullSink;
+    let start = Instant::now();
+    let summary = FleetRunner::new(threads).run_fleet_summary(
+        tenants,
+        |_, t| Box::new(AutoPolicy::with_knobs(t.cfg.knobs)) as Box<dyn ScalingPolicy>,
+        &mut sink,
+    );
+    (summary, start.elapsed().as_secs_f64())
 }
 
-fn emit_json(lines: &[(usize, f64)]) {
+fn assert_identical(a: &FleetReport, b: &FleetReport) {
+    assert_eq!(a, b, "fleet reports diverged across thread counts");
+}
+
+fn emit_json(lines: &[(String, f64)]) {
     let Ok(path) = std::env::var("DASR_BENCH_JSON") else {
         return;
     };
@@ -65,10 +74,10 @@ fn emit_json(lines: &[(usize, f64)]) {
     else {
         return;
     };
-    for &(threads, secs) in lines {
+    for (bench, secs) in lines {
         let _ = writeln!(
             file,
-            "{{\"bench\":\"fleet_parallel_scaling/threads_{threads}\",\"ns_per_iter\":{:.1},\"iters\":1}}",
+            "{{\"bench\":\"{bench}\",\"ns_per_iter\":{:.1},\"iters\":1}}",
             secs * 1.0e9
         );
     }
@@ -96,18 +105,53 @@ fn main() {
         results.push((threads, secs));
     }
 
+    let (summary_ref, summary_sequential_secs) = run_summary(&tenants, 1);
+    assert_eq!(
+        &summary_ref,
+        reference.fleet_summary(),
+        "streamed summary diverged from the full run's fold"
+    );
+    let mut summary_results = vec![(1usize, summary_sequential_secs)];
+    for threads in [2, 4, 8] {
+        let (summary, secs) = run_summary(&tenants, threads);
+        assert_eq!(
+            summary, summary_ref,
+            "summary diverged at {threads} threads"
+        );
+        summary_results.push((threads, secs));
+    }
+
+    println!("  full mode (reports kept):");
     for &(threads, secs) in &results {
         println!(
-            "  threads {threads:>2}: {:>7.2} s  speedup {:>5.2}x",
+            "    threads {threads:>2}: {:>7.2} s  speedup {:>5.2}x",
             secs,
             sequential_secs / secs
+        );
+    }
+    println!("  summary mode (streaming fold):");
+    for &(threads, secs) in &summary_results {
+        println!(
+            "    threads {threads:>2}: {:>7.2} s  speedup {:>5.2}x",
+            secs,
+            summary_sequential_secs / secs
         );
     }
     println!("  results bit-identical across all thread counts ✓");
     println!("  {}", reference.summary());
     println!("  fleet-wide rule fires (ranked):");
     print!("{}", reference.rule_histogram());
-    emit_json(&results);
+
+    let mut lines: Vec<(String, f64)> = results
+        .iter()
+        .map(|&(t, s)| (format!("fleet_parallel_scaling/threads_{t}"), s))
+        .collect();
+    lines.extend(
+        summary_results
+            .iter()
+            .map(|&(t, s)| (format!("fleet_summary_scaling/threads_{t}"), s)),
+    );
+    emit_json(&lines);
     if test_mode {
         println!("test fleet_parallel_scaling ... ok");
     }

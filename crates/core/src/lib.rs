@@ -27,8 +27,10 @@
 //!   **Trace** (offline demand-hugging schedule);
 //! - [`runner`] — the closed loop: engine + workload + policy + billing,
 //!   producing a [`report::RunReport`]; [`runner::fleet`] runs N
-//!   independent tenant loops across OS threads with bit-identical results
-//!   regardless of thread count;
+//!   independent tenant loops across a sharded worker pool with
+//!   bit-identical results regardless of thread or shard count, in full
+//!   (O(tenants)) or streaming-summary (O(shards)) memory mode
+//!   ([`runner::shard`]);
 //! - [`report`] — per-interval timelines and whole-run summaries (cost per
 //!   interval, 95th-percentile latency, resize counts);
 //! - [`obs`] — the **fleet observability layer**: a metrics registry
@@ -61,8 +63,9 @@ pub use estimator::{DemandEstimate, DemandEstimator, EstimatorConfig};
 pub use explain::Explanation;
 pub use knobs::{PerfSensitivity, TenantKnobs};
 pub use obs::{
-    CounterId, EventKind, EventVerbosity, GaugeId, HistogramId, MetricRegistry, ObsConfig,
-    RunEvent, RunObservability, TimerId,
+    CounterId, CountingSink, EventKind, EventSink, EventVerbosity, GaugeId, HistogramId, JsonlSink,
+    MetricRegistry, MetricsAccumulator, NullSink, ObsConfig, RunEvent, RunObservability, TimerId,
+    VecSink,
 };
 pub use policy::{
     AutoPolicy, BalloonCommand, BalloonStatus, PolicyContext, PolicyDecision, ScalingPolicy,
@@ -71,6 +74,7 @@ pub use policy::{
 pub use report::{IntervalRecord, RunReport};
 pub use rules::{RuleFire, RuleHistogram, RuleId, RuleTable};
 pub use runner::fleet::{tenant_seed, FleetReport, FleetRunner, TenantSpec};
+pub use runner::shard::{FleetAccumulator, FleetSummary, REQUEST_LATENCY_BOUNDS};
 pub use runner::{ClosedLoop, RunConfig};
 pub use trace::json;
 pub use trace::{BalloonGate, DecisionTrace};

@@ -19,6 +19,7 @@
 //! everything else participates.
 
 use crate::rules::{RuleHistogram, RuleId};
+use dasr_stats::ExactSum;
 use std::fmt;
 use std::fmt::Write as _;
 
@@ -326,6 +327,61 @@ impl FixedHistogram {
         (self.total > 0).then(|| self.sum / self.total as f64)
     }
 
+    /// Deterministic quantile *estimate* from the bucket counts
+    /// (`q` in percent, e.g. `95.0`), `None` when empty.
+    ///
+    /// Uses nearest-rank bucket selection with linear interpolation
+    /// inside the bucket; observations in the first bucket report its
+    /// upper bound and overflow observations report the last bound, so
+    /// the estimate is always one of finitely many values — bit-identical
+    /// for any merge grouping. Accuracy is bounded by the bucket width;
+    /// use the pooled exact percentile when per-request samples are kept.
+    pub fn quantile_estimate(&self, q: f64) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let rank = ((q / 100.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let before = seen;
+            seen += c;
+            if seen >= rank {
+                let Some(&upper) = self.bounds.get(i) else {
+                    // Overflow bucket: the last bound is the best lower
+                    // bound we can report.
+                    return self.bounds.last().copied();
+                };
+                if i == 0 {
+                    return Some(upper);
+                }
+                let lower = self.bounds[i - 1];
+                let into = (rank - before) as f64 / c as f64;
+                return Some(lower + (upper - lower) * into);
+            }
+        }
+        self.bounds.last().copied()
+    }
+
+    /// Builds a histogram from already-merged parts (the fleet
+    /// accumulator's exact fold).
+    pub(crate) fn from_parts(
+        bounds: &'static [f64],
+        counts: Vec<u64>,
+        total: u64,
+        sum: f64,
+    ) -> Self {
+        debug_assert_eq!(counts.len(), bounds.len() + 1);
+        Self {
+            bounds,
+            counts,
+            total,
+            sum,
+        }
+    }
+
     /// Adds `other`'s buckets into `self`.
     ///
     /// # Panics
@@ -568,6 +624,156 @@ impl PartialEq for MetricRegistry {
     }
 }
 
+/// One fixed-bucket histogram being folded exactly: counts add as
+/// integers, the value sum accumulates error-free.
+#[derive(Debug, Clone)]
+struct HistAcc {
+    bounds: &'static [f64],
+    counts: Vec<u64>,
+    total: u64,
+    sum: ExactSum,
+}
+
+impl HistAcc {
+    fn new(bounds: &'static [f64]) -> Self {
+        Self {
+            bounds,
+            counts: vec![0; bounds.len() + 1],
+            total: 0,
+            sum: ExactSum::new(),
+        }
+    }
+
+    /// Adds one already-aggregated histogram (a tenant's) into the fold.
+    // dasr-lint: no-alloc
+    fn fold(&mut self, h: &FixedHistogram) {
+        debug_assert_eq!(self.bounds, h.bounds());
+        for (a, b) in self.counts.iter_mut().zip(h.counts().iter()) {
+            *a += b;
+        }
+        self.total += h.total();
+        self.sum.add(h.sum());
+    }
+
+    /// Merges another accumulator (a shard's) into the fold.
+    // dasr-lint: no-alloc
+    fn merge(&mut self, other: &HistAcc) {
+        debug_assert_eq!(self.bounds, other.bounds);
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum.merge(&other.sum);
+    }
+
+    fn finish(self) -> FixedHistogram {
+        let sum = self.sum.value();
+        FixedHistogram::from_parts(self.bounds, self.counts, self.total, sum)
+    }
+}
+
+/// Exact, grouping-independent fleet aggregation of [`MetricRegistry`]s.
+///
+/// [`MetricRegistry::merge`] adds `f64` gauge values and histogram sums
+/// with plain floating-point addition, which is fine for a fixed
+/// tenant-order fold but *not* associative — two different shard groupings
+/// of the same tenants could differ in the last ulp. The accumulator
+/// instead carries every merged float as a [`dasr_stats::ExactSum`], so
+/// folding tenants into shards and merging shards in any grouping yields a
+/// bit-identical [`MetricsAccumulator::finish`] result. This is what makes
+/// the sharded fleet scheduler's per-shard registry merge a true monoid
+/// (see `crate::runner::fleet`).
+#[derive(Debug, Clone)]
+pub struct MetricsAccumulator {
+    counters: [u64; CounterId::COUNT],
+    gauges: [ExactSum; GaugeId::COUNT],
+    hists: Vec<HistAcc>,
+    timers: Vec<HistAcc>,
+    rules: RuleHistogram,
+}
+
+impl MetricsAccumulator {
+    /// An empty accumulator (the monoid identity).
+    pub fn new() -> Self {
+        Self {
+            counters: [0; CounterId::COUNT],
+            gauges: [ExactSum::new(); GaugeId::COUNT],
+            hists: HistogramId::ALL
+                .iter()
+                .map(|h| HistAcc::new(h.bounds()))
+                .collect(),
+            timers: TimerId::ALL
+                .iter()
+                .map(|t| HistAcc::new(t.bounds()))
+                .collect(),
+            rules: RuleHistogram::new(),
+        }
+    }
+
+    /// Folds one tenant's registry into the accumulator. Counters,
+    /// histogram buckets and rule fires add as integers; gauges and
+    /// histogram sums accumulate error-free.
+    // dasr-lint: no-alloc
+    pub fn fold(&mut self, reg: &MetricRegistry) {
+        for (a, b) in self.counters.iter_mut().zip(reg.counters.iter()) {
+            *a += b;
+        }
+        for (a, b) in self.gauges.iter_mut().zip(reg.gauges.iter()) {
+            a.add(*b);
+        }
+        for (a, b) in self.hists.iter_mut().zip(reg.hists.iter()) {
+            a.fold(b);
+        }
+        for (a, b) in self.timers.iter_mut().zip(reg.timers.iter()) {
+            a.fold(b);
+        }
+        self.rules.merge(&reg.rules);
+    }
+
+    /// Merges another accumulator in (the monoid operation). Because every
+    /// float is an exact sum, `merge` is associative and commutative at
+    /// the bit level.
+    // dasr-lint: no-alloc
+    pub fn merge(&mut self, other: &MetricsAccumulator) {
+        for (a, b) in self.counters.iter_mut().zip(other.counters.iter()) {
+            *a += b;
+        }
+        for (a, b) in self.gauges.iter_mut().zip(other.gauges.iter()) {
+            a.merge(b);
+        }
+        for (a, b) in self.hists.iter_mut().zip(other.hists.iter()) {
+            a.merge(b);
+        }
+        for (a, b) in self.timers.iter_mut().zip(other.timers.iter()) {
+            a.merge(b);
+        }
+        self.rules.merge(&other.rules);
+    }
+
+    /// Rounds the exact fold into a plain [`MetricRegistry`]. The result
+    /// depends only on the multiset of folded registries, never on the
+    /// shard grouping or merge order.
+    pub fn finish(self) -> MetricRegistry {
+        let mut gauges = [0.0; GaugeId::COUNT];
+        for (slot, g) in gauges.iter_mut().zip(self.gauges.iter()) {
+            *slot = g.value();
+        }
+        MetricRegistry {
+            counters: self.counters,
+            gauges,
+            hists: self.hists.into_iter().map(HistAcc::finish).collect(),
+            timers: self.timers.into_iter().map(HistAcc::finish).collect(),
+            rules: self.rules,
+        }
+    }
+}
+
+impl Default for MetricsAccumulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl fmt::Display for MetricRegistry {
     /// Human-readable rendering, always derived from the structured
     /// registry (never stored): non-zero counters, gauges, and histogram
@@ -714,5 +920,71 @@ mod tests {
         let text = reg.to_string();
         assert!(text.contains("requests_completed"));
         assert!(text.contains("budget_headroom_pct"));
+    }
+
+    #[test]
+    fn quantile_estimate_walks_buckets() {
+        let mut h = FixedHistogram::new(HistogramId::BudgetHeadroomPct.bounds());
+        assert_eq!(h.quantile_estimate(95.0), None);
+        for v in [5.0, 15.0, 15.0, 25.0] {
+            h.observe(v);
+        }
+        // First bucket reports its upper bound.
+        assert_eq!(h.quantile_estimate(1.0), Some(10.0));
+        // Median falls in the (10, 20] bucket, interpolated.
+        let med = h.quantile_estimate(50.0).unwrap();
+        assert!((10.0..=20.0).contains(&med), "median estimate {med}");
+        // Overflow observations report the last bound.
+        let mut o = FixedHistogram::new(HistogramId::BudgetHeadroomPct.bounds());
+        o.observe(1_000.0);
+        assert_eq!(o.quantile_estimate(99.0), Some(100.0));
+    }
+
+    #[test]
+    fn accumulator_matches_sequential_merge_and_is_grouping_independent() {
+        // Per-tenant registries with awkward float gauges/sums.
+        let regs: Vec<MetricRegistry> = (0..20)
+            .map(|i| {
+                let mut r = MetricRegistry::new();
+                r.add(CounterId::RequestsCompleted, i as u64 + 1);
+                r.set_gauge(GaugeId::BudgetRemaining, 1e15 / (i as f64 + 1.0));
+                r.observe(HistogramId::IntervalLatencyMs, 0.1 * (i as f64 + 1.0));
+                r.record_rule(RuleId::HoldSteady);
+                r
+            })
+            .collect();
+        let finish_grouped = |chunk: usize| {
+            let mut total = MetricsAccumulator::new();
+            for group in regs.chunks(chunk) {
+                let mut shard = MetricsAccumulator::new();
+                for r in group {
+                    shard.fold(r);
+                }
+                total.merge(&shard);
+            }
+            total.finish()
+        };
+        let reference = finish_grouped(1);
+        for chunk in [3usize, 7, 20] {
+            let merged = finish_grouped(chunk);
+            assert_eq!(merged, reference, "grouping {chunk} diverged");
+            // Bitwise equality of the float sections, beyond PartialEq.
+            assert_eq!(
+                merged.gauge(GaugeId::BudgetRemaining).to_bits(),
+                reference.gauge(GaugeId::BudgetRemaining).to_bits()
+            );
+            assert_eq!(
+                merged
+                    .histogram(HistogramId::IntervalLatencyMs)
+                    .sum()
+                    .to_bits(),
+                reference
+                    .histogram(HistogramId::IntervalLatencyMs)
+                    .sum()
+                    .to_bits()
+            );
+        }
+        assert_eq!(reference.counter(CounterId::RequestsCompleted), 210);
+        assert_eq!(reference.rules().count(RuleId::HoldSteady), 20);
     }
 }

@@ -35,9 +35,13 @@
 
 mod events;
 mod metrics;
+mod sink;
 
 pub use events::{BalloonPhase, DenyReason, EventKind, RunEvent};
-pub use metrics::{CounterId, FixedHistogram, GaugeId, HistogramId, MetricRegistry, TimerId};
+pub use metrics::{
+    CounterId, FixedHistogram, GaugeId, HistogramId, MetricRegistry, MetricsAccumulator, TimerId,
+};
+pub use sink::{CountingSink, EventSink, JsonlSink, NullSink, VecSink};
 
 use crate::rules::RuleId;
 use crate::trace::{BalloonGate, DecisionTrace};

@@ -1,32 +1,73 @@
-//! Parallel multi-tenant execution (§7 scale-out).
+//! Sharded parallel multi-tenant execution (§7 scale-out).
 //!
 //! A DBaaS control plane runs the paper's loop for *every* tenant on a
 //! server, every billing interval. The tenants are independent — no shared
 //! mutable state crosses the loop — so the fleet is embarrassingly
-//! parallel. [`FleetRunner`] exploits that with plain `std::thread::scope`
-//! workers over contiguous index chunks.
+//! parallel. [`FleetRunner`] exploits that with a fixed worker pool over
+//! *shards*: the tenant index space is split into contiguous chunks and a
+//! shared atomic cursor hands the next unclaimed shard to whichever worker
+//! frees up first. Dynamic claiming keeps all cores busy even when tenant
+//! costs are skewed (the old one-chunk-per-thread split stalled on the
+//! slowest chunk); sharding keeps claim traffic to one atomic op per shard
+//! instead of one per tenant.
+//!
+//! Each worker folds the reports it produces into a per-shard
+//! [`FleetAccumulator`] and the shard folds are merged into one — a true
+//! monoid (exact floating-point sums, see [`crate::runner::shard`]), so
+//! fleet aggregates cost O(1) at read time and the merge order cannot
+//! perturb them.
+//!
+//! # Two memory modes
+//!
+//! - [`FleetRunner::run_fleet`] — *full* mode: keeps every tenant's
+//!   [`RunReport`] (O(tenants) memory) plus the folded [`FleetSummary`].
+//! - [`FleetRunner::run_fleet_summary`] — *summary* mode: each report is
+//!   folded and dropped inside the worker; only the O(shards) accumulators
+//!   and the not-yet-flushed shards' event buffers stay live. Events
+//!   stream out through an [`EventSink`] in shard order, producing the
+//!   same byte stream a full run's [`FleetReport::events_jsonl`] renders.
 //!
 //! # Determinism contract
 //!
-//! Results are **bit-identical regardless of thread count**. Each work item
-//! `i` is a pure function of the inputs at index `i` (per-tenant seeds are
-//! derived from the fleet seed with a SplitMix64 hash, never from shared
-//! RNG state), and [`FleetRunner::map`] writes each result into slot `i` of
-//! the output, so neither scheduling nor chunking can reorder or perturb
-//! anything. `FleetRunner::new(1)` is the sequential reference.
+//! Results are **bit-identical regardless of thread count *and* shard
+//! count**. Three mechanisms, one per axis of nondeterminism:
+//!
+//! - *Scheduling*: each work item `i` is a pure function of the inputs at
+//!   index `i` (per-tenant seeds are derived from the fleet seed with a
+//!   SplitMix64 hash, never from shared RNG state), and every result lands
+//!   in slot `i` of the output, so claim order cannot reorder anything.
+//! - *Sharding*: fleet aggregates are folded through exact-sum
+//!   accumulators whose merge is associative and commutative at the bit
+//!   level, so shard boundaries cannot perturb a single ulp.
+//! - *Event order*: shard event buffers are flushed to the sink in shard
+//!   index order (out-of-order finishers park until the gap closes), so
+//!   the stream is always tenant-major.
+//!
+//! `FleetRunner::new(1)` is the sequential reference the property tests
+//! compare against.
 
-use crate::obs::{MetricRegistry, RunObservability};
+use crate::obs::{EventSink, MetricRegistry, RunObservability};
 use crate::policy::ScalingPolicy;
 use crate::report::RunReport;
 use crate::rules::RuleHistogram;
+use crate::runner::shard::{FleetAccumulator, FleetSummary};
 use crate::runner::{ClosedLoop, RunConfig};
 use dasr_stats::{percentile, percentile_interpolated};
 use dasr_workloads::{Trace, Workload};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A shard's output slice paired with its starting index. Exactly one
+/// worker claims each shard, but safe code needs the mutex to hand the
+/// `&mut` slice across threads.
+type ShardSlots<'a, T> = Mutex<(usize, &'a mut [Option<T>])>;
 
 /// Executes independent per-tenant closed loops across OS threads.
 #[derive(Debug, Clone, Copy)]
 pub struct FleetRunner {
     threads: usize,
+    shards: Option<usize>,
 }
 
 impl FleetRunner {
@@ -35,6 +76,7 @@ impl FleetRunner {
     pub fn new(threads: usize) -> Self {
         Self {
             threads: threads.max(1),
+            shards: None,
         }
     }
 
@@ -47,18 +89,35 @@ impl FleetRunner {
         )
     }
 
+    /// Overrides the shard count (clamped to ≥ 1; further clamped to the
+    /// tenant count at run time). The default — four shards per worker —
+    /// balances claim overhead against work-stealing granularity; results
+    /// are bit-identical either way (see the [determinism
+    /// contract](self#determinism-contract)), so this knob only tunes
+    /// speed and, in summary mode, peak memory.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = Some(shards.max(1));
+        self
+    }
+
     /// Worker threads this runner uses.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Shards `n` work items will be split into.
+    pub fn shard_count(&self, n: usize) -> usize {
+        let want = self.shards.unwrap_or(self.threads * 4).max(1);
+        want.min(n).max(1)
     }
 
     /// Computes `f(0), f(1), …, f(n-1)` across the worker threads and
     /// returns the results in index order.
     ///
     /// `f` must be a pure function of its index for the determinism
-    /// contract to hold; the runner guarantees output order and exactly one
-    /// call per index either way. Work is split into at most `threads`
-    /// contiguous chunks, one scoped thread per chunk.
+    /// contract to hold; the runner guarantees output order and exactly
+    /// one call per index either way. Work is claimed shard by shard from
+    /// a shared cursor, so stragglers do not stall the other workers.
     pub fn map<T, F>(&self, n: usize, f: F) -> Vec<T>
     where
         T: Send,
@@ -71,56 +130,215 @@ impl FleetRunner {
         if threads == 1 {
             return (0..n).map(f).collect();
         }
+        let chunk = n.div_ceil(self.shard_count(n));
         let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
         slots.resize_with(n, || None);
-        let chunk = n.div_ceil(threads);
+        let shards: Vec<ShardSlots<'_, T>> = slots
+            .chunks_mut(chunk)
+            .enumerate()
+            .map(|(c, slice)| Mutex::new((c * chunk, slice)))
+            .collect();
+        let cursor = AtomicUsize::new(0);
         let f = &f;
         std::thread::scope(|scope| {
-            for (c, slice) in slots.chunks_mut(chunk).enumerate() {
-                let start = c * chunk;
-                scope.spawn(move || {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let c = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(cell) = shards.get(c) else {
+                        break;
+                    };
+                    let mut guard = cell.lock().expect("shard slice lock poisoned");
+                    let (start, slice) = &mut *guard;
                     for (offset, slot) in slice.iter_mut().enumerate() {
-                        *slot = Some(f(start + offset));
+                        *slot = Some(f(*start + offset));
                     }
                 });
             }
         });
+        drop(shards);
         slots
             .into_iter()
             .map(|slot| slot.expect("every index was assigned to exactly one worker"))
             .collect()
     }
 
-    /// Runs one closed loop per tenant and aggregates the reports.
+    /// Runs one closed loop per tenant and aggregates the reports (*full*
+    /// mode: every [`RunReport`] is kept, O(tenants) memory).
     ///
     /// `make_policy` builds each tenant's policy inside the worker that
     /// runs it (policies are stateful and not shared). Tenants are
     /// independent by construction, so the [determinism
-    /// contract](self#determinism-contract) applies to the whole fleet run.
+    /// contract](self#determinism-contract) applies to the whole fleet
+    /// run. Fleet aggregates are folded shard by shard as workers finish
+    /// and surface as the report's O(1) [`FleetSummary`].
     pub fn run_fleet<W, F>(&self, tenants: &[TenantSpec<W>], make_policy: F) -> FleetReport
     where
         W: Workload + Clone + Sync,
         F: Fn(usize, &TenantSpec<W>) -> Box<dyn ScalingPolicy> + Sync,
     {
-        let reports = self.map(tenants.len(), |i| {
-            let tenant = &tenants[i];
-            let mut policy = make_policy(i, tenant);
-            let mut report = ClosedLoop::run(
-                &tenant.cfg,
-                &tenant.trace,
-                tenant.workload.clone(),
-                policy.as_mut(),
-            );
-            // Stamp the tenant index into every decision trace and run
-            // event so fleet-wide JSONL dumps stay attributable (pure
-            // function of `i`, so the determinism contract is untouched).
-            for rec in &mut report.intervals {
-                rec.trace.tenant = Some(i as u64);
+        let n = tenants.len();
+        let threads = self.threads.min(n.max(1));
+        if n == 0 || threads == 1 {
+            // Sequential reference: fold tenant by tenant.
+            let mut acc = FleetAccumulator::new();
+            let mut reports = Vec::with_capacity(n);
+            for (i, tenant) in tenants.iter().enumerate() {
+                let report = run_tenant(i, tenant, &make_policy);
+                acc.fold_report(&report);
+                reports.push(report);
             }
-            report.obs.stamp_tenant(i as u64);
-            report
+            return FleetReport {
+                reports,
+                summary: acc.finish(),
+            };
+        }
+
+        let chunk = n.div_ceil(self.shard_count(n));
+        let mut slots: Vec<Option<RunReport>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        let shards: Vec<ShardSlots<'_, RunReport>> = slots
+            .chunks_mut(chunk)
+            .enumerate()
+            .map(|(c, slice)| Mutex::new((c * chunk, slice)))
+            .collect();
+        let cursor = AtomicUsize::new(0);
+        let total = Mutex::new(FleetAccumulator::new());
+        let make_policy = &make_policy;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let c = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(cell) = shards.get(c) else {
+                        break;
+                    };
+                    let mut acc = FleetAccumulator::new();
+                    let mut guard = cell.lock().expect("shard slice lock poisoned");
+                    let (start, slice) = &mut *guard;
+                    for (offset, slot) in slice.iter_mut().enumerate() {
+                        let i = *start + offset;
+                        let report = run_tenant(i, &tenants[i], make_policy);
+                        acc.fold_report(&report);
+                        *slot = Some(report);
+                    }
+                    drop(guard);
+                    // Exact-sum merge: order-free, so no parking needed.
+                    total
+                        .lock()
+                        .expect("fleet accumulator poisoned")
+                        .merge(&acc);
+                });
+            }
         });
-        FleetReport { reports }
+        drop(shards);
+        let reports = slots
+            .into_iter()
+            .map(|slot| slot.expect("every tenant was run by exactly one worker"))
+            .collect();
+        FleetReport {
+            reports,
+            summary: total
+                .into_inner()
+                .expect("fleet accumulator poisoned")
+                .finish(),
+        }
+    }
+
+    /// Runs the fleet in *summary* mode: each tenant's report is folded
+    /// into its shard's accumulator and dropped, so live memory is
+    /// O(shards) instead of O(tenants). Run events stream out through
+    /// `sink` in shard order — byte-identical to a full run's
+    /// [`FleetReport::events_jsonl`] for any thread/shard count (pass
+    /// [`crate::obs::NullSink`] to drop them).
+    ///
+    /// Out-of-order shard finishers park their output until the
+    /// next-in-order shard completes, so the transient buffer is bounded
+    /// by shard-completion skew, not by fleet size.
+    pub fn run_fleet_summary<W, F>(
+        &self,
+        tenants: &[TenantSpec<W>],
+        make_policy: F,
+        sink: &mut dyn EventSink,
+    ) -> FleetSummary
+    where
+        W: Workload + Clone + Sync,
+        F: Fn(usize, &TenantSpec<W>) -> Box<dyn ScalingPolicy> + Sync,
+    {
+        let n = tenants.len();
+        let threads = self.threads.min(n.max(1));
+        if n == 0 || threads == 1 {
+            let mut acc = FleetAccumulator::new();
+            for (i, tenant) in tenants.iter().enumerate() {
+                let mut report = run_tenant(i, tenant, &make_policy);
+                acc.fold_report(&report);
+                for ev in report.obs.events.drain(..) {
+                    sink.emit(&ev);
+                }
+                // `report` drops here: O(1) live reports.
+            }
+            sink.finish();
+            return acc.finish();
+        }
+
+        struct ShardOut {
+            acc: FleetAccumulator,
+            events: Vec<crate::obs::RunEvent>,
+        }
+        struct MergeState<'a> {
+            /// Next shard index the sink is waiting for.
+            next: usize,
+            /// Finished shards parked until the gap before them closes.
+            parked: BTreeMap<usize, ShardOut>,
+            total: FleetAccumulator,
+            sink: &'a mut dyn EventSink,
+        }
+
+        let chunk = n.div_ceil(self.shard_count(n));
+        let shard_total = n.div_ceil(chunk);
+        let cursor = AtomicUsize::new(0);
+        let state = Mutex::new(MergeState {
+            next: 0,
+            parked: BTreeMap::new(),
+            total: FleetAccumulator::new(),
+            sink,
+        });
+        let make_policy = &make_policy;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let c = cursor.fetch_add(1, Ordering::Relaxed);
+                    if c >= shard_total {
+                        break;
+                    }
+                    let start = c * chunk;
+                    let end = (start + chunk).min(n);
+                    let mut acc = FleetAccumulator::new();
+                    let mut events = Vec::new();
+                    for i in start..end {
+                        let mut report = run_tenant(i, &tenants[i], make_policy);
+                        acc.fold_report(&report);
+                        events.append(&mut report.obs.events);
+                    }
+                    let mut st = state.lock().expect("fleet merge state poisoned");
+                    st.parked.insert(c, ShardOut { acc, events });
+                    // Flush every shard that is now next in order.
+                    loop {
+                        let next = st.next;
+                        let Some(out) = st.parked.remove(&next) else {
+                            break;
+                        };
+                        st.total.merge(&out.acc);
+                        for ev in &out.events {
+                            st.sink.emit(ev);
+                        }
+                        st.next += 1;
+                    }
+                });
+            }
+        });
+        let st = state.into_inner().expect("fleet merge state poisoned");
+        debug_assert_eq!(st.next, shard_total, "every shard was flushed");
+        st.sink.finish();
+        st.total.finish()
     }
 }
 
@@ -128,6 +346,28 @@ impl Default for FleetRunner {
     fn default() -> Self {
         Self::with_available_parallelism()
     }
+}
+
+/// Runs tenant `i`'s closed loop and stamps its index into every decision
+/// trace and run event so fleet-wide JSONL dumps stay attributable (a pure
+/// function of `i`, so the determinism contract is untouched).
+fn run_tenant<W, F>(i: usize, tenant: &TenantSpec<W>, make_policy: &F) -> RunReport
+where
+    W: Workload + Clone + Sync,
+    F: Fn(usize, &TenantSpec<W>) -> Box<dyn ScalingPolicy> + Sync,
+{
+    let mut policy = make_policy(i, tenant);
+    let mut report = ClosedLoop::run(
+        &tenant.cfg,
+        &tenant.trace,
+        tenant.workload.clone(),
+        policy.as_mut(),
+    );
+    for rec in &mut report.intervals {
+        rec.trace.tenant = Some(i as u64);
+    }
+    report.obs.stamp_tenant(i as u64);
+    report
 }
 
 /// Derives tenant `index`'s seed from a fleet-wide seed.
@@ -156,11 +396,17 @@ pub struct TenantSpec<W: Workload> {
     pub workload: W,
 }
 
-/// Aggregated result of a fleet run, in tenant order.
-#[derive(Debug, Clone)]
+/// Aggregated result of a full-mode fleet run, in tenant order.
+///
+/// Fleet-wide aggregates were folded once, shard by shard, while the run
+/// executed (see [`FleetSummary`]); the helpers below read them in O(1)
+/// instead of re-iterating every report.
+#[derive(Debug, Clone, PartialEq)]
 pub struct FleetReport {
     /// Per-tenant reports, index-aligned with the input tenant slice.
     pub reports: Vec<RunReport>,
+    /// The monoid fold over all reports, finished.
+    summary: FleetSummary,
 }
 
 impl FleetReport {
@@ -174,74 +420,81 @@ impl FleetReport {
         self.reports.is_empty()
     }
 
-    /// Total cost across the fleet.
+    /// The run's folded [`FleetSummary`] — identical to what
+    /// [`FleetRunner::run_fleet_summary`] returns for the same inputs.
+    pub fn fleet_summary(&self) -> &FleetSummary {
+        &self.summary
+    }
+
+    /// Total cost across the fleet. O(1).
     pub fn total_cost(&self) -> f64 {
-        self.reports.iter().map(RunReport::total_cost).sum()
+        self.summary.total_cost
     }
 
-    /// Mean per-interval cost across all tenants' intervals.
+    /// Mean per-interval cost across all tenants' intervals. O(1).
     pub fn avg_cost_per_interval(&self) -> f64 {
-        let intervals: usize = self.reports.iter().map(|r| r.intervals.len()).sum();
-        if intervals == 0 {
-            0.0
-        } else {
-            self.total_cost() / intervals as f64
-        }
+        self.summary.avg_cost_per_interval()
     }
 
-    /// Completed requests across the fleet.
+    /// Completed requests across the fleet. O(1).
     pub fn completed_total(&self) -> u64 {
-        self.reports.iter().map(RunReport::completed_total).sum()
+        self.summary.completed_total
     }
 
-    /// Rejected requests across the fleet.
+    /// Rejected requests across the fleet. O(1).
     pub fn rejected_total(&self) -> u64 {
-        self.reports.iter().map(|r| r.rejected_total).sum()
+        self.summary.rejected_total
     }
 
-    /// Resize operations across the fleet.
+    /// Resize operations across the fleet. O(1).
     pub fn resizes_total(&self) -> u64 {
-        self.reports.iter().map(|r| r.resizes).sum()
+        self.summary.resizes_total
     }
 
     /// Rule-fire counts merged across every tenant's run — the fleet-wide
-    /// picture of which §4/§6 rules drove scaling.
+    /// picture of which §4/§6 rules drove scaling. O(1) (from the folded
+    /// registry).
     pub fn rule_histogram(&self) -> RuleHistogram {
-        let mut hist = RuleHistogram::new();
-        for r in &self.reports {
-            hist.merge(&r.rule_histogram());
-        }
-        hist
+        self.summary.metrics.rules().clone()
     }
 
-    /// The fleet-wide [`MetricRegistry`]: every tenant's registry merged
-    /// in tenant-index order — a pure fold, so the result is bit-identical
-    /// for any thread count (timers aside; see [`MetricRegistry`]).
+    /// The fleet-wide [`MetricRegistry`]: every tenant's registry folded
+    /// exactly during the run — bit-identical for any thread *and* shard
+    /// count (timers aside; see [`MetricRegistry`]).
     pub fn fleet_metrics(&self) -> MetricRegistry {
-        let mut merged = MetricRegistry::new();
-        for r in &self.reports {
-            merged.merge(&r.obs.metrics);
-        }
-        merged
+        self.summary.metrics.clone()
     }
 
-    /// The fleet-wide observability: merged metrics plus every tenant's
-    /// event stream concatenated in tenant-index order (events carry their
-    /// tenant stamp from [`FleetRunner::run_fleet`]).
+    /// The fleet-wide observability: the folded metrics plus every
+    /// tenant's event stream concatenated in tenant-index order (events
+    /// carry their tenant stamp from [`FleetRunner::run_fleet`]).
     pub fn fleet_obs(&self) -> RunObservability {
-        let mut merged = RunObservability::default();
+        let mut merged = RunObservability {
+            metrics: self.summary.metrics.clone(),
+            ..RunObservability::default()
+        };
         for r in &self.reports {
-            merged.merge(&r.obs);
+            merged.events.extend(r.obs.events.iter().cloned());
         }
         merged
     }
 
-    /// The fleet's event stream as JSON lines, tenant by tenant.
+    /// The fleet's event stream as JSON lines, tenant by tenant — the
+    /// byte stream summary mode delivers to its [`EventSink`].
     pub fn events_jsonl(&self) -> String {
-        self.fleet_obs().events_jsonl()
+        let mut out = String::new();
+        for r in &self.reports {
+            for ev in &r.obs.events {
+                out.push_str(&ev.to_json_line());
+                out.push('\n');
+            }
+        }
+        out
     }
 
-    /// 95th-percentile latency over the *pooled* request population, ms.
+    /// 95th-percentile latency over the *pooled* request population, ms —
+    /// exact (full mode keeps every sample; summary mode estimates from
+    /// the latency histogram instead).
     pub fn p95_ms(&self) -> Option<f64> {
         percentile(&self.pooled_latencies(), 95.0)
     }
@@ -276,6 +529,7 @@ impl FleetReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::obs::{CountingSink, VecSink};
     use crate::policy::StaticPolicy;
     use dasr_workloads::{CpuIoConfig, CpuIoWorkload};
 
@@ -289,11 +543,23 @@ mod tests {
     }
 
     #[test]
+    fn map_preserves_order_for_any_shard_count() {
+        for shards in [1, 2, 5, 17, 100] {
+            let out = FleetRunner::new(4).with_shards(shards).map(23, |i| i + 1);
+            let expect: Vec<usize> = (0..23).map(|i| i + 1).collect();
+            assert_eq!(out, expect, "shards = {shards}");
+        }
+    }
+
+    #[test]
     fn map_handles_degenerate_sizes() {
         let r = FleetRunner::new(4);
         assert!(r.map(0, |i| i).is_empty());
         assert_eq!(r.map(1, |i| i + 10), vec![10]);
         assert_eq!(FleetRunner::new(0).threads(), 1);
+        assert_eq!(FleetRunner::new(4).with_shards(0).shard_count(8), 1);
+        assert_eq!(FleetRunner::new(2).shard_count(1), 1);
+        assert_eq!(FleetRunner::new(2).shard_count(100), 8);
     }
 
     #[test]
@@ -317,35 +583,62 @@ mod tests {
             .collect()
     }
 
+    fn run_full(tenants: &[TenantSpec<CpuIoWorkload>], runner: FleetRunner) -> FleetReport {
+        runner.run_fleet(tenants, |_, t| {
+            Box::new(StaticPolicy::max(&t.cfg.catalog)) as Box<dyn ScalingPolicy>
+        })
+    }
+
     #[test]
-    fn fleet_results_are_thread_count_invariant() {
+    fn fleet_results_are_thread_and_shard_count_invariant() {
         let tenants = small_fleet(6);
-        let run = |threads| {
-            FleetRunner::new(threads).run_fleet(&tenants, |_, t| {
-                Box::new(StaticPolicy::max(&t.cfg.catalog)) as Box<dyn ScalingPolicy>
-            })
-        };
-        let sequential = run(1);
-        for threads in [2, 4] {
-            let parallel = run(threads);
-            assert_eq!(parallel.len(), sequential.len());
-            for (a, b) in parallel.reports.iter().zip(sequential.reports.iter()) {
+        let sequential = run_full(&tenants, FleetRunner::new(1));
+        for threads in [1, 2, 4] {
+            for shards in [1, 3, 17] {
+                let parallel = run_full(&tenants, FleetRunner::new(threads).with_shards(shards));
                 assert_eq!(
-                    a.all_latencies_ms, b.all_latencies_ms,
-                    "threads = {threads}"
+                    parallel, sequential,
+                    "threads = {threads}, shards = {shards}"
                 );
-                assert_eq!(a.total_cost(), b.total_cost());
-                assert_eq!(a.resizes, b.resizes);
+                assert_eq!(parallel.events_jsonl(), sequential.events_jsonl());
+                assert_eq!(parallel.fleet_metrics(), sequential.fleet_metrics());
             }
         }
     }
 
     #[test]
+    fn summary_mode_matches_full_mode() {
+        let tenants = small_fleet(5);
+        let full = run_full(&tenants, FleetRunner::new(2));
+        for threads in [1, 3] {
+            let mut sink = VecSink::default();
+            let summary = FleetRunner::new(threads).with_shards(2).run_fleet_summary(
+                &tenants,
+                |_, t| Box::new(StaticPolicy::max(&t.cfg.catalog)) as Box<dyn ScalingPolicy>,
+                &mut sink,
+            );
+            assert_eq!(&summary, full.fleet_summary(), "threads = {threads}");
+            assert_eq!(sink.events_jsonl(), full.events_jsonl());
+            assert_eq!(sink.events.len() as u64, summary.events_emitted);
+        }
+    }
+
+    #[test]
+    fn counting_sink_sees_every_event() {
+        let tenants = small_fleet(4);
+        let mut sink = CountingSink::default();
+        let summary = FleetRunner::new(2).run_fleet_summary(
+            &tenants,
+            |_, t| Box::new(StaticPolicy::max(&t.cfg.catalog)) as Box<dyn ScalingPolicy>,
+            &mut sink,
+        );
+        assert_eq!(sink.count, summary.events_emitted);
+    }
+
+    #[test]
     fn fleet_report_aggregates() {
         let tenants = small_fleet(3);
-        let report = FleetRunner::new(2).run_fleet(&tenants, |_, t| {
-            Box::new(StaticPolicy::max(&t.cfg.catalog)) as Box<dyn ScalingPolicy>
-        });
+        let report = run_full(&tenants, FleetRunner::new(2));
         assert_eq!(report.len(), 3);
         assert!(!report.is_empty());
         assert_eq!(
@@ -356,8 +649,41 @@ mod tests {
                 .map(|r| r.completed_total())
                 .sum::<u64>()
         );
+        assert_eq!(
+            report.total_cost(),
+            report
+                .reports
+                .iter()
+                .map(|r| r.total_cost())
+                .fold(dasr_stats::ExactSum::new(), |mut s, c| {
+                    s.add(c);
+                    s
+                })
+                .value()
+        );
+        assert_eq!(
+            report.resizes_total(),
+            report.reports.iter().map(|r| r.resizes).sum::<u64>()
+        );
         assert!(report.total_cost() > 0.0);
         assert!(report.p95_ms().is_some());
         assert!(report.summary().contains("fleet of"));
+        assert_eq!(report.fleet_summary().tenants, 3);
+    }
+
+    #[test]
+    fn empty_fleet_is_safe_in_both_modes() {
+        let tenants = small_fleet(0);
+        let report = run_full(&tenants, FleetRunner::new(4));
+        assert!(report.is_empty());
+        assert_eq!(report.total_cost(), 0.0);
+        let mut sink = CountingSink::default();
+        let summary = FleetRunner::new(4).run_fleet_summary(
+            &tenants,
+            |_, t| Box::new(StaticPolicy::max(&t.cfg.catalog)) as Box<dyn ScalingPolicy>,
+            &mut sink,
+        );
+        assert_eq!(summary.tenants, 0);
+        assert_eq!(sink.count, 0);
     }
 }

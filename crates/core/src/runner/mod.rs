@@ -1,10 +1,12 @@
 //! The closed loop (§6, Figure 3): engine + workload + telemetry + policy
 //! + billing, one decision per billing interval.
 //!
-//! [`fleet`] scales the loop out: N independent tenants across OS threads
-//! with bit-identical results regardless of thread count.
+//! [`fleet`] scales the loop out: N independent tenants across a sharded
+//! worker pool with bit-identical results regardless of thread or shard
+//! count; [`shard`] holds the exact-sum monoid that fold rests on.
 
 pub mod fleet;
+pub mod shard;
 
 use crate::budget::{BudgetManager, BudgetStrategy};
 use crate::knobs::TenantKnobs;

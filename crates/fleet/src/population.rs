@@ -43,9 +43,11 @@ impl TenantPopulation {
     /// Generates `n` tenants over `intervals` 5-minute intervals.
     ///
     /// Each tenant's RNG stream is derived independently from `seed` (see
-    /// [`tenant_seed`]), so generation parallelizes across cores and the
-    /// resulting population is identical for any thread count — and tenant
-    /// `i` is the same no matter how many tenants are generated around it.
+    /// [`tenant_seed`]), so generation parallelizes across cores — shard
+    /// by shard on [`FleetRunner`]'s dynamically-claimed worker pool — and
+    /// the resulting population is identical for any thread or shard count;
+    /// tenant `i` is the same no matter how many tenants are generated
+    /// around it.
     pub fn generate_with_len(n: usize, intervals: usize, seed: u64) -> Self {
         assert!(n > 0 && intervals > 1, "population must be non-trivial");
         let runner = FleetRunner::with_available_parallelism();

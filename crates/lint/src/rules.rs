@@ -146,6 +146,7 @@ pub const R1_PROTECTED_TYPES: &[&str] = &[
     "BalloonPhase",
     "MetricRegistry",
     "FixedHistogram",
+    "FleetSummary",
 ];
 
 /// Identifiers forbidden inside a `no-alloc` body (rule A1). `format`

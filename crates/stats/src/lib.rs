@@ -24,6 +24,9 @@
 //!   figure-reproduction benches;
 //! - [`online`] — streaming quantile estimation (P² algorithm) for
 //!   constant-memory robust aggregation of fine-grained samples;
+//! - [`exact`] — error-free `f64` accumulation ([`ExactSum`], Shewchuk
+//!   expansions): grouping- and order-independent sums, the numerical
+//!   backbone of the fleet scheduler's sharded monoid merge;
 //! - [`token_bucket`] — the traffic-shaping token bucket the budget manager
 //!   (§5) is built on.
 //!
@@ -35,6 +38,7 @@
 #![deny(clippy::print_stdout, clippy::print_stderr)]
 
 pub mod ewma;
+pub mod exact;
 pub mod histogram;
 pub mod ols;
 pub mod online;
@@ -47,6 +51,7 @@ pub mod theil_sen;
 pub mod token_bucket;
 
 pub use ewma::Ewma;
+pub use exact::ExactSum;
 pub use histogram::{Cdf, Histogram};
 pub use ols::{ols_fit, OlsFit};
 pub use online::P2Quantile;

@@ -2,7 +2,7 @@
 
 use dasr_stats::{
     average_ranks, median, pearson, percentile, percentile_interpolated, spearman, theil_sen, Cdf,
-    P2Quantile, TheilSen, TokenBucket,
+    ExactSum, P2Quantile, TheilSen, TokenBucket,
 };
 use proptest::prelude::*;
 
@@ -155,5 +155,41 @@ proptest! {
         let f1 = c.fraction_at_or_below(probe);
         let f2 = c.fraction_at_or_below(probe + 1.0);
         prop_assert!(f1 <= f2);
+    }
+
+    /// ExactSum is bit-identical for any grouping of the same inputs —
+    /// the monoid property the sharded fleet merge depends on. Inputs
+    /// span 30 orders of magnitude so plain f64 folds *would* diverge.
+    #[test]
+    fn exact_sum_is_grouping_independent(
+        v in prop::collection::vec(
+            prop_oneof![-1.0e15..1.0e15f64, -1.0e-12..1.0e-12f64],
+            1..120,
+        ),
+        chunk in 1usize..20,
+    ) {
+        let mut sequential = ExactSum::new();
+        for &x in &v {
+            sequential.add(x);
+        }
+        let mut merged = ExactSum::new();
+        for group in v.chunks(chunk) {
+            let mut part = ExactSum::new();
+            for &x in group {
+                part.add(x);
+            }
+            merged.merge(&part);
+        }
+        prop_assert_eq!(merged.value(), sequential.value());
+        // And reversed merge order (commutativity of the exact value).
+        let mut rev = ExactSum::new();
+        for group in v.chunks(chunk).rev() {
+            let mut part = ExactSum::new();
+            for &x in group {
+                part.add(x);
+            }
+            rev.merge(&part);
+        }
+        prop_assert_eq!(rev.value(), sequential.value());
     }
 }
