@@ -1,0 +1,124 @@
+//! Trait-seam dispatch overhead on the closed loop.
+//!
+//! The seam refactor made `ClosedLoop` generic over
+//! `TelemetrySource`/`ResizeActuator` with the engine plugged in as
+//! `SimulatorSource`. Dispatch is static (monomorphized), so the seam
+//! must cost nothing measurable next to the loop body it wraps — the
+//! acceptance bar is **< 2%** against `OracleLoop`, the frozen
+//! pre-refactor loop that calls the engine directly. A replay pass over a
+//! recorded run is benched alongside (it skips the simulator entirely, so
+//! it shows the loop-plus-telemetry floor).
+//!
+//! With `DASR_BENCH_JSON` set, the vendored criterion shim appends one
+//! `{"bench": …, "ns_per_iter": …}` line per benchmark — CI publishes
+//! them as `BENCH_loop.json` and gates the overhead.
+
+use criterion::{black_box, Criterion};
+use dasr_core::{
+    record_run, replay, AutoPolicy, ClosedLoop, OracleLoop, RunConfig, RunRecording, TenantKnobs,
+};
+use dasr_telemetry::LatencyGoal;
+use dasr_workloads::{CpuIoConfig, CpuIoWorkload, Trace};
+
+/// Minutes per loop run. Long enough that per-run setup (engine, policy)
+/// amortizes out and per-interval work — the thing the seam sits on —
+/// dominates; `engine_1000_requests_mixed`-style arrival volume per
+/// interval comes from the trace's ~17 rps.
+const MINUTES: usize = 60;
+
+fn cfg() -> RunConfig {
+    RunConfig {
+        knobs: TenantKnobs::none()
+            .with_budget(60.0 * MINUTES as f64)
+            .with_latency_goal(LatencyGoal::P95(150.0)),
+        seed: 0x10_0F,
+        prewarm_pages: 2_000,
+        ..RunConfig::default()
+    }
+}
+
+fn trace() -> Trace {
+    let demand: Vec<f64> = (0..MINUTES)
+        .map(|m| 10.0 + (m % 5) as f64 * 4.0 + if m % 11 == 6 { 15.0 } else { 0.0 })
+        .collect();
+    Trace::new("loop-bench", demand)
+}
+
+fn workload() -> CpuIoWorkload {
+    CpuIoWorkload::new(CpuIoConfig::small())
+}
+
+fn bench_loop(c: &mut Criterion) {
+    let cfg = cfg();
+    let trace = trace();
+
+    // The pre-seam loop: direct engine calls, no trait in the path.
+    c.bench_function("loop_direct_60min", |b| {
+        b.iter(|| {
+            let mut policy = AutoPolicy::with_knobs(cfg.knobs);
+            let report = OracleLoop::run(&cfg, &trace, workload(), &mut policy);
+            black_box(report.resizes)
+        })
+    });
+
+    // The same run through the generic loop + SimulatorSource.
+    c.bench_function("loop_seam_60min", |b| {
+        b.iter(|| {
+            let mut policy = AutoPolicy::with_knobs(cfg.knobs);
+            let report = ClosedLoop::run(&cfg, &trace, workload(), &mut policy);
+            black_box(report.resizes)
+        })
+    });
+
+    // Replay floor: the loop + telemetry manager over a recorded run,
+    // no simulation.
+    let mut rec_policy = AutoPolicy::with_knobs(cfg.knobs);
+    let (_, recording) = record_run(&cfg, &trace, workload(), &mut rec_policy);
+    c.bench_function("loop_replay_60min", |b| {
+        b.iter(|| {
+            let mut policy = AutoPolicy::with_knobs(cfg.knobs);
+            let report = replay(&cfg, recording.clone(), &mut policy);
+            black_box(report.resizes)
+        })
+    });
+
+    // Recording serialization round trip, for the record-to-disk budget.
+    let jsonl = recording.to_jsonl();
+    c.bench_function("recording_jsonl_roundtrip_60", |b| {
+        b.iter(|| {
+            let parsed = RunRecording::from_jsonl(&jsonl).expect("recording parses");
+            black_box(parsed.records.len())
+        })
+    });
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    bench_loop(&mut c);
+    let ns = |needle: &str| {
+        c.measurements()
+            .iter()
+            .find(|m| m.id.contains(needle))
+            .map(|m| m.ns_per_iter)
+    };
+    if let (Some(direct), Some(seam)) = (ns("loop_direct"), ns("loop_seam")) {
+        if direct > 0.0 {
+            let overhead = (seam - direct) / direct * 100.0;
+            println!(
+                "trait-seam dispatch overhead on the closed loop: {overhead:+.2}% \
+                 (direct {:.0} ns → seam {:.0} ns per {MINUTES}-minute run; \
+                 acceptance bar <2%)",
+                direct, seam
+            );
+        }
+    }
+    if let (Some(seam), Some(rep)) = (ns("loop_seam"), ns("loop_replay")) {
+        if seam > 0.0 {
+            println!(
+                "replay runs the recorded loop at {:.1}% of the simulated cost",
+                rep / seam * 100.0
+            );
+        }
+    }
+    c.emit_json();
+}

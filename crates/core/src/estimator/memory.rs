@@ -60,18 +60,12 @@ pub enum BalloonAction {
     Commit,
 }
 
-/// Engine-side balloon status, supplied by the runner.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum BalloonProbe {
-    /// No balloon in progress.
-    #[default]
-    Inactive,
-    /// Deflating; `reached_target` once capacity hit the target.
-    Active {
-        /// Whether the target capacity has been reached.
-        reached_target: bool,
-    },
-}
+/// Source-side balloon status, supplied by the runner's
+/// [`TelemetrySource`](dasr_telemetry::TelemetrySource). The canonical
+/// definition lives on the telemetry side of the seam as
+/// [`dasr_telemetry::ProbeStatus`]; this alias keeps the controller's
+/// historical vocabulary.
+pub use dasr_telemetry::ProbeStatus as BalloonProbe;
 
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum State {

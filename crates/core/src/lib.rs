@@ -25,12 +25,19 @@
 //!   policy (§6) and every baseline of §7.2: **Util** (utilization-only
 //!   online scaler), **Max**, **Peak**, **Avg** (offline static) and
 //!   **Trace** (offline demand-hugging schedule);
-//! - [`runner`] — the closed loop: engine + workload + policy + billing,
-//!   producing a [`report::RunReport`]; [`runner::fleet`] runs N
-//!   independent tenant loops across a sharded worker pool with
-//!   bit-identical results regardless of thread or shard count, in full
-//!   (O(tenants)) or streaming-summary (O(shards)) memory mode
-//!   ([`runner::shard`]);
+//! - [`runner`] — the closed loop: telemetry + policy + billing, one
+//!   decision per billing interval, producing a [`report::RunReport`]. The
+//!   loop is generic over the `dasr_telemetry` source/actuator seam with
+//!   the engine plugged in as [`runner::source::SimulatorSource`] (pinned
+//!   bit-identical to the frozen [`runner::oracle::OracleLoop`]);
+//!   [`runner::fleet`] runs N independent tenant loops across a sharded
+//!   worker pool with bit-identical results regardless of thread or shard
+//!   count, in full (O(tenants)) or streaming-summary (O(shards)) memory
+//!   mode ([`runner::shard`]);
+//! - [`mod@replay`] — record a run's per-interval samples to JSONL and feed
+//!   them back through any policy ([`replay::ReplaySource`]): exact
+//!   same-policy round trips, counterfactual policy A/B over recorded
+//!   fleets;
 //! - [`report`] — per-interval timelines and whole-run summaries (cost per
 //!   interval, 95th-percentile latency, resize counts);
 //! - [`obs`] — the **fleet observability layer**: a metrics registry
@@ -53,6 +60,7 @@ pub mod explain;
 pub mod knobs;
 pub mod obs;
 pub mod policy;
+pub mod replay;
 pub mod report;
 pub mod rules;
 pub mod runner;
@@ -71,10 +79,16 @@ pub use policy::{
     AutoPolicy, BalloonCommand, BalloonStatus, PolicyContext, PolicyDecision, ScalingPolicy,
     SchedulePolicy, StaticPolicy, UtilPolicy,
 };
+pub use replay::{
+    record_run, replay, replay_with, RecordingHeader, RecordingSource, ReplayDiff, ReplaySource,
+    RunRecording, SampleRecord,
+};
 pub use report::{IntervalRecord, RunReport};
 pub use rules::{RuleFire, RuleHistogram, RuleId, RuleTable};
 pub use runner::fleet::{tenant_seed, FleetReport, FleetRunner, TenantSpec};
+pub use runner::oracle::OracleLoop;
 pub use runner::shard::{FleetAccumulator, FleetSummary, REQUEST_LATENCY_BOUNDS};
+pub use runner::source::SimulatorSource;
 pub use runner::{ClosedLoop, RunConfig};
 pub use trace::json;
 pub use trace::{BalloonGate, DecisionTrace};

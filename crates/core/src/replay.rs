@@ -1,0 +1,604 @@
+//! Record and replay closed-loop runs: policy A/B over recorded telemetry.
+//!
+//! A [`RecordingSource`] wraps any [`TelemetrySource`] and captures the
+//! exact per-interval [`TelemetrySample`]s and probe states the loop saw;
+//! the capture serializes to JSON lines (via [`crate::json`], no serde)
+//! and loads back into a [`ReplaySource`] that feeds the recorded run
+//! through *any* policy — the same one (an exactness check, see below) or
+//! a different one (offline policy A/B over recorded fleets, the
+//! RobustScaler-style offline evaluation named in the roadmap).
+//!
+//! # Replay fidelity
+//!
+//! The closed loop is deterministic given its sample sequence: the
+//! telemetry manager, budget manager and policies are pure functions of
+//! what they observe. Replaying a recording through the **same** policy
+//! under the same `RunConfig` therefore reproduces the original decision
+//! sequence exactly — identical [`DecisionTrace`]s, rule-fire histogram
+//! and interval records (`replay_roundtrip` tests pin this). Only the
+//! pooled raw-latency population is absent: recordings carry per-interval
+//! aggregates, not every request's latency, so
+//! `RunReport::all_latencies_ms` is empty after replay.
+//!
+//! # The counterfactual caveat
+//!
+//! Replaying through a **different** policy is an open-loop what-if: the
+//! recorded samples reflect the containers the *original* policy chose,
+//! and a diverging decision cannot bend that history — the actuator half
+//! is a [`NullActuator`] (discard) or a
+//! [`CounterfactualActuator`](dasr_telemetry::CounterfactualActuator)
+//! (tally). The comparison is "what would policy B have decided given the
+//! signals A's run produced", which is exactly the offline-evaluation
+//! question, not a re-simulation; use the simulator for closed-loop
+//! counterfactuals.
+
+use crate::json::{self, Json};
+use crate::policy::ScalingPolicy;
+use crate::report::RunReport;
+use crate::runner::source::SimulatorSource;
+use crate::runner::{ClosedLoop, RunConfig};
+use crate::trace::DecisionTrace;
+use dasr_containers::RESOURCE_KINDS;
+use dasr_engine::waits::WAIT_CLASSES;
+use dasr_telemetry::{
+    LatencyGoal, NullActuator, ProbeStatus, ResizeActuator, SourcePair, TelemetrySample,
+    TelemetrySource,
+};
+use dasr_workloads::{Trace, Workload};
+
+/// One recorded interval: the sample the loop observed plus the probe
+/// state it read — everything interval-shaped that crosses the seam.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleRecord {
+    /// Tenant index within a recorded fleet, if stamped.
+    pub tenant: Option<u64>,
+    /// The interval's telemetry sample, verbatim.
+    pub sample: TelemetrySample,
+    /// Balloon-probe state after the interval (read before actuation).
+    pub probe: ProbeStatus,
+}
+
+impl SampleRecord {
+    /// Serializes the record as one JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let s = &self.sample;
+        let probe = match self.probe {
+            ProbeStatus::Inactive => Json::Obj(vec![("active".into(), Json::Bool(false))]),
+            ProbeStatus::Active { reached_target } => Json::Obj(vec![
+                ("active".into(), Json::Bool(true)),
+                ("reached_target".into(), Json::Bool(reached_target)),
+            ]),
+        };
+        Json::Obj(vec![
+            (
+                "tenant".into(),
+                match self.tenant {
+                    Some(t) => Json::Num(t as f64),
+                    None => Json::Null,
+                },
+            ),
+            ("interval".into(), Json::Num(s.interval as f64)),
+            (
+                "util_pct".into(),
+                Json::Arr(s.util_pct.iter().map(|&v| Json::Num(v)).collect()),
+            ),
+            (
+                "wait_ms".into(),
+                Json::Arr(s.wait_ms.iter().map(|&v| Json::Num(v)).collect()),
+            ),
+            ("latency_ms".into(), Json::from_opt(s.latency_ms)),
+            ("avg_latency_ms".into(), Json::from_opt(s.avg_latency_ms)),
+            ("completed".into(), Json::Num(s.completed as f64)),
+            ("arrivals".into(), Json::Num(s.arrivals as f64)),
+            ("rejected".into(), Json::Num(s.rejected as f64)),
+            ("mem_used_mb".into(), Json::Num(s.mem_used_mb)),
+            ("mem_capacity_mb".into(), Json::Num(s.mem_capacity_mb)),
+            ("disk_reads_per_sec".into(), Json::Num(s.disk_reads_per_sec)),
+            ("probe".into(), probe),
+        ])
+        .write()
+    }
+
+    /// Parses a record back from [`SampleRecord::to_json_line`] output.
+    pub fn from_json_line(line: &str) -> Result<Self, String> {
+        let v = json::parse(line)?;
+        let mut util_pct = [0.0; RESOURCE_KINDS.len()];
+        let util_json = v.get("util_pct")?.arr()?;
+        if util_json.len() != util_pct.len() {
+            return Err("util_pct has wrong arity".into());
+        }
+        for (slot, j) in util_pct.iter_mut().zip(util_json.iter()) {
+            *slot = j.num()?;
+        }
+        let mut wait_ms = [0.0; WAIT_CLASSES.len()];
+        let wait_json = v.get("wait_ms")?.arr()?;
+        if wait_json.len() != wait_ms.len() {
+            return Err("wait_ms has wrong arity".into());
+        }
+        for (slot, j) in wait_ms.iter_mut().zip(wait_json.iter()) {
+            *slot = j.num()?;
+        }
+        let probe_json = v.get("probe")?;
+        let probe = if probe_json.get("active")?.bool()? {
+            ProbeStatus::Active {
+                reached_target: probe_json.get("reached_target")?.bool()?,
+            }
+        } else {
+            ProbeStatus::Inactive
+        };
+        Ok(Self {
+            tenant: match v.get("tenant")? {
+                Json::Null => None,
+                other => Some(other.num()? as u64),
+            },
+            sample: TelemetrySample {
+                interval: v.get("interval")?.num()? as u64,
+                util_pct,
+                wait_ms,
+                latency_ms: v.get("latency_ms")?.opt_num()?,
+                avg_latency_ms: v.get("avg_latency_ms")?.opt_num()?,
+                completed: v.get("completed")?.num()? as u64,
+                arrivals: v.get("arrivals")?.num()? as u64,
+                rejected: v.get("rejected")?.num()? as u64,
+                mem_used_mb: v.get("mem_used_mb")?.num()?,
+                mem_capacity_mb: v.get("mem_capacity_mb")?.num()?,
+                disk_reads_per_sec: v.get("disk_reads_per_sec")?.num()?,
+            },
+            probe,
+        })
+    }
+}
+
+/// Run-level metadata at the head of a recording.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordingHeader {
+    /// Policy that produced the recording.
+    pub policy: String,
+    /// Workload name.
+    pub workload: String,
+    /// Demand-trace name.
+    pub trace: String,
+    /// Workload seed of the recorded run.
+    pub seed: u64,
+}
+
+impl RecordingHeader {
+    fn to_json_line(&self, intervals: usize) -> String {
+        Json::Obj(vec![
+            ("kind".into(), Json::Str("dasr-recording".into())),
+            ("version".into(), Json::Num(1.0)),
+            ("policy".into(), Json::Str(self.policy.clone())),
+            ("workload".into(), Json::Str(self.workload.clone())),
+            ("trace".into(), Json::Str(self.trace.clone())),
+            ("intervals".into(), Json::Num(intervals as f64)),
+            // Seeds use the full u64 range (SplitMix64 per-tenant streams),
+            // which f64 JSON numbers cannot carry exactly — ship as text.
+            ("seed".into(), Json::Str(self.seed.to_string())),
+        ])
+        .write()
+    }
+
+    fn from_json_line(line: &str) -> Result<(Self, usize), String> {
+        let v = json::parse(line)?;
+        if v.get("kind")?.str()? != "dasr-recording" {
+            return Err("not a dasr recording header".into());
+        }
+        let version = v.get("version")?.num()? as u64;
+        if version != 1 {
+            return Err(format!("unsupported recording version {version}"));
+        }
+        let header = Self {
+            policy: v.get("policy")?.str()?.to_string(),
+            workload: v.get("workload")?.str()?.to_string(),
+            trace: v.get("trace")?.str()?.to_string(),
+            seed: v
+                .get("seed")?
+                .str()?
+                .parse::<u64>()
+                .map_err(|e| format!("bad seed: {e}"))?,
+        };
+        Ok((header, v.get("intervals")?.num()? as usize))
+    }
+}
+
+/// A recorded run: header plus one [`SampleRecord`] per interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRecording {
+    /// Run-level metadata.
+    pub header: RecordingHeader,
+    /// Per-interval records, in interval order.
+    pub records: Vec<SampleRecord>,
+}
+
+impl RunRecording {
+    /// Serializes the recording as JSON lines: one header line, then one
+    /// line per interval (each line newline-terminated).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = self.header.to_json_line(self.records.len());
+        out.push('\n');
+        for rec in &self.records {
+            out.push_str(&rec.to_json_line());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a recording back from [`RunRecording::to_jsonl`] output.
+    /// Blank lines are skipped, so concatenation-friendly files load too.
+    pub fn from_jsonl(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        let head = lines.next().ok_or("empty recording")?;
+        let (header, intervals) = RecordingHeader::from_json_line(head)?;
+        let records = lines
+            .map(SampleRecord::from_json_line)
+            .collect::<Result<Vec<_>, _>>()?;
+        if records.len() != intervals {
+            return Err(format!(
+                "header promises {intervals} intervals, found {}",
+                records.len()
+            ));
+        }
+        Ok(Self { header, records })
+    }
+
+    /// Stamps every record with a fleet tenant index.
+    pub fn stamp_tenant(&mut self, tenant: u64) {
+        for rec in &mut self.records {
+            rec.tenant = Some(tenant);
+        }
+    }
+}
+
+/// A [`TelemetrySource`] decorator that captures everything crossing the
+/// seam — the samples and probe states — while delegating to the wrapped
+/// backend. Wrap a [`SimulatorSource`] in one to record a run as it
+/// happens (see [`record_run`]).
+pub struct RecordingSource<S> {
+    inner: S,
+    records: Vec<SampleRecord>,
+}
+
+impl<S> RecordingSource<S> {
+    /// Wraps `inner`, capturing into an empty record buffer.
+    pub fn new(inner: S) -> Self {
+        Self {
+            inner,
+            records: Vec::new(),
+        }
+    }
+
+    /// The captured records, consuming the recorder.
+    pub fn into_records(self) -> Vec<SampleRecord> {
+        self.records
+    }
+}
+
+impl<S: TelemetrySource> TelemetrySource for RecordingSource<S> {
+    fn intervals(&self) -> usize {
+        self.inner.intervals()
+    }
+
+    fn workload_name(&self) -> &str {
+        self.inner.workload_name()
+    }
+
+    fn trace_name(&self) -> &str {
+        self.inner.trace_name()
+    }
+
+    fn observe_interval(&mut self, interval: u64, goal: LatencyGoal) -> TelemetrySample {
+        let sample = self.inner.observe_interval(interval, goal);
+        self.records.push(SampleRecord {
+            tenant: None,
+            sample: sample.clone(),
+            probe: self.inner.probe(),
+        });
+        sample
+    }
+
+    // dasr-lint: no-alloc
+    fn interval_latencies_ms(&self) -> &[f64] {
+        self.inner.interval_latencies_ms()
+    }
+
+    // dasr-lint: no-alloc
+    fn probe(&self) -> ProbeStatus {
+        self.inner.probe()
+    }
+}
+
+impl<S: ResizeActuator> ResizeActuator for RecordingSource<S> {
+    // dasr-lint: no-alloc
+    fn apply_resources(&mut self, resources: dasr_containers::ResourceVector) {
+        self.inner.apply_resources(resources);
+    }
+
+    // dasr-lint: no-alloc
+    fn start_balloon(&mut self, target_mb: f64) {
+        self.inner.start_balloon(target_mb);
+    }
+
+    // dasr-lint: no-alloc
+    fn abort_balloon(&mut self) {
+        self.inner.abort_balloon();
+    }
+
+    // dasr-lint: no-alloc
+    fn commit_balloon(&mut self) {
+        self.inner.commit_balloon();
+    }
+}
+
+/// Feeds a [`RunRecording`] back through the closed loop as its
+/// [`TelemetrySource`]. Pair with an actuator via
+/// [`SourcePair`] — see [`replay`] / [`replay_with`].
+pub struct ReplaySource {
+    header: RecordingHeader,
+    records: Vec<SampleRecord>,
+    cursor: usize,
+}
+
+impl ReplaySource {
+    /// Builds a replay source over `recording`.
+    pub fn new(recording: RunRecording) -> Self {
+        Self {
+            header: recording.header,
+            records: recording.records,
+            cursor: 0,
+        }
+    }
+
+    /// The recording's header.
+    pub fn header(&self) -> &RecordingHeader {
+        &self.header
+    }
+}
+
+impl TelemetrySource for ReplaySource {
+    // dasr-lint: no-alloc
+    fn intervals(&self) -> usize {
+        self.records.len()
+    }
+
+    // dasr-lint: no-alloc
+    fn workload_name(&self) -> &str {
+        &self.header.workload
+    }
+
+    // dasr-lint: no-alloc
+    fn trace_name(&self) -> &str {
+        &self.header.trace
+    }
+
+    fn observe_interval(&mut self, interval: u64, _goal: LatencyGoal) -> TelemetrySample {
+        self.cursor = interval as usize;
+        self.records[self.cursor].sample.clone()
+    }
+
+    // dasr-lint: no-alloc
+    fn interval_latencies_ms(&self) -> &[f64] {
+        // Recordings carry per-interval aggregates, not raw latencies.
+        &[]
+    }
+
+    // dasr-lint: no-alloc
+    fn probe(&self) -> ProbeStatus {
+        self.records[self.cursor].probe
+    }
+}
+
+/// Runs `policy` on the simulator exactly like `ClosedLoop::run` while
+/// capturing the run as a [`RunRecording`]. The report is bit-identical to
+/// an unrecorded run (the decorator only clones what crosses the seam).
+pub fn record_run<W: Workload>(
+    cfg: &RunConfig,
+    trace: &Trace,
+    workload: W,
+    policy: &mut dyn ScalingPolicy,
+) -> (RunReport, RunRecording) {
+    let mut backend = RecordingSource::new(SimulatorSource::new(cfg, trace, workload));
+    let report = ClosedLoop::run_source(cfg, &mut backend, policy);
+    let recording = RunRecording {
+        header: RecordingHeader {
+            policy: report.policy.clone(),
+            workload: report.workload.clone(),
+            trace: report.trace.clone(),
+            seed: cfg.seed,
+        },
+        records: backend.into_records(),
+    };
+    (report, recording)
+}
+
+/// Replays `recording` through `policy` with commands discarded
+/// ([`NullActuator`]) — the pure offline evaluation. `cfg` supplies the
+/// catalog, knobs and telemetry configuration, which must match the
+/// recorded run's for exact same-policy fidelity (see module docs).
+pub fn replay(
+    cfg: &RunConfig,
+    recording: RunRecording,
+    policy: &mut dyn ScalingPolicy,
+) -> RunReport {
+    replay_with(cfg, recording, policy, NullActuator).0
+}
+
+/// Replays `recording` through `policy` with commands delivered to
+/// `actuator` (e.g. a
+/// [`CounterfactualActuator`](dasr_telemetry::CounterfactualActuator) to
+/// tally what the policy would have done); returns the report and the
+/// actuator.
+pub fn replay_with<A: ResizeActuator>(
+    cfg: &RunConfig,
+    recording: RunRecording,
+    policy: &mut dyn ScalingPolicy,
+    actuator: A,
+) -> (RunReport, A) {
+    let mut backend = SourcePair::new(ReplaySource::new(recording), actuator);
+    let report = ClosedLoop::run_source(cfg, &mut backend, policy);
+    (report, backend.actuator)
+}
+
+/// A decision-level comparison of two runs over the same interval count —
+/// the replay A/B summary (`examples/replay.rs` prints one per tenant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReplayDiff {
+    /// Intervals compared.
+    pub intervals: usize,
+    /// Intervals whose chosen target container differs.
+    pub divergent_targets: usize,
+    /// First interval where the targets differ, if any.
+    pub first_divergence: Option<u64>,
+    /// Resize count of run A.
+    pub resizes_a: u64,
+    /// Resize count of run B.
+    pub resizes_b: u64,
+}
+
+impl ReplayDiff {
+    /// Compares two reports decision by decision (their interval counts
+    /// must match — both runs covered the same recording).
+    pub fn between(a: &RunReport, b: &RunReport) -> Self {
+        debug_assert_eq!(a.intervals.len(), b.intervals.len());
+        let mut diff = Self {
+            intervals: a.intervals.len(),
+            resizes_a: a.resizes,
+            resizes_b: b.resizes,
+            ..Self::default()
+        };
+        for (ra, rb) in a.intervals.iter().zip(b.intervals.iter()) {
+            if ra.trace.target != rb.trace.target {
+                diff.divergent_targets += 1;
+                if diff.first_divergence.is_none() {
+                    diff.first_divergence = Some(ra.minute);
+                }
+            }
+        }
+        diff
+    }
+
+    /// True when every decision chose the same target.
+    pub fn identical(&self) -> bool {
+        self.divergent_targets == 0
+    }
+}
+
+impl std::fmt::Display for ReplayDiff {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.first_divergence {
+            None => write!(
+                f,
+                "{} intervals, decisions identical ({} vs {} resizes)",
+                self.intervals, self.resizes_a, self.resizes_b
+            ),
+            Some(first) => write!(
+                f,
+                "{} intervals, {} divergent targets (first at minute {first}), {} vs {} resizes",
+                self.intervals, self.divergent_targets, self.resizes_a, self.resizes_b
+            ),
+        }
+    }
+}
+
+/// The decision-trace sequence of a report (borrowed, interval order) —
+/// the object replay fidelity is defined over.
+pub fn decision_traces(report: &RunReport) -> Vec<&DecisionTrace> {
+    report.intervals.iter().map(|r| &r.trace).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::StaticPolicy;
+    use dasr_workloads::{CpuIoConfig, CpuIoWorkload};
+
+    fn recording() -> (RunReport, RunRecording) {
+        let cfg = RunConfig::default();
+        let trace = Trace::new("flat", vec![10.0; 4]);
+        let mut policy = StaticPolicy::max(&cfg.catalog);
+        record_run(
+            &cfg,
+            &trace,
+            CpuIoWorkload::new(CpuIoConfig::small()),
+            &mut policy,
+        )
+    }
+
+    #[test]
+    fn recording_does_not_perturb_the_run() {
+        let cfg = RunConfig::default();
+        let trace = Trace::new("flat", vec![10.0; 4]);
+        let mut policy = StaticPolicy::max(&cfg.catalog);
+        let plain = crate::runner::ClosedLoop::run(
+            &cfg,
+            &trace,
+            CpuIoWorkload::new(CpuIoConfig::small()),
+            &mut policy,
+        );
+        let (recorded, recording) = recording();
+        assert_eq!(recorded, plain);
+        assert_eq!(recording.records.len(), 4);
+        assert_eq!(recording.header.trace, "flat");
+    }
+
+    #[test]
+    fn sample_record_round_trips_exactly() {
+        let (_, recording) = recording();
+        for rec in &recording.records {
+            let line = rec.to_json_line();
+            assert!(!line.contains('\n'));
+            let back = SampleRecord::from_json_line(&line).unwrap();
+            assert_eq!(&back, rec);
+            assert_eq!(back.to_json_line(), line);
+        }
+    }
+
+    #[test]
+    fn recording_jsonl_round_trips_exactly() {
+        let (_, mut recording) = recording();
+        recording.header.seed = u64::MAX - 12345; // not f64-representable
+        recording.stamp_tenant(3);
+        let text = recording.to_jsonl();
+        let back = RunRecording::from_jsonl(&text).unwrap();
+        assert_eq!(back, recording);
+        assert_eq!(back.records[0].tenant, Some(3));
+        assert_eq!(back.to_jsonl(), text);
+    }
+
+    #[test]
+    fn from_jsonl_rejects_malformed_input() {
+        assert!(RunRecording::from_jsonl("").is_err());
+        assert!(RunRecording::from_jsonl("{\"kind\":\"other\"}").is_err());
+        let (_, recording) = recording();
+        let text = recording.to_jsonl();
+        // Drop the last record: count no longer matches the header.
+        let truncated: Vec<&str> = text.lines().collect();
+        assert!(RunRecording::from_jsonl(&truncated[..truncated.len() - 1].join("\n")).is_err());
+    }
+
+    #[test]
+    fn probe_states_survive_the_round_trip() {
+        let rec = SampleRecord {
+            tenant: None,
+            sample: recording().1.records[0].sample.clone(),
+            probe: ProbeStatus::Active {
+                reached_target: true,
+            },
+        };
+        let back = SampleRecord::from_json_line(&rec.to_json_line()).unwrap();
+        assert_eq!(back.probe, rec.probe);
+    }
+
+    #[test]
+    fn replay_reproduces_interval_records() {
+        let cfg = RunConfig::default();
+        let (original, recording) = recording();
+        let mut policy = StaticPolicy::max(&cfg.catalog);
+        let replayed = replay(&cfg, recording, &mut policy);
+        assert_eq!(replayed.intervals, original.intervals);
+        assert_eq!(replayed.resizes, original.resizes);
+        assert!(
+            replayed.all_latencies_ms.is_empty(),
+            "recordings carry aggregates, not raw latencies"
+        );
+    }
+}

@@ -53,6 +53,7 @@ use crate::rules::RuleHistogram;
 use crate::runner::shard::{FleetAccumulator, FleetSummary};
 use crate::runner::{ClosedLoop, RunConfig};
 use dasr_stats::{percentile, percentile_interpolated};
+use dasr_telemetry::{ResizeActuator, TelemetrySource};
 use dasr_workloads::{Trace, Workload};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -340,6 +341,43 @@ impl FleetRunner {
         st.sink.finish();
         st.total.finish()
     }
+
+    /// Runs `n` closed loops over caller-supplied backends — the
+    /// source-generic sibling of [`FleetRunner::run_fleet`].
+    ///
+    /// `make(i)` builds tenant `i`'s run configuration, telemetry backend
+    /// and policy inside the worker that runs it, so the fleet can mix
+    /// backends: simulator tenants, replayed tenants
+    /// (`crate::replay::ReplaySource`), or anything else behind the seam.
+    /// `make` must be a pure function of `i` for the [determinism
+    /// contract](self#determinism-contract) to hold. Tenant `i`'s traces
+    /// and events are stamped with `i` exactly as in `run_fleet`; the
+    /// summary is folded through the same exact-sum monoid, so the fold
+    /// order (here: tenant order, after the parallel map) cannot perturb
+    /// it.
+    pub fn run_fleet_sources<B, F>(&self, n: usize, make: F) -> FleetReport
+    where
+        B: TelemetrySource + ResizeActuator,
+        F: Fn(usize) -> (RunConfig, B, Box<dyn ScalingPolicy>) + Sync,
+    {
+        let reports = self.map(n, |i| {
+            let (cfg, mut backend, mut policy) = make(i);
+            let mut report = ClosedLoop::run_source(&cfg, &mut backend, policy.as_mut());
+            for rec in &mut report.intervals {
+                rec.trace.tenant = Some(i as u64);
+            }
+            report.obs.stamp_tenant(i as u64);
+            report
+        });
+        let mut acc = FleetAccumulator::new();
+        for report in &reports {
+            acc.fold_report(report);
+        }
+        FleetReport {
+            reports,
+            summary: acc.finish(),
+        }
+    }
 }
 
 impl Default for FleetRunner {
@@ -620,6 +658,24 @@ mod tests {
             assert_eq!(&summary, full.fleet_summary(), "threads = {threads}");
             assert_eq!(sink.events_jsonl(), full.events_jsonl());
             assert_eq!(sink.events.len() as u64, summary.events_emitted);
+        }
+    }
+
+    #[test]
+    fn source_generic_fleet_matches_run_fleet() {
+        use crate::runner::source::SimulatorSource;
+
+        let tenants = small_fleet(5);
+        let classic = run_full(&tenants, FleetRunner::new(2));
+        for threads in [1, 2, 8] {
+            let generic = FleetRunner::new(threads).run_fleet_sources(tenants.len(), |i| {
+                let t = &tenants[i];
+                let backend = SimulatorSource::new(&t.cfg, &t.trace, t.workload.clone());
+                let policy = Box::new(StaticPolicy::max(&t.cfg.catalog)) as Box<dyn ScalingPolicy>;
+                (t.cfg.clone(), backend, policy)
+            });
+            assert_eq!(generic, classic, "threads = {threads}");
+            assert_eq!(generic.events_jsonl(), classic.events_jsonl());
         }
     }
 

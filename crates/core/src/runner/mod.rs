@@ -1,22 +1,37 @@
-//! The closed loop (§6, Figure 3): engine + workload + telemetry + policy
-//! + billing, one decision per billing interval.
+//! The closed loop (§6, Figure 3): telemetry + policy + billing, one
+//! decision per billing interval — generic over where the telemetry comes
+//! from and where the resize commands go.
+//!
+//! The loop body in [`ClosedLoop::run_source`] is written against the
+//! [`TelemetrySource`]/[`ResizeActuator`] seam from `dasr_telemetry`:
+//! [`source::SimulatorSource`] plugs the discrete-event engine in (the
+//! classic [`ClosedLoop::run`] entry point is now a thin wrapper over it,
+//! pinned bit-identical to the frozen [`oracle::OracleLoop`] by the
+//! `loop_equivalence` tests), and `crate::replay::ReplaySource` feeds a
+//! recorded run back through any policy.
 //!
 //! [`fleet`] scales the loop out: N independent tenants across a sharded
 //! worker pool with bit-identical results regardless of thread or shard
 //! count; [`shard`] holds the exact-sum monoid that fold rests on.
 
 pub mod fleet;
+pub mod oracle;
 pub mod shard;
+pub mod source;
 
 use crate::budget::{BudgetManager, BudgetStrategy};
 use crate::knobs::TenantKnobs;
 use crate::obs::{IntervalObservation, ObsConfig, RunObservability, TimerId};
-use crate::policy::{BalloonCommand, BalloonStatus, PolicyContext, ScalingPolicy};
+use crate::policy::{BalloonCommand, PolicyContext, ScalingPolicy};
 use crate::report::{IntervalRecord, RunReport};
-use dasr_containers::{Catalog, ContainerId, ResourceVector};
-use dasr_engine::{Engine, EngineConfig, SimTime};
-use dasr_telemetry::{LatencyGoal, TelemetryConfig, TelemetryManager, TelemetrySample};
-use dasr_workloads::{Trace, TraceDriver, Workload};
+use dasr_containers::{Catalog, Container, ContainerId, ResourceKind, ResourceVector};
+use dasr_engine::EngineConfig;
+use dasr_telemetry::{
+    LatencyGoal, ResizeActuator, TelemetryConfig, TelemetryManager, TelemetrySource,
+};
+use dasr_workloads::{Trace, Workload};
+
+use self::source::SimulatorSource;
 
 /// Configuration for a closed-loop run.
 #[derive(Debug, Clone)]
@@ -60,40 +75,70 @@ impl Default for RunConfig {
     }
 }
 
+impl RunConfig {
+    /// The container the run starts in: [`RunConfig::initial`] when set,
+    /// else rung 2, else the smallest in the catalog.
+    pub fn initial_container(&self) -> Container {
+        let initial_id = self.initial.unwrap_or_else(|| {
+            self.catalog
+                .iter()
+                .find(|c| c.rung == 2)
+                .unwrap_or_else(|| self.catalog.smallest())
+                .id
+        });
+        self.catalog
+            .get(initial_id)
+            .expect("initial container must exist")
+            .clone()
+    }
+}
+
 /// The closed-loop experiment driver.
 pub struct ClosedLoop;
 
 impl ClosedLoop {
-    /// Runs `policy` over `trace` × `workload` and reports.
+    /// Runs `policy` over `trace` × `workload` on the simulator and
+    /// reports.
     ///
     /// Each trace minute is one billing interval: arrivals for the minute
     /// are generated open-loop, the engine advances, telemetry is drained
     /// and turned into signals, the budget is charged for the interval that
     /// just ran, and the policy picks the next interval's container (§6).
+    ///
+    /// This is [`ClosedLoop::run_source`] with the engine plugged in as
+    /// [`SimulatorSource`]; the pairing is pinned bit-identical to the
+    /// pre-seam loop ([`oracle::OracleLoop`]) by the `loop_equivalence`
+    /// tests.
     pub fn run<W: Workload>(
         cfg: &RunConfig,
         trace: &Trace,
         workload: W,
         policy: &mut dyn ScalingPolicy,
     ) -> RunReport {
-        let catalog = &cfg.catalog;
-        let minutes = trace.minutes();
-        let initial_id = cfg.initial.unwrap_or_else(|| {
-            catalog
-                .iter()
-                .find(|c| c.rung == 2)
-                .unwrap_or_else(|| catalog.smallest())
-                .id
-        });
-        let mut current = catalog
-            .get(initial_id)
-            .expect("initial container must exist")
-            .clone();
+        let mut backend = SimulatorSource::new(cfg, trace, workload);
+        Self::run_source(cfg, &mut backend, policy)
+    }
 
-        let mut engine = Engine::new(cfg.engine, current.resources);
-        if cfg.prewarm_pages > 0 {
-            engine.prewarm(cfg.prewarm_pages);
-        }
+    /// Runs `policy` against any telemetry backend: one decision per
+    /// interval produced by `backend`, with the policy's commands sent back
+    /// through the backend's [`ResizeActuator`] half.
+    ///
+    /// The loop only reads `cfg.catalog`, `cfg.telemetry`, `cfg.knobs`,
+    /// `cfg.budget_strategy`, `cfg.initial` and `cfg.obs`; the
+    /// engine-specific fields (`engine`, `prewarm_pages`, `seed`) belong to
+    /// [`SimulatorSource::new`]. Determinism: given a backend whose sample
+    /// sequence is a pure function of its inputs (the trait contract) and a
+    /// deterministic policy, every output — report, metrics registry, event
+    /// stream — is bit-identical across runs.
+    pub fn run_source<B: TelemetrySource + ResizeActuator>(
+        cfg: &RunConfig,
+        backend: &mut B,
+        policy: &mut dyn ScalingPolicy,
+    ) -> RunReport {
+        let catalog = &cfg.catalog;
+        let minutes = backend.intervals();
+        let mut current = cfg.initial_container();
+
         let mut telemetry_cfg = cfg.telemetry;
         telemetry_cfg.latency_goal = cfg.knobs.latency_goal;
         let mut tm = TelemetryManager::new(telemetry_cfg);
@@ -114,28 +159,27 @@ impl ClosedLoop {
             )
         });
 
-        let mut driver = TraceDriver::new(trace.clone(), workload, cfg.seed);
-        let workload_name = driver.workload_name().to_string();
+        let workload_name = backend.workload_name().to_string();
+        let trace_name = backend.trace_name().to_string();
 
         let mut intervals = Vec::with_capacity(minutes);
         let mut all_latencies = Vec::new();
         let mut resizes = 0u64;
         let mut rejected_total = 0u64;
         let mut obs = RunObservability::new(cfg.obs.verbosity);
-        // Reused across intervals: `end_interval_into` ping-pongs the
-        // latency buffer with the engine, so the per-minute hot loop does
-        // not allocate telemetry.
-        let mut stats = dasr_engine::IntervalStats::default();
 
         for minute in 0..minutes {
-            driver.submit_minute(minute, &mut engine);
-            engine.run_until(SimTime::from_mins(minute as u64 + 1));
-            engine.end_interval_into(&mut stats);
-            rejected_total += stats.rejected;
-            all_latencies.extend_from_slice(&stats.latencies_ms);
+            let sample = backend.observe_interval(minute as u64, goal_stat);
+            rejected_total += sample.rejected;
+            all_latencies.extend_from_slice(backend.interval_latencies_ms());
+            // Read before actuation: the probe state the §4.3 controller
+            // sees is the one the interval ended with.
+            let balloon_status = backend.probe();
 
-            let sample = TelemetrySample::from_interval(minute as u64, &stats, goal_stat);
             let latency_ms = sample.latency_ms;
+            let completed = sample.completed;
+            let rejected = sample.rejected;
+            let mem_used_mb = sample.mem_used_mb;
             let wait_pct = {
                 let mut out = [0.0; dasr_engine::WAIT_CLASSES.len()];
                 for class in dasr_engine::WAIT_CLASSES {
@@ -143,6 +187,12 @@ impl ClosedLoop {
                 }
                 out
             };
+            let used = ResourceVector::new(
+                sample.util(ResourceKind::Cpu) / 100.0 * current.resources.cpu_cores,
+                sample.mem_used_mb,
+                sample.util(ResourceKind::DiskIo) / 100.0 * current.resources.disk_iops,
+                sample.util(ResourceKind::LogIo) / 100.0 * current.resources.log_mbps,
+            );
             // §3 signal computation, timed (wall-clock; the timer section
             // is excluded from the determinism contract).
             // dasr-lint: allow(D1) reason="obs timer: wall-clock durations feed TimerId::SignalsNs only, which PartialEq and the determinism contract exclude"
@@ -158,20 +208,6 @@ impl ClosedLoop {
                 debug_assert!(ok, "policy selected an unaffordable container");
             }
 
-            let used = ResourceVector::new(
-                stats.cpu_util_pct / 100.0 * current.resources.cpu_cores,
-                stats.mem_used_mb,
-                stats.disk_util_pct / 100.0 * current.resources.disk_iops,
-                stats.log_util_pct / 100.0 * current.resources.log_mbps,
-            );
-
-            let balloon_status = if engine.balloon_active() {
-                BalloonStatus::Active {
-                    reached_target: engine.balloon_reached_target(),
-                }
-            } else {
-                BalloonStatus::Inactive
-            };
             let ctx = PolicyContext {
                 signals: &signals,
                 current: &current,
@@ -187,9 +223,9 @@ impl ClosedLoop {
 
             match decision.balloon {
                 BalloonCommand::None => {}
-                BalloonCommand::Start { target_mb } => engine.start_balloon(target_mb),
-                BalloonCommand::Abort => engine.abort_balloon(),
-                BalloonCommand::Commit => engine.commit_balloon(),
+                BalloonCommand::Start { target_mb } => backend.start_balloon(target_mb),
+                BalloonCommand::Abort => backend.abort_balloon(),
+                BalloonCommand::Commit => backend.commit_balloon(),
             }
 
             let resized = decision.target != current.id;
@@ -201,8 +237,8 @@ impl ClosedLoop {
             obs.record_interval(IntervalObservation {
                 trace: &decision.trace,
                 latency_ms,
-                completed: stats.completed,
-                rejected: stats.rejected,
+                completed,
+                rejected,
                 from_rung: current.rung,
                 to_rung: target_rung,
                 budget_headroom_pct: budget.as_ref().map(|b| b.remaining() / b.budget() * 100.0),
@@ -215,10 +251,10 @@ impl ClosedLoop {
                 allocated: current.resources,
                 used,
                 latency_ms,
-                completed: stats.completed,
-                rejected: stats.rejected,
+                completed,
+                rejected,
                 wait_pct,
-                mem_used_mb: stats.mem_used_mb,
+                mem_used_mb,
                 resized,
                 trace: decision.trace,
             });
@@ -228,7 +264,7 @@ impl ClosedLoop {
                     .get(target)
                     .expect("policy picked an unknown container")
                     .clone();
-                engine.apply_resources(current.resources);
+                backend.apply_resources(current.resources);
                 resizes += 1;
             }
         }
@@ -238,7 +274,7 @@ impl ClosedLoop {
         RunReport {
             policy: policy.name().to_string(),
             workload: workload_name,
-            trace: trace.name.clone(),
+            trace: trace_name,
             intervals,
             all_latencies_ms: all_latencies,
             resizes,
@@ -319,5 +355,16 @@ mod tests {
         assert_eq!(report.intervals[0].rung, 2);
         assert_eq!(report.intervals[1].rung, 0);
         assert!(report.intervals[1].cost < report.intervals[0].cost);
+    }
+
+    #[test]
+    fn initial_container_prefers_rung_two() {
+        let cfg = RunConfig::default();
+        assert_eq!(cfg.initial_container().rung, 2);
+        let pinned = RunConfig {
+            initial: Some(cfg.catalog.smallest().id),
+            ..RunConfig::default()
+        };
+        assert_eq!(pinned.initial_container().rung, 0);
     }
 }

@@ -1,0 +1,187 @@
+//! The seam refactor's bit-identity pin: `ClosedLoop` (generic over
+//! `TelemetrySource`/`ResizeActuator`, engine plugged in as
+//! `SimulatorSource`) against `OracleLoop`, the frozen pre-refactor loop
+//! that calls the engine directly — the same methodology that pinned the
+//! indexed engine to `OracleEngine` in PR 4.
+//!
+//! Identity is asserted at full strength: whole `RunReport` equality
+//! (interval records, decision traces, observability — wall-clock timers
+//! aside, which `PartialEq` excludes by design), decision-trace JSONL
+//! bytes, event JSONL bytes, and — through `FleetRunner` at 1/2/8
+//! threads — fleet report equality, folded registry equality and the
+//! fleet event stream, byte for byte. Policies cover the §6 Auto policy
+//! with a budget and a latency goal (exercising the budget gate and the
+//! §4.3 balloon path) and the static baseline.
+
+use dasr_core::{
+    tenant_seed, AutoPolicy, FleetAccumulator, FleetRunner, OracleLoop, RunConfig, RunReport,
+    ScalingPolicy, StaticPolicy, TenantKnobs, TenantSpec,
+};
+use dasr_telemetry::LatencyGoal;
+use dasr_workloads::{CpuIoConfig, CpuIoWorkload, Trace};
+
+fn workload() -> CpuIoWorkload {
+    CpuIoWorkload::new(CpuIoConfig::small())
+}
+
+/// A demand trace with a burst and a quiet tail — enough shape to move
+/// the Auto policy through scale-up, budget pressure and low-demand
+/// scale-down in a few minutes.
+fn wavy_trace(minutes: usize, base: f64) -> Trace {
+    let demand: Vec<f64> = (0..minutes)
+        .map(|m| base + (m % 4) as f64 * 8.0 + if m == 3 { 30.0 } else { 0.0 })
+        .collect();
+    Trace::new("wavy", demand)
+}
+
+fn auto_cfg(seed: u64) -> RunConfig {
+    RunConfig {
+        knobs: TenantKnobs::none()
+            .with_budget(60.0 * 12.0)
+            .with_latency_goal(LatencyGoal::P95(150.0)),
+        seed,
+        prewarm_pages: 2_000,
+        ..RunConfig::default()
+    }
+}
+
+fn events_jsonl(report: &RunReport) -> String {
+    let mut out = String::new();
+    for ev in &report.obs.events {
+        out.push_str(&ev.to_json_line());
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn generic_loop_matches_oracle_for_auto_policy() {
+    let cfg = auto_cfg(0xBEEF);
+    let trace = wavy_trace(12, 10.0);
+
+    let mut oracle_policy = AutoPolicy::with_knobs(cfg.knobs);
+    let oracle = OracleLoop::run(&cfg, &trace, workload(), &mut oracle_policy);
+
+    let mut seam_policy = AutoPolicy::with_knobs(cfg.knobs);
+    let seam = dasr_core::ClosedLoop::run(&cfg, &trace, workload(), &mut seam_policy);
+
+    assert_eq!(seam, oracle, "RunReport diverged across the seam");
+    assert_eq!(
+        seam.traces_jsonl(),
+        oracle.traces_jsonl(),
+        "decision-trace JSONL bytes diverged"
+    );
+    assert_eq!(
+        events_jsonl(&seam),
+        events_jsonl(&oracle),
+        "event JSONL bytes diverged"
+    );
+    assert_eq!(seam.obs.metrics, oracle.obs.metrics, "registries diverged");
+    assert!(oracle.resizes > 0, "the scenario actually scaled");
+}
+
+#[test]
+fn generic_loop_matches_oracle_for_static_policy() {
+    let cfg = RunConfig {
+        seed: 0xF00D,
+        ..RunConfig::default()
+    };
+    let trace = wavy_trace(6, 6.0);
+
+    let mut a = StaticPolicy::max(&cfg.catalog);
+    let oracle = OracleLoop::run(&cfg, &trace, workload(), &mut a);
+    let mut b = StaticPolicy::max(&cfg.catalog);
+    let seam = dasr_core::ClosedLoop::run(&cfg, &trace, workload(), &mut b);
+
+    assert_eq!(seam, oracle);
+    assert_eq!(seam.traces_jsonl(), oracle.traces_jsonl());
+    assert_eq!(events_jsonl(&seam), events_jsonl(&oracle));
+}
+
+/// The §4.3 balloon path crosses the seam in both directions (probe
+/// status in, start/abort/commit out): a low, steady workload on a large
+/// initial container makes the Auto policy probe.
+#[test]
+fn generic_loop_matches_oracle_through_balloon_probes() {
+    let catalog = RunConfig::default().catalog;
+    let big = catalog.iter().last().expect("catalog is non-empty").id;
+    let cfg = RunConfig {
+        knobs: TenantKnobs::none().with_latency_goal(LatencyGoal::P95(5_000.0)),
+        initial: Some(big),
+        seed: 0xB411,
+        prewarm_pages: 1_000,
+        ..RunConfig::default()
+    };
+    let trace = Trace::new("quiet", vec![4.0; 40]);
+
+    let mut a = AutoPolicy::with_knobs(cfg.knobs);
+    let oracle = OracleLoop::run(&cfg, &trace, workload(), &mut a);
+    let mut b = AutoPolicy::with_knobs(cfg.knobs);
+    let seam = dasr_core::ClosedLoop::run(&cfg, &trace, workload(), &mut b);
+
+    assert_eq!(seam, oracle);
+    assert_eq!(seam.traces_jsonl(), oracle.traces_jsonl());
+    assert_eq!(events_jsonl(&seam), events_jsonl(&oracle));
+}
+
+fn fleet(n: usize, minutes: usize) -> Vec<TenantSpec<CpuIoWorkload>> {
+    (0..n)
+        .map(|i| TenantSpec {
+            cfg: auto_cfg(tenant_seed(0x5EA7, i as u64)),
+            trace: wavy_trace(minutes, 4.0 + (i % 3) as f64 * 6.0),
+            workload: workload(),
+        })
+        .collect()
+}
+
+/// The oracle fleet reference: sequential `OracleLoop` runs with the same
+/// tenant stamping `run_fleet` applies, folded through the same exact-sum
+/// monoid.
+fn oracle_fleet(tenants: &[TenantSpec<CpuIoWorkload>]) -> (Vec<RunReport>, FleetAccumulator) {
+    let mut acc = FleetAccumulator::new();
+    let mut reports = Vec::with_capacity(tenants.len());
+    for (i, t) in tenants.iter().enumerate() {
+        let mut policy = AutoPolicy::with_knobs(t.cfg.knobs);
+        let mut report = OracleLoop::run(&t.cfg, &t.trace, t.workload.clone(), &mut policy);
+        for rec in &mut report.intervals {
+            rec.trace.tenant = Some(i as u64);
+        }
+        report.obs.stamp_tenant(i as u64);
+        acc.fold_report(&report);
+        reports.push(report);
+    }
+    (reports, acc)
+}
+
+#[test]
+fn fleet_runs_match_oracle_at_one_two_and_eight_threads() {
+    let tenants = fleet(7, 8);
+    let (oracle_reports, oracle_acc) = oracle_fleet(&tenants);
+    let oracle_summary = oracle_acc.finish();
+    let oracle_jsonl: String = oracle_reports.iter().map(events_jsonl).collect();
+
+    for threads in [1usize, 2, 8] {
+        let fleet_report = FleetRunner::new(threads).run_fleet(&tenants, |_, t| {
+            Box::new(AutoPolicy::with_knobs(t.cfg.knobs)) as Box<dyn ScalingPolicy>
+        });
+        assert_eq!(
+            fleet_report.reports, oracle_reports,
+            "per-tenant reports diverged at threads={threads}"
+        );
+        assert_eq!(
+            fleet_report.fleet_summary(),
+            &oracle_summary,
+            "folded summary diverged at threads={threads}"
+        );
+        assert_eq!(
+            fleet_report.fleet_metrics(),
+            oracle_summary.metrics,
+            "fleet registry diverged at threads={threads}"
+        );
+        assert_eq!(
+            fleet_report.events_jsonl(),
+            oracle_jsonl,
+            "fleet event JSONL bytes diverged at threads={threads}"
+        );
+    }
+}

@@ -1,0 +1,128 @@
+//! Replay fidelity: record → replay through the *same* policy must
+//! reproduce the decision sequence exactly.
+//!
+//! The loop is deterministic given its sample sequence (see
+//! `dasr_core::replay` module docs), so a replayed `AutoPolicy` must fire
+//! the same rules, choose the same containers and emit the identical
+//! `DecisionTrace` for every interval — asserted here on the trace
+//! sequence, the trace JSONL bytes and the rule-fire histogram, through a
+//! JSONL round trip of the recording itself (parse of written bytes, not
+//! just the in-memory structs). A second policy replayed over the same
+//! recording exercises the counterfactual actuator path.
+
+use dasr_core::{
+    record_run, replay, replay_with, AutoPolicy, ReplayDiff, RunConfig, RunRecording, TenantKnobs,
+    UtilPolicy,
+};
+use dasr_telemetry::{CounterfactualActuator, LatencyGoal};
+use dasr_workloads::{CpuIoConfig, CpuIoWorkload, Trace};
+
+fn workload() -> CpuIoWorkload {
+    CpuIoWorkload::new(CpuIoConfig::small())
+}
+
+fn cfg() -> RunConfig {
+    RunConfig {
+        knobs: TenantKnobs::none()
+            .with_budget(55.0 * 14.0)
+            .with_latency_goal(LatencyGoal::P95(200.0)),
+        seed: 0x4E9A,
+        prewarm_pages: 1_500,
+        ..RunConfig::default()
+    }
+}
+
+fn bursty_trace(minutes: usize) -> Trace {
+    let demand: Vec<f64> = (0..minutes)
+        .map(|m| 8.0 + (m % 5) as f64 * 7.0 + if m % 7 == 3 { 25.0 } else { 0.0 })
+        .collect();
+    Trace::new("bursty", demand)
+}
+
+#[test]
+fn same_policy_replay_reproduces_decision_traces_and_rule_fires() {
+    let cfg = cfg();
+    let trace = bursty_trace(14);
+    let mut rec_policy = AutoPolicy::with_knobs(cfg.knobs);
+    let (original, recording) = record_run(&cfg, &trace, workload(), &mut rec_policy);
+    assert!(original.resizes > 0, "the scenario actually scaled");
+
+    // Through the serialized form: what a file round trip would see.
+    let parsed = RunRecording::from_jsonl(&recording.to_jsonl()).expect("recording parses back");
+    assert_eq!(parsed, recording);
+
+    let mut replay_policy = AutoPolicy::with_knobs(cfg.knobs);
+    let replayed = replay(&cfg, parsed, &mut replay_policy);
+
+    let original_traces: Vec<_> = original.intervals.iter().map(|r| &r.trace).collect();
+    let replayed_traces: Vec<_> = replayed.intervals.iter().map(|r| &r.trace).collect();
+    assert_eq!(
+        replayed_traces, original_traces,
+        "DecisionTrace sequence diverged under replay"
+    );
+    assert_eq!(
+        replayed.traces_jsonl(),
+        original.traces_jsonl(),
+        "trace JSONL bytes diverged under replay"
+    );
+    assert_eq!(
+        replayed.rule_histogram(),
+        original.rule_histogram(),
+        "rule-fire histogram diverged under replay"
+    );
+    assert_eq!(replayed.intervals, original.intervals);
+    assert_eq!(replayed.resizes, original.resizes);
+    assert_eq!(replayed.rejected_total, original.rejected_total);
+    assert!(ReplayDiff::between(&original, &replayed).identical());
+}
+
+#[test]
+fn replay_is_idempotent() {
+    let cfg = cfg();
+    let trace = bursty_trace(10);
+    let mut p0 = AutoPolicy::with_knobs(cfg.knobs);
+    let (_, recording) = record_run(&cfg, &trace, workload(), &mut p0);
+
+    let mut p1 = AutoPolicy::with_knobs(cfg.knobs);
+    let first = replay(&cfg, recording.clone(), &mut p1);
+    let mut p2 = AutoPolicy::with_knobs(cfg.knobs);
+    let second = replay(&cfg, recording, &mut p2);
+    assert_eq!(first, second, "replay of the same recording diverged");
+}
+
+#[test]
+fn counterfactual_policy_ab_over_one_recording() {
+    let cfg = cfg();
+    let trace = bursty_trace(14);
+    let mut auto = AutoPolicy::with_knobs(cfg.knobs);
+    let (original, recording) = record_run(&cfg, &trace, workload(), &mut auto);
+
+    let mut util = UtilPolicy::default();
+    let (counterfactual, actuator) = replay_with(
+        &cfg,
+        recording,
+        &mut util,
+        CounterfactualActuator::default(),
+    );
+
+    // The ledger tallies exactly the divergent run's commands.
+    assert_eq!(actuator.resizes, counterfactual.resizes);
+    let diff = ReplayDiff::between(&original, &counterfactual);
+    assert_eq!(diff.intervals, original.intervals.len());
+    assert_eq!(diff.resizes_a, original.resizes);
+    assert_eq!(diff.resizes_b, counterfactual.resizes);
+    let rendered = diff.to_string();
+    assert!(rendered.contains("intervals"), "{rendered}");
+}
+
+#[test]
+fn tenant_stamps_survive_recording_round_trips() {
+    let cfg = cfg();
+    let trace = bursty_trace(6);
+    let mut policy = AutoPolicy::with_knobs(cfg.knobs);
+    let (_, mut recording) = record_run(&cfg, &trace, workload(), &mut policy);
+    recording.stamp_tenant(42);
+    let back = RunRecording::from_jsonl(&recording.to_jsonl()).expect("parses");
+    assert!(back.records.iter().all(|r| r.tenant == Some(42)));
+    assert_eq!(back.header.seed, cfg.seed);
+}

@@ -28,6 +28,13 @@
 //! log writes, lock acquisitions, memory grants, think time). Workload
 //! generators live in `dasr-workloads`.
 //!
+//! The decision loop never calls this crate directly: it observes and
+//! actuates through the `TelemetrySource`/`ResizeActuator` traits in
+//! `dasr-telemetry`, with the engine wrapped as `dasr_core`'s
+//! `SimulatorSource` — one backend among others (e.g. recorded-run
+//! replay). Nothing here changed for that seam; [`Engine`]'s public
+//! stepping/resize/balloon API *is* the adapter surface.
+//!
 //! ## Invariants (tested)
 //!
 //! - Wait conservation: request latency = CPU service + think time + the sum

@@ -19,6 +19,12 @@
 //! whose mixture reproduces the published distributional shapes, plus a
 //! generative wait-vs-utilization model with heavy-tailed noise matching
 //! Figure 4's wide band. Everything is deterministic given a seed.
+//!
+//! Running a *closed-loop* fleet (many tenants through the auto-scaler)
+//! lives in `dasr_core::runner::fleet`; since the telemetry-seam
+//! refactor it is generic over per-tenant backends
+//! (`run_fleet_sources`), so fleets synthesized here can drive either
+//! live simulations or recorded-run replays.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -147,6 +147,7 @@ pub const R1_PROTECTED_TYPES: &[&str] = &[
     "MetricRegistry",
     "FixedHistogram",
     "FleetSummary",
+    "SampleRecord",
 ];
 
 /// Identifiers forbidden inside a `no-alloc` body (rule A1). `format`

@@ -41,7 +41,10 @@ impl LatencyGoal {
 }
 
 /// One interval's raw telemetry, engine-agnostic: the telemetry manager and
-/// the fleet analyses both consume this shape.
+/// the fleet analyses both consume this shape. It is also the unit a
+/// [`TelemetrySource`](crate::TelemetrySource) yields per interval — and
+/// therefore the unit run recordings capture and replay — so its fields
+/// must stay a *complete* description of what the decision loop reads.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TelemetrySample {
     /// Interval index (billing interval number).

@@ -19,6 +19,11 @@
 //!
 //! The output is a [`SignalSet`], the sole input of the
 //! resource demand estimator in `dasr-core`.
+//!
+//! The [`source`] module defines *where samples come from and where resize
+//! commands go*: the [`TelemetrySource`]/[`ResizeActuator`] seam that the
+//! closed loop in `dasr-core` is generic over, with the discrete-event
+//! simulator as just one backend.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,6 +34,7 @@ pub mod categorize;
 pub mod counters;
 pub mod manager;
 pub mod signals;
+pub mod source;
 pub mod thresholds;
 pub mod window;
 
@@ -36,4 +42,7 @@ pub use categorize::{LatencyVerdict, ResourceCategories, UtilLevel, WaitPctLevel
 pub use counters::{LatencyGoal, TelemetrySample};
 pub use manager::{TelemetryConfig, TelemetryManager};
 pub use signals::{LatencySignals, ResourceSignals, SignalSet};
+pub use source::{
+    CounterfactualActuator, NullActuator, ProbeStatus, ResizeActuator, SourcePair, TelemetrySource,
+};
 pub use thresholds::{ThresholdConfig, WaitThresholds};

@@ -10,10 +10,13 @@
 //! - [`engine`] — the discrete-event database-server simulator;
 //! - [`workloads`] — benchmark workloads (CPUIO, TPC-C-lite, DS2-lite) and
 //!   load traces;
-//! - [`telemetry`] — raw counters → robust signals → categorized signals;
+//! - [`telemetry`] — raw counters → robust signals → categorized signals,
+//!   and the `TelemetrySource`/`ResizeActuator` seam the loop drives;
 //! - [`fleet`] — service-wide telemetry synthesis and threshold derivation;
 //! - [`core`] — the paper's contribution: demand estimator, budget manager
-//!   and the closed-loop auto-scaler, plus all baseline policies.
+//!   and the closed-loop auto-scaler (generic over the seam, with
+//!   simulator and recorded-run-replay backends), plus all baseline
+//!   policies.
 
 #![forbid(unsafe_code)]
 #![deny(clippy::print_stdout, clippy::print_stderr)]
