@@ -1,0 +1,143 @@
+//! dasr-store write and read throughput.
+//!
+//! The store's job is to keep up with a fleet sweep: `run_fleet_summary`
+//! streams events through a `StoreSink` while tenants execute, so append
+//! cost is on the fleet's critical path. The acceptance bar CI gates on
+//! is **< 5 µs per appended record** including framing, batching and the
+//! (amortized) flush — measured here as `store_append_1k`, one iteration
+//! = 1000 event appends + one explicit flush.
+//!
+//! Read-side benches cover the two query shapes the paper's analyses
+//! use: a time-windowed scan (sparse index pruning) and a whole-run
+//! rule-fire aggregation.
+//!
+//! With `DASR_BENCH_JSON` set, the vendored criterion shim appends one
+//! `{"bench": …, "ns_per_iter": …}` line per benchmark — CI publishes
+//! them as `BENCH_store.json` and gates the append cost.
+
+use criterion::{black_box, Criterion};
+use dasr_core::obs::{EventKind, RunEvent};
+use dasr_store::{RecordPayload, RunMeta, Store, StoredRecord, WriterConfig};
+
+/// Records per append iteration.
+const APPENDS: u64 = 1_000;
+/// Records in the pre-populated query store.
+const QUERY_RECORDS: u64 = 100_000;
+
+fn event(interval: u64) -> RecordPayload {
+    RecordPayload::Event(RunEvent {
+        tenant: Some(interval % 64),
+        interval: interval % 1_440,
+        kind: if interval.is_multiple_of(7) {
+            EventKind::ResizeIssued {
+                from_rung: (interval % 5) as u8,
+                to_rung: (interval % 5) as u8 + 1,
+            }
+        } else if interval.is_multiple_of(11) {
+            EventKind::BudgetThrottle {
+                headroom_pct: (interval % 100) as f64,
+            }
+        } else {
+            EventKind::IntervalStart
+        },
+    })
+}
+
+fn bench_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("dasr-bench-store-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn bench_store(c: &mut Criterion) {
+    // -- Write path ------------------------------------------------------
+    let dir = bench_dir("append");
+    let mut store = Store::open_with(&dir, WriterConfig::default()).expect("open");
+    let run = store.begin_run(RunMeta::new("bench", "synthetic", "none", 0));
+    let mut at = 0u64;
+    c.bench_function("store_append_1k", |b| {
+        b.iter(|| {
+            for _ in 0..APPENDS {
+                store.append(run, event(at)).expect("append");
+                at += 1;
+            }
+            store.flush().expect("flush");
+            black_box(at)
+        })
+    });
+    let appended = at;
+    store.close().expect("close");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Encode alone, for the share framing takes of the append cost.
+    let recs: Vec<StoredRecord> = (0..APPENDS)
+        .map(|i| StoredRecord {
+            run,
+            payload: event(i),
+        })
+        .collect();
+    let mut buf = Vec::with_capacity(64 * APPENDS as usize);
+    c.bench_function("store_encode_1k", |b| {
+        b.iter(|| {
+            buf.clear();
+            for r in &recs {
+                r.encode_into(&mut buf);
+            }
+            black_box(buf.len())
+        })
+    });
+
+    // -- Read path -------------------------------------------------------
+    let dir = bench_dir("query");
+    let mut store = Store::open_with(&dir, WriterConfig::default()).expect("open");
+    let run = store.begin_run(RunMeta::new("bench", "synthetic", "none", 0));
+    for i in 0..QUERY_RECORDS {
+        store.append(run, event(i)).expect("append");
+    }
+    store.end_run(run).expect("commit");
+
+    // One-hour window out of a synthetic day: the sparse index prunes
+    // every batch whose interval box misses [540, 600).
+    c.bench_function("store_scan_1h_window_100k", |b| {
+        b.iter(|| {
+            let hits = store.scan_range(540..600).expect("scan");
+            black_box(hits.len())
+        })
+    });
+
+    c.bench_function("store_fire_counts_100k", |b| {
+        b.iter(|| {
+            let counts = store.fire_counts(Some(run), 0..u64::MAX).expect("counts");
+            black_box(counts.total_fires())
+        })
+    });
+
+    let stats = store.stats().expect("stats");
+    println!(
+        "appended {appended} records in the write bench; query store: \
+         {} records, {} batches, {:.1} KiB on disk ({:.1} B/record)",
+        stats.records,
+        stats.batches,
+        stats.bytes as f64 / 1024.0,
+        stats.bytes as f64 / stats.records as f64
+    );
+    store.close().expect("close");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    bench_store(&mut c);
+    if let Some(m) = c
+        .measurements()
+        .iter()
+        .find(|m| m.id.contains("store_append_1k"))
+    {
+        let per_record_us = m.ns_per_iter / APPENDS as f64 / 1_000.0;
+        println!(
+            "append cost: {per_record_us:.3} µs/record \
+             (acceptance bar <5 µs; CI gates BENCH_store.json on this)"
+        );
+    }
+    c.emit_json();
+}

@@ -88,6 +88,7 @@ pub fn classify(rel: &str) -> Scope {
         "crates/engine/src",
         "crates/fleet/src",
         "crates/stats/src",
+        "crates/store/src",
     ]
     .iter()
     .any(|p| rel.starts_with(p));
@@ -325,6 +326,8 @@ mod tests {
         assert!(!classify("crates/engine/src/locks.rs").wallclock_exempt);
         assert!(classify("crates/core/src/obs/metrics.rs").wallclock_exempt);
         assert!(classify("crates/stats/src/quantile.rs").float_exempt);
+        assert!(classify("crates/store/src/record.rs").deterministic);
+        assert!(!classify("crates/store/src/record.rs").float_exempt);
         assert!(!classify("crates/telemetry/src/lib.rs").deterministic);
         assert!(!classify("src/lib.rs").deterministic);
     }

@@ -148,6 +148,14 @@ pub const R1_PROTECTED_TYPES: &[&str] = &[
     "FixedHistogram",
     "FleetSummary",
     "SampleRecord",
+    // dasr-store record and index types: what goes on disk is structure,
+    // never pre-rendered text.
+    "StoredRecord",
+    "RecordPayload",
+    "RunId",
+    "IndexEntry",
+    "FireCounts",
+    "StoreStats",
 ];
 
 /// Identifiers forbidden inside a `no-alloc` body (rule A1). `format`

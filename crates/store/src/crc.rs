@@ -1,0 +1,69 @@
+//! CRC-32 (ISO-HDLC, polynomial `0xEDB88320`) — the checksum guarding
+//! every batch frame and index file.
+//!
+//! Hand-rolled (the workspace is offline and dependency-free): a 256-entry
+//! table built at first use via `OnceLock`, the same construction zlib and
+//! `crc32fast` implement. The store does not need speed records here —
+//! batches are checksummed once per flush — it needs a *stable, specified*
+//! function, which CRC-32/ISO-HDLC is (`docs/STORE_FORMAT.md` §5 lists
+//! test vectors).
+
+use std::sync::OnceLock;
+
+fn table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, slot) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *slot = c;
+        }
+        t
+    })
+}
+
+/// CRC-32/ISO-HDLC of `bytes` (init `0xFFFFFFFF`, reflected, final XOR
+/// `0xFFFFFFFF` — the `cksum -a crc32` / zlib `crc32()` convention).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let t = table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = t[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The standard check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(crc32(&[0u8; 32]), 0x190A_55AD);
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let data = b"the store's batch payload";
+        let good = crc32(data);
+        let mut copy = data.to_vec();
+        for byte in 0..copy.len() {
+            for bit in 0..8 {
+                copy[byte] ^= 1 << bit;
+                assert_ne!(crc32(&copy), good, "flip at {byte}:{bit} undetected");
+                copy[byte] ^= 1 << bit;
+            }
+        }
+    }
+}

@@ -1,0 +1,328 @@
+//! Sparse per-segment time index.
+//!
+//! One [`IndexEntry`] per batch: the batch's file offset plus the
+//! *bounding box* of what it contains — interval range and run-id range.
+//! The index is sparse (batch granularity, not record granularity) because
+//! fleet event streams are tenant-major: intervals are **not** monotone
+//! within a segment, so a query cannot binary-search; it can, however,
+//! skip every batch whose bounding box misses the query, which is the
+//! scan-cost win (`store_scan` benches measure it).
+//!
+//! The index is a pure *cache*: it lives in a `.idx` sidecar next to its
+//! segment and is rebuilt from the segment bytes whenever it is missing,
+//! fails its CRC, or describes a different byte length than the recovered
+//! segment (a crash can tear the sidecar just like the log — rebuilding is
+//! always safe because the segment is the single source of truth).
+//!
+//! Byte layout (little-endian; `docs/STORE_FORMAT.md` §4):
+//!
+//! ```text
+//! index  := magic "DASRIDX\x01" | segment_id u32 | n_entries u32
+//!           | seg_bytes u64 | entry* | crc32(entries) u32
+//! entry  := offset u64 | n_records u32 | min_interval u64 | max_interval u64
+//!           | min_run u32 | max_run u32                        (36 bytes)
+//! ```
+
+use crate::crc::crc32;
+use crate::record::StoredRecord;
+use crate::segment;
+
+/// First eight bytes of every index sidecar.
+pub const MAGIC: [u8; 8] = *b"DASRIDX\x01";
+/// Index header length in bytes.
+pub const HEADER_LEN: usize = 24;
+/// Encoded size of one [`IndexEntry`].
+pub const ENTRY_LEN: usize = 36;
+
+/// One batch's bounding box in the sparse index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexEntry {
+    /// File offset of the batch header inside the segment.
+    pub offset: u64,
+    /// Records in the batch.
+    pub n_records: u32,
+    /// Smallest billing interval of any record in the batch.
+    pub min_interval: u64,
+    /// Largest billing interval of any record in the batch.
+    pub max_interval: u64,
+    /// Smallest run id of any record in the batch.
+    pub min_run: u32,
+    /// Largest run id of any record in the batch.
+    pub max_run: u32,
+}
+
+impl IndexEntry {
+    /// Bounding box of `records` (which must be non-empty) at `offset`.
+    pub fn from_records(offset: u64, records: &[StoredRecord]) -> Self {
+        debug_assert!(!records.is_empty(), "batches are never empty");
+        let mut e = Self::empty(offset);
+        for r in records {
+            e.absorb(r);
+        }
+        e
+    }
+
+    /// Starts a bounding box at `offset` with no records yet.
+    pub fn empty(offset: u64) -> Self {
+        Self {
+            offset,
+            n_records: 0,
+            min_interval: u64::MAX,
+            max_interval: 0,
+            min_run: u32::MAX,
+            max_run: 0,
+        }
+    }
+
+    /// Widens the box to cover `rec`.
+    // dasr-lint: no-alloc
+    pub fn absorb(&mut self, rec: &StoredRecord) {
+        let interval = rec.interval();
+        self.n_records += 1;
+        self.min_interval = self.min_interval.min(interval);
+        self.max_interval = self.max_interval.max(interval);
+        self.min_run = self.min_run.min(rec.run.0);
+        self.max_run = self.max_run.max(rec.run.0);
+    }
+
+    /// True when the batch may hold intervals in `[start, end)`.
+    // dasr-lint: no-alloc
+    pub fn overlaps_intervals(&self, start: u64, end: u64) -> bool {
+        self.n_records > 0 && self.min_interval < end && self.max_interval >= start
+    }
+
+    /// True when the batch may hold records of `run`.
+    // dasr-lint: no-alloc
+    pub fn may_contain_run(&self, run: u32) -> bool {
+        self.n_records > 0 && self.min_run <= run && self.max_run >= run
+    }
+}
+
+/// The sparse index of one segment: an [`IndexEntry`] per batch, in file
+/// order, stamped with the segment byte length it describes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentIndex {
+    /// The segment this index describes.
+    pub segment_id: u32,
+    /// Segment byte length the entries cover (staleness check: a sidecar
+    /// whose `seg_bytes` differs from the recovered segment is rebuilt).
+    pub seg_bytes: u64,
+    /// One entry per batch, in file order.
+    pub entries: Vec<IndexEntry>,
+}
+
+impl SegmentIndex {
+    /// File name of segment `id`'s sidecar (`seg-000042.idx`).
+    pub fn file_name(id: u32) -> String {
+        format!("seg-{id:06}.idx")
+    }
+
+    /// An empty index for a fresh segment (header only).
+    pub fn fresh(segment_id: u32) -> Self {
+        Self {
+            segment_id,
+            seg_bytes: segment::HEADER_LEN as u64,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Records in the segment, summed over the entries.
+    pub fn records(&self) -> u64 {
+        self.entries.iter().map(|e| u64::from(e.n_records)).sum()
+    }
+
+    /// Largest run id any entry has seen (`None` for an empty segment) —
+    /// recovery uses this as the run-id high-water mark without decoding
+    /// a single record.
+    pub fn max_run(&self) -> Option<u32> {
+        self.entries
+            .iter()
+            .filter(|e| e.n_records > 0)
+            .map(|e| e.max_run)
+            .max()
+    }
+
+    /// Serializes the sidecar bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_LEN + self.entries.len() * ENTRY_LEN + 4);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&self.segment_id.to_le_bytes());
+        out.extend_from_slice(&(self.entries.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.seg_bytes.to_le_bytes());
+        for e in &self.entries {
+            out.extend_from_slice(&e.offset.to_le_bytes());
+            out.extend_from_slice(&e.n_records.to_le_bytes());
+            out.extend_from_slice(&e.min_interval.to_le_bytes());
+            out.extend_from_slice(&e.max_interval.to_le_bytes());
+            out.extend_from_slice(&e.min_run.to_le_bytes());
+            out.extend_from_slice(&e.max_run.to_le_bytes());
+        }
+        let crc = crc32(&out[HEADER_LEN..]);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Parses a sidecar; any inconsistency is an error (the caller then
+    /// rebuilds from the segment).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
+        if bytes.len() < HEADER_LEN + 4 {
+            return Err("index sidecar truncated".to_string());
+        }
+        if bytes[..8] != MAGIC {
+            return Err("bad index magic".to_string());
+        }
+        let segment_id = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
+        let n_entries = u32::from_le_bytes([bytes[12], bytes[13], bytes[14], bytes[15]]) as usize;
+        let seg_bytes = u64::from_le_bytes([
+            bytes[16], bytes[17], bytes[18], bytes[19], bytes[20], bytes[21], bytes[22], bytes[23],
+        ]);
+        let body_len = n_entries * ENTRY_LEN;
+        if bytes.len() != HEADER_LEN + body_len + 4 {
+            return Err(format!(
+                "index sidecar length {} does not match {n_entries} entries",
+                bytes.len()
+            ));
+        }
+        let body = &bytes[HEADER_LEN..HEADER_LEN + body_len];
+        let stored_crc = u32::from_le_bytes([
+            bytes[HEADER_LEN + body_len],
+            bytes[HEADER_LEN + body_len + 1],
+            bytes[HEADER_LEN + body_len + 2],
+            bytes[HEADER_LEN + body_len + 3],
+        ]);
+        let actual = crc32(body);
+        if stored_crc != actual {
+            return Err(format!(
+                "index sidecar fails CRC: stored {stored_crc:08x}, computed {actual:08x}"
+            ));
+        }
+        let mut entries = Vec::with_capacity(n_entries);
+        for chunk in body.chunks_exact(ENTRY_LEN) {
+            let u64_at = |at: usize| {
+                let mut a = [0u8; 8];
+                a.copy_from_slice(&chunk[at..at + 8]);
+                u64::from_le_bytes(a)
+            };
+            let u32_at = |at: usize| {
+                let mut a = [0u8; 4];
+                a.copy_from_slice(&chunk[at..at + 4]);
+                u32::from_le_bytes(a)
+            };
+            entries.push(IndexEntry {
+                offset: u64_at(0),
+                n_records: u32_at(8),
+                min_interval: u64_at(12),
+                max_interval: u64_at(20),
+                min_run: u32_at(28),
+                max_run: u32_at(32),
+            });
+        }
+        Ok(Self {
+            segment_id,
+            seg_bytes,
+            entries,
+        })
+    }
+
+    /// Rebuilds the index by scanning (and fully decoding) the segment
+    /// bytes — the fallback when the sidecar is missing or untrustworthy.
+    pub fn build_from_segment(bytes: &[u8]) -> Result<Self, String> {
+        let scan = segment::scan(bytes)?;
+        let mut entries = Vec::with_capacity(scan.batches.len());
+        for batch in &scan.batches {
+            let records = batch.records()?;
+            entries.push(IndexEntry::from_records(batch.offset, &records));
+        }
+        Ok(Self {
+            segment_id: scan.segment_id,
+            seg_bytes: scan.valid_len,
+            entries,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{RecordPayload, RunId};
+    use dasr_core::obs::{EventKind, RunEvent};
+
+    fn rec(run: u32, interval: u64) -> StoredRecord {
+        StoredRecord {
+            run: RunId(run),
+            payload: RecordPayload::Event(RunEvent {
+                tenant: None,
+                interval,
+                kind: EventKind::IntervalStart,
+            }),
+        }
+    }
+
+    #[test]
+    fn bounding_boxes_and_overlap() {
+        let e = IndexEntry::from_records(16, &[rec(1, 10), rec(3, 50), rec(2, 30)]);
+        assert_eq!(e.n_records, 3);
+        assert_eq!((e.min_interval, e.max_interval), (10, 50));
+        assert_eq!((e.min_run, e.max_run), (1, 3));
+        assert!(e.overlaps_intervals(0, 11));
+        assert!(e.overlaps_intervals(50, 51));
+        assert!(!e.overlaps_intervals(0, 10));
+        assert!(!e.overlaps_intervals(51, 100));
+        assert!(e.may_contain_run(2));
+        assert!(!e.may_contain_run(4));
+        assert!(!IndexEntry::empty(0).overlaps_intervals(0, u64::MAX));
+    }
+
+    #[test]
+    fn sidecar_round_trips() {
+        let idx = SegmentIndex {
+            segment_id: 3,
+            seg_bytes: 4096,
+            entries: vec![
+                IndexEntry::from_records(16, &[rec(0, 5)]),
+                IndexEntry::from_records(80, &[rec(1, 7), rec(1, 9)]),
+            ],
+        };
+        let bytes = idx.to_bytes();
+        let back = SegmentIndex::from_bytes(&bytes).expect("parses");
+        assert_eq!(back, idx);
+        assert_eq!(back.records(), 3);
+        assert_eq!(back.max_run(), Some(1));
+        assert_eq!(SegmentIndex::fresh(9).max_run(), None);
+    }
+
+    #[test]
+    fn corrupt_sidecars_are_rejected() {
+        let idx = SegmentIndex {
+            segment_id: 1,
+            seg_bytes: 100,
+            entries: vec![IndexEntry::from_records(16, &[rec(0, 1)])],
+        };
+        let bytes = idx.to_bytes();
+        assert!(SegmentIndex::from_bytes(&bytes[..10]).is_err());
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(SegmentIndex::from_bytes(&bad).is_err());
+        let mut bad = bytes.clone();
+        bad[HEADER_LEN + 2] ^= 1; // entry byte: CRC must catch it
+        assert!(SegmentIndex::from_bytes(&bad).is_err());
+        let mut bad = bytes;
+        bad.truncate(bad.len() - 1);
+        assert!(SegmentIndex::from_bytes(&bad).is_err());
+    }
+
+    #[test]
+    fn rebuild_matches_incremental_construction() {
+        let mut seg = segment::header_bytes(5).to_vec();
+        let recs = [rec(0, 3), rec(0, 8), rec(1, 1)];
+        let mut payload = Vec::new();
+        for r in &recs {
+            r.encode_into(&mut payload);
+        }
+        segment::append_batch(&mut seg, recs.len() as u32, &payload);
+        let rebuilt = SegmentIndex::build_from_segment(&seg).expect("rebuilds");
+        assert_eq!(rebuilt.segment_id, 5);
+        assert_eq!(rebuilt.seg_bytes, seg.len() as u64);
+        assert_eq!(rebuilt.entries, vec![IndexEntry::from_records(16, &recs)]);
+    }
+}

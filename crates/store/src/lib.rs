@@ -1,0 +1,69 @@
+//! # dasr-store — durable segmented run store with a query API
+//!
+//! The closed loop produces two streams worth keeping: per-interval
+//! telemetry samples (the [`replay`](mod@dasr_core::replay) unit) and
+//! structured run events (the [`obs`](dasr_core::obs) stream). This crate
+//! persists both in an append-only **segmented binary log** and answers
+//! questions about them later — time-range scans, per-tenant event
+//! streams, rule-fire aggregation across runs — without re-running
+//! anything.
+//!
+//! ```text
+//!  run_fleet_summary ──events──▶ StoreSink ─┐          ┌─▶ scan_range
+//!  record_run ───────samples──▶ Store ──────┤ writer   │   tenant_events
+//!                                           ├─thread──▶│   fire_counts
+//!  (batch-buffered, CRC-framed,             │          │   load_recording
+//!   deterministic flush — DESIGN.md §16)    ▼          └─▶ StoreSource ──▶ replay
+//!                                     seg-NNNNNN.dseg
+//!                                     seg-NNNNNN.idx
+//!                                     manifest.jsonl
+//! ```
+//!
+//! - [`Store`] — open/recover a store directory, append records under
+//!   runs, commit runs to the manifest, query everything back;
+//! - [`StoreSink`] — an [`EventSink`](dasr_core::obs::EventSink): stream
+//!   a fleet run's events straight to disk;
+//! - [`StoreSource`] — a
+//!   [`TelemetrySource`](dasr_telemetry::TelemetrySource): feed an
+//!   archived run back through any policy via the replay machinery;
+//! - [`record`], [`segment`], [`index`], [`writer`] — the layers:
+//!   bit-exact record codec, CRC-framed batches in numbered segments,
+//!   sparse per-batch time index, deterministic writer thread.
+//!
+//! Floats are stored as raw IEEE-754 bits, so an archived run replays
+//! **byte-identically** to its live event stream — the
+//! `store_replay_roundtrip` test pins `FleetReport::events_jsonl` against
+//! the store→replay reproduction. The on-disk format is specified
+//! byte-for-byte in `docs/STORE_FORMAT.md`, and the `format_spec` test
+//! decodes that document's worked hex dump with this crate's real
+//! decoder, so spec and implementation cannot drift apart.
+//!
+//! Crash consistency: the batch is the durability quantum. A torn write
+//! leaves a tail that fails its CRC; [`Store::open`] truncates to the
+//! last intact batch, rebuilds stale index sidecars, drops a torn
+//! manifest tail line, and never reuses the run id of orphaned records.
+//! (Durability is to the OS page cache — the store targets torn-write
+//! safety and deterministic bytes, not power-loss fsync guarantees.)
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![deny(clippy::print_stdout, clippy::print_stderr)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+#![cfg_attr(not(test), deny(clippy::float_cmp))]
+
+pub mod crc;
+pub mod index;
+pub mod record;
+pub mod segment;
+pub mod sink;
+pub mod source;
+pub mod store;
+pub mod writer;
+
+pub use record::{RecordPayload, RunId, StoredRecord};
+pub use sink::StoreSink;
+pub use source::StoreSource;
+pub use store::{
+    FireCounts, RecoveryNote, RunManifest, RunMeta, Store, StoreError, StoreStats, MANIFEST_FILE,
+};
+pub use writer::WriterConfig;

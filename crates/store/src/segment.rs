@@ -1,0 +1,332 @@
+//! Segment files: the append-only unit of the binary log.
+//!
+//! A store directory holds numbered segment files (`seg-000000.dseg`,
+//! `seg-000001.dseg`, …). Each segment is a 16-byte header followed by a
+//! sequence of **batch frames**; records never span batches and batches
+//! never span segments. The batch is the durability quantum: its payload
+//! is covered by a trailing CRC-32, so a crash mid-write leaves a torn
+//! *tail*, never a torn *prefix* — recovery scans forward, keeps every
+//! intact batch, and truncates the rest ([`scan`] reports the cut point).
+//! This is the "recover to the last complete batch" contract the
+//! crash-consistency test exercises.
+//!
+//! Byte layout (all integers little-endian; specified byte-for-byte in
+//! `docs/STORE_FORMAT.md`):
+//!
+//! ```text
+//! segment  := header batch*
+//! header   := magic "DASRSEG\x01" | segment_id u32 | version u16 | reserved u16
+//! batch    := n_records u32 | payload_len u32 | payload | crc32(payload) u32
+//! payload  := record*                      (see crate::record for framing)
+//! ```
+
+use crate::crc::crc32;
+use crate::record::StoredRecord;
+
+/// First eight bytes of every segment file.
+pub const MAGIC: [u8; 8] = *b"DASRSEG\x01";
+/// On-disk format version this build reads and writes.
+pub const VERSION: u16 = 1;
+/// Segment header length in bytes.
+pub const HEADER_LEN: usize = 16;
+/// Batch frame overhead: 8-byte header plus 4-byte CRC trailer.
+pub const BATCH_OVERHEAD: usize = 12;
+
+/// File name of segment `id` (`seg-000042.dseg`).
+pub fn file_name(id: u32) -> String {
+    format!("seg-{id:06}.dseg")
+}
+
+/// The 16 header bytes of segment `id`.
+pub fn header_bytes(id: u32) -> [u8; HEADER_LEN] {
+    let mut h = [0u8; HEADER_LEN];
+    h[..8].copy_from_slice(&MAGIC);
+    h[8..12].copy_from_slice(&id.to_le_bytes());
+    h[12..14].copy_from_slice(&VERSION.to_le_bytes());
+    h
+}
+
+/// Frames `payload` (already-encoded records) as one batch and appends it
+/// to `out`.
+// dasr-lint: no-alloc
+pub fn append_batch(out: &mut Vec<u8>, n_records: u32, payload: &[u8]) {
+    out.extend_from_slice(&n_records.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+}
+
+/// One intact batch located by [`scan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Batch<'a> {
+    /// File offset of the batch's 8-byte header.
+    pub offset: u64,
+    /// Records in the payload.
+    pub n_records: u32,
+    /// The checksummed record payload.
+    pub payload: &'a [u8],
+}
+
+impl Batch<'_> {
+    /// Decodes the payload into records (exactly `n_records` of them).
+    pub fn records(&self) -> Result<Vec<StoredRecord>, String> {
+        let mut out = Vec::with_capacity(self.n_records as usize);
+        let mut at = 0;
+        while at < self.payload.len() {
+            let (rec, used) = StoredRecord::decode(&self.payload[at..])
+                .map_err(|e| format!("batch at offset {}: {e}", self.offset))?;
+            out.push(rec);
+            at += used;
+        }
+        if out.len() != self.n_records as usize {
+            return Err(format!(
+                "batch at offset {} promises {} records, payload holds {}",
+                self.offset,
+                self.n_records,
+                out.len()
+            ));
+        }
+        Ok(out)
+    }
+}
+
+/// Reads and CRC-verifies the single batch at `offset` — the targeted
+/// read path queries use with offsets taken from the sparse index, so a
+/// range scan decodes only the batches whose bounding boxes overlap the
+/// query instead of re-walking the whole segment.
+pub fn batch_at(bytes: &[u8], offset: u64) -> Result<Batch<'_>, String> {
+    let at = offset as usize;
+    if at < HEADER_LEN || at + 8 > bytes.len() {
+        return Err(format!("batch offset {offset} out of bounds"));
+    }
+    let n_records = u32::from_le_bytes([bytes[at], bytes[at + 1], bytes[at + 2], bytes[at + 3]]);
+    let payload_len =
+        u32::from_le_bytes([bytes[at + 4], bytes[at + 5], bytes[at + 6], bytes[at + 7]]) as usize;
+    let rest = &bytes[at + 8..];
+    if rest.len() < payload_len + 4 {
+        return Err(format!(
+            "batch at offset {offset} truncated: payload {payload_len}+4 bytes promised, {} on disk",
+            rest.len()
+        ));
+    }
+    let payload = &rest[..payload_len];
+    let stored_crc = u32::from_le_bytes([
+        rest[payload_len],
+        rest[payload_len + 1],
+        rest[payload_len + 2],
+        rest[payload_len + 3],
+    ]);
+    let actual = crc32(payload);
+    if stored_crc != actual {
+        return Err(format!(
+            "batch at offset {offset} fails CRC: stored {stored_crc:08x}, computed {actual:08x}"
+        ));
+    }
+    Ok(Batch {
+        offset,
+        n_records,
+        payload,
+    })
+}
+
+/// What a forward scan of a segment's bytes found.
+#[derive(Debug)]
+pub struct ScanOutcome<'a> {
+    /// Segment id from the header.
+    pub segment_id: u32,
+    /// Every intact batch, in file order.
+    pub batches: Vec<Batch<'a>>,
+    /// Bytes from the start of the file through the last intact batch —
+    /// the length recovery truncates the file to.
+    pub valid_len: u64,
+    /// Why the bytes beyond `valid_len` were rejected (`None` when the
+    /// file ends cleanly on a batch boundary).
+    pub torn: Option<String>,
+}
+
+/// Scans a segment's bytes: validates the header, walks batch frames, and
+/// stops at the first torn or corrupt one.
+///
+/// A bad *header* is an error (the file is not a segment); a bad *tail*
+/// is data loss bounded to the final writes and is reported in
+/// [`ScanOutcome::torn`] for the caller to truncate away.
+pub fn scan(bytes: &[u8]) -> Result<ScanOutcome<'_>, String> {
+    if bytes.len() < HEADER_LEN {
+        return Err(format!(
+            "segment header truncated: {} bytes, need {HEADER_LEN}",
+            bytes.len()
+        ));
+    }
+    if bytes[..8] != MAGIC {
+        return Err("bad segment magic".to_string());
+    }
+    let segment_id = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
+    let version = u16::from_le_bytes([bytes[12], bytes[13]]);
+    if version != VERSION {
+        return Err(format!("unsupported segment version {version}"));
+    }
+
+    let mut batches = Vec::new();
+    let mut at = HEADER_LEN;
+    let mut torn = None;
+    while at < bytes.len() {
+        let Some(rest) = bytes.get(at + 8..) else {
+            torn = Some(format!("batch header truncated at offset {at}"));
+            break;
+        };
+        let n_records =
+            u32::from_le_bytes([bytes[at], bytes[at + 1], bytes[at + 2], bytes[at + 3]]);
+        let payload_len =
+            u32::from_le_bytes([bytes[at + 4], bytes[at + 5], bytes[at + 6], bytes[at + 7]])
+                as usize;
+        if rest.len() < payload_len + 4 {
+            torn = Some(format!(
+                "batch at offset {at} truncated: payload {payload_len}+4 bytes promised, {} on disk",
+                rest.len()
+            ));
+            break;
+        }
+        let payload = &rest[..payload_len];
+        let stored_crc = u32::from_le_bytes([
+            rest[payload_len],
+            rest[payload_len + 1],
+            rest[payload_len + 2],
+            rest[payload_len + 3],
+        ]);
+        let actual = crc32(payload);
+        if stored_crc != actual {
+            torn = Some(format!(
+                "batch at offset {at} fails CRC: stored {stored_crc:08x}, computed {actual:08x}"
+            ));
+            break;
+        }
+        batches.push(Batch {
+            offset: at as u64,
+            n_records,
+            payload,
+        });
+        at += BATCH_OVERHEAD + payload_len;
+    }
+    let valid_len = batches.last().map_or(HEADER_LEN as u64, |b| {
+        b.offset + (BATCH_OVERHEAD + b.payload.len()) as u64
+    });
+    Ok(ScanOutcome {
+        segment_id,
+        batches,
+        valid_len,
+        torn,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{RecordPayload, RunId};
+    use dasr_core::obs::{EventKind, RunEvent};
+
+    fn event(interval: u64) -> StoredRecord {
+        StoredRecord {
+            run: RunId(0),
+            payload: RecordPayload::Event(RunEvent {
+                tenant: Some(interval),
+                interval,
+                kind: EventKind::ResizeIssued {
+                    from_rung: 1,
+                    to_rung: 2,
+                },
+            }),
+        }
+    }
+
+    fn segment_with(batches: &[&[StoredRecord]]) -> Vec<u8> {
+        let mut bytes = header_bytes(7).to_vec();
+        for recs in batches {
+            let mut payload = Vec::new();
+            for r in *recs {
+                r.encode_into(&mut payload);
+            }
+            append_batch(&mut bytes, recs.len() as u32, &payload);
+        }
+        bytes
+    }
+
+    #[test]
+    fn clean_segment_scans_fully() {
+        let a = [event(1), event(2)];
+        let b = [event(3)];
+        let bytes = segment_with(&[&a, &b]);
+        let out = scan(&bytes).expect("scans");
+        assert_eq!(out.segment_id, 7);
+        assert_eq!(out.batches.len(), 2);
+        assert!(out.torn.is_none());
+        assert_eq!(out.valid_len, bytes.len() as u64);
+        assert_eq!(out.batches[0].records().unwrap(), a);
+        assert_eq!(out.batches[1].records().unwrap(), b);
+    }
+
+    #[test]
+    fn empty_segment_is_just_a_header() {
+        let bytes = header_bytes(0).to_vec();
+        let out = scan(&bytes).expect("scans");
+        assert!(out.batches.is_empty());
+        assert!(out.torn.is_none());
+        assert_eq!(out.valid_len, HEADER_LEN as u64);
+    }
+
+    #[test]
+    fn torn_tail_keeps_intact_prefix() {
+        let a = [event(1), event(2)];
+        let b = [event(3)];
+        let bytes = segment_with(&[&a, &b]);
+        let first_end = scan(&bytes).unwrap().batches[1].offset as usize;
+        // Truncate anywhere inside the second batch: first batch survives.
+        for cut in [first_end + 1, first_end + 5, bytes.len() - 1] {
+            let out = scan(&bytes[..cut]).expect("header intact");
+            assert_eq!(out.batches.len(), 1, "cut = {cut}");
+            assert!(out.torn.is_some());
+            assert_eq!(out.valid_len as usize, first_end);
+        }
+    }
+
+    #[test]
+    fn batch_at_reads_exactly_one_batch() {
+        let a = [event(1), event(2)];
+        let b = [event(3)];
+        let bytes = segment_with(&[&a, &b]);
+        let scanned = scan(&bytes).unwrap();
+        for want in &scanned.batches {
+            let got = batch_at(&bytes, want.offset).expect("reads");
+            assert_eq!(&got, want);
+        }
+        assert!(batch_at(&bytes, 0).is_err(), "offset inside the header");
+        assert!(batch_at(&bytes, bytes.len() as u64).is_err());
+        let mut corrupt = bytes.clone();
+        let second = scanned.batches[1].offset as usize;
+        corrupt[second + 10] ^= 0x01;
+        assert!(batch_at(&corrupt, second as u64)
+            .expect_err("corrupt")
+            .contains("CRC"));
+    }
+
+    #[test]
+    fn corrupt_payload_fails_crc() {
+        let a = [event(1), event(2)];
+        let mut bytes = segment_with(&[&a]);
+        let flip = HEADER_LEN + 8 + 3; // inside the payload
+        bytes[flip] ^= 0x40;
+        let out = scan(&bytes).expect("header intact");
+        assert!(out.batches.is_empty());
+        assert!(out.torn.expect("torn").contains("CRC"));
+    }
+
+    #[test]
+    fn bad_header_is_an_error() {
+        assert!(scan(b"short").is_err());
+        let mut bytes = header_bytes(1).to_vec();
+        bytes[0] = b'X';
+        assert!(scan(&bytes).is_err());
+        let mut bytes = header_bytes(1).to_vec();
+        bytes[12] = 9; // version
+        assert!(scan(&bytes).is_err());
+    }
+}

@@ -1,0 +1,137 @@
+//! [`StoreSource`]: feed an archived run back through the closed loop.
+//!
+//! The read-side twin of [`StoreSink`](crate::StoreSink): loads a
+//! committed run's sample records out of the store and presents them as a
+//! [`TelemetrySource`] by delegating to
+//! [`ReplaySource`] — so everything that works
+//! on a fresh recording ([`replay`](dasr_core::replay::replay), policy
+//! A/B, [`ReplayDiff`](dasr_core::ReplayDiff)) works identically on an
+//! archived one. Because the store holds floats bit-exactly, the replayed
+//! loop observes precisely the samples the live loop saw: the
+//! `store_replay_roundtrip` test pins live event JSONL against
+//! store → replay event JSONL byte for byte.
+
+use crate::record::RunId;
+use crate::store::{Store, StoreError};
+use dasr_core::replay::{RecordingHeader, ReplaySource, RunRecording};
+use dasr_telemetry::{LatencyGoal, ProbeStatus, TelemetrySample, TelemetrySource};
+
+/// A [`TelemetrySource`] over a run archived in a [`Store`].
+pub struct StoreSource {
+    inner: ReplaySource,
+}
+
+impl StoreSource {
+    /// Loads `run` (optionally narrowed to one tenant of a fleet run)
+    /// from the store. The run must be committed.
+    pub fn open(store: &Store, run: RunId, tenant: Option<u64>) -> Result<Self, StoreError> {
+        Ok(Self::from_recording(store.load_recording(run, tenant)?))
+    }
+
+    /// Wraps an already-loaded recording.
+    pub fn from_recording(recording: RunRecording) -> Self {
+        Self {
+            inner: ReplaySource::new(recording),
+        }
+    }
+
+    /// The run's metadata, as recorded in the manifest.
+    pub fn header(&self) -> &RecordingHeader {
+        self.inner.header()
+    }
+
+    /// The underlying replay source (for
+    /// [`replay_with`](dasr_core::replay::replay_with)-style plumbing).
+    pub fn into_replay(self) -> ReplaySource {
+        self.inner
+    }
+}
+
+impl TelemetrySource for StoreSource {
+    // dasr-lint: no-alloc
+    fn intervals(&self) -> usize {
+        self.inner.intervals()
+    }
+
+    // dasr-lint: no-alloc
+    fn workload_name(&self) -> &str {
+        self.inner.workload_name()
+    }
+
+    // dasr-lint: no-alloc
+    fn trace_name(&self) -> &str {
+        self.inner.trace_name()
+    }
+
+    fn observe_interval(&mut self, interval: u64, goal: LatencyGoal) -> TelemetrySample {
+        self.inner.observe_interval(interval, goal)
+    }
+
+    // dasr-lint: no-alloc
+    fn interval_latencies_ms(&self) -> &[f64] {
+        self.inner.interval_latencies_ms()
+    }
+
+    // dasr-lint: no-alloc
+    fn probe(&self) -> ProbeStatus {
+        self.inner.probe()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::RecordPayload;
+    use crate::store::RunMeta;
+    use dasr_core::replay::SampleRecord;
+    use dasr_telemetry::TelemetrySample;
+
+    fn sample(interval: u64) -> SampleRecord {
+        SampleRecord {
+            tenant: Some(0),
+            sample: TelemetrySample {
+                interval,
+                util_pct: [50.0, 10.0, 5.0, 1.0],
+                wait_ms: [0.5; 7],
+                latency_ms: Some(12.0 + interval as f64),
+                avg_latency_ms: Some(11.0),
+                completed: 100,
+                arrivals: 100,
+                rejected: 0,
+                mem_used_mb: 512.0,
+                mem_capacity_mb: 1024.0,
+                disk_reads_per_sec: 3.5,
+            },
+            probe: ProbeStatus::Inactive,
+        }
+    }
+
+    #[test]
+    fn archived_runs_come_back_as_telemetry_sources() {
+        let dir = std::env::temp_dir().join(format!("dasr-source-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut store = Store::open(&dir).expect("open");
+        let run = store.begin_run(RunMeta::new("auto", "cpuio", "flat", 42));
+        for i in 0..3 {
+            store
+                .append(run, RecordPayload::Sample(sample(i)))
+                .expect("append");
+        }
+        store.end_run(run).expect("commit");
+
+        let mut src = StoreSource::open(&store, run, Some(0)).expect("loads");
+        assert_eq!(src.intervals(), 3);
+        assert_eq!(src.header().policy, "auto");
+        assert_eq!(src.header().seed, 42);
+        let goal = LatencyGoal::P95(f64::INFINITY);
+        let s1 = src.observe_interval(1, goal);
+        assert_eq!(s1.interval, 1);
+        assert_eq!(s1.latency_ms, Some(13.0));
+        assert_eq!(src.probe(), ProbeStatus::Inactive);
+
+        // Uncommitted or absent runs refuse to load.
+        assert!(StoreSource::open(&store, RunId(7), None).is_err());
+        store.close().expect("close");
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+}

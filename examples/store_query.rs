@@ -1,0 +1,170 @@
+//! Record a 64-tenant × 1-day fleet run into a durable `dasr-store`,
+//! then answer an operator question *from the store* — "which tenants
+//! fired budget-throttle rules between 09:00 and 10:00?" — and finally
+//! load an archived recording back out and replay it exactly.
+//!
+//! ```text
+//! cargo run --release --example store_query
+//! ```
+//!
+//! The run streams straight to disk through a [`StoreSink`] while the
+//! fleet executes (summary mode: no per-tenant reports are buffered), so
+//! the store is the *only* copy of the event stream — exactly the
+//! operating mode a long fleet sweep would use.
+
+use dasr::core::obs::EventKind;
+use dasr::core::{
+    record_run, replay, tenant_seed, AutoPolicy, FleetRunner, ReplayDiff, RunConfig, TenantKnobs,
+    TenantSpec,
+};
+use dasr::store::{RecordPayload, RunMeta, Store, StoreSource, WriterConfig};
+use dasr::telemetry::{LatencyGoal, TelemetrySource as _};
+use dasr::workloads::{CpuIoConfig, CpuIoWorkload, Trace};
+use std::collections::BTreeSet;
+
+const TENANTS: usize = 64;
+const MINUTES: usize = 1440; // one day of 1-minute billing intervals
+const FLEET_SEED: u64 = 0xDA7A;
+
+/// Every third tenant runs on a tight budget — those are the ones the
+/// 09:00–10:00 demand peak pushes into budget throttling.
+fn tenant_cfg(i: usize) -> RunConfig {
+    // The aggressive budget strategy allows bursts of `B − (n−1)·Cmin`
+    // above the cheapest rung (cost 7): 7.05/interval leaves a burst
+    // allowance of ~72 cost units for the whole day, which the 09:00
+    // demand peak exhausts — that is what makes these tenants throttle.
+    let budget = if i.is_multiple_of(3) {
+        7.05 * MINUTES as f64
+    } else {
+        60.0 * MINUTES as f64
+    };
+    RunConfig {
+        knobs: TenantKnobs::none()
+            .with_budget(budget)
+            .with_latency_goal(LatencyGoal::P95(150.0 + (i % 4) as f64 * 100.0)),
+        seed: tenant_seed(FLEET_SEED, i as u64),
+        prewarm_pages: 1_000,
+        ..RunConfig::default()
+    }
+}
+
+/// A diurnal trace: quiet overnight, sharp peak through the 09:00 hour.
+fn tenant_trace(i: usize) -> Trace {
+    let demand: Vec<f64> = (0..MINUTES)
+        .map(|m| {
+            let base = 4.0 + ((i + m) % 5) as f64 * 2.0;
+            let peak = if (540..600).contains(&m) { 150.0 } else { 0.0 };
+            base + peak
+        })
+        .collect();
+    Trace::new("diurnal-day", demand)
+}
+
+fn fleet() -> Vec<TenantSpec<CpuIoWorkload>> {
+    (0..TENANTS)
+        .map(|i| TenantSpec {
+            cfg: tenant_cfg(i),
+            trace: tenant_trace(i),
+            workload: CpuIoWorkload::new(CpuIoConfig::small()),
+        })
+        .collect()
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join("dasr_store_query");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // -- 1. Record: stream the whole fleet day into the store --
+    println!(
+        "Recording {TENANTS} tenants x {MINUTES} min into {}…",
+        dir.display()
+    );
+    let mut store = Store::open_with(&dir, WriterConfig::default()).expect("open store");
+    let run = store.begin_run(
+        RunMeta::new("auto", "cpuio", "diurnal-day", FLEET_SEED)
+            .fleet(TENANTS as u64, MINUTES as u64),
+    );
+    let mut sink = store.event_sink(run).expect("sink");
+    let tenants = fleet();
+    let summary = FleetRunner::default().run_fleet_summary(
+        &tenants,
+        |_, t| Box::new(AutoPolicy::with_knobs(t.cfg.knobs)),
+        &mut sink,
+    );
+    assert!(sink.error().is_none(), "sink error: {:?}", sink.error());
+    let manifest = store.end_run(run).expect("commit");
+    println!("{}", summary.summary());
+    println!("committed {run}: {} events\n", manifest.events);
+
+    // -- 2. Query: who throttled on budget between 09:00 and 10:00? --
+    // 1-minute intervals from midnight: 09:00–10:00 is [540, 600).
+    let window = 540..600;
+    let mut throttled = BTreeSet::new();
+    for rec in store.scan_range(window.clone()).expect("scan") {
+        if rec.run != run {
+            continue;
+        }
+        if let RecordPayload::Event(ev) = &rec.payload {
+            if matches!(ev.kind, EventKind::BudgetThrottle { .. }) {
+                throttled.insert(ev.tenant.expect("fleet events are stamped"));
+            }
+        }
+    }
+    println!("-- Budget throttles, 09:00–10:00 --");
+    println!(
+        "{} of {TENANTS} tenants throttled: {:?}",
+        throttled.len(),
+        throttled
+    );
+    assert!(
+        throttled.iter().all(|t| t.is_multiple_of(3)),
+        "only the tight-budget tenants should throttle"
+    );
+    let window_fires = store.fire_counts(Some(run), window).expect("counts");
+    println!("rule fires in the window: {window_fires}\n");
+
+    // -- 3. Store economics: what did a tenant-day cost on disk? --
+    let stats = store.stats().expect("stats");
+    println!("-- Store stats --");
+    println!(
+        "{} segments, {} batches, {} records, {:.1} KiB on disk",
+        stats.segments,
+        stats.batches,
+        stats.records,
+        stats.bytes as f64 / 1024.0
+    );
+    println!(
+        "≈ {:.2} KiB per tenant-day of events\n",
+        stats.bytes as f64 / 1024.0 / TENANTS as f64
+    );
+
+    // -- 4. Archive a full recording and replay it from the store --
+    let t0 = &tenants[0];
+    let mut policy = AutoPolicy::with_knobs(t0.cfg.knobs);
+    let (live, mut recording) = record_run(&t0.cfg, &t0.trace, t0.workload.clone(), &mut policy);
+    recording.stamp_tenant(0);
+    let archive = store.begin_run(
+        RunMeta::new("auto", "cpuio", "diurnal-day", t0.cfg.seed).fleet(1, MINUTES as u64),
+    );
+    store
+        .append_recording(archive, &recording)
+        .expect("archive");
+    store.end_run(archive).expect("commit");
+
+    let src = StoreSource::open(&store, archive, Some(0)).expect("load archived run");
+    println!("-- Replay from the store --");
+    println!(
+        "archived {archive}: policy={} seed={} intervals={}",
+        src.header().policy,
+        src.header().seed,
+        src.intervals()
+    );
+    let loaded = store.load_recording(archive, Some(0)).expect("recording");
+    let mut policy = AutoPolicy::with_knobs(t0.cfg.knobs);
+    let replayed = replay(&t0.cfg, loaded, &mut policy);
+    let diff = ReplayDiff::between(&live, &replayed);
+    assert!(diff.identical(), "store replay must be exact: {diff}");
+    println!("replay of the archived run reproduces the live decision trace exactly");
+
+    store.close().expect("close");
+}

@@ -16,7 +16,11 @@
 //! - [`core`] — the paper's contribution: demand estimator, budget manager
 //!   and the closed-loop auto-scaler (generic over the seam, with
 //!   simulator and recorded-run-replay backends), plus all baseline
-//!   policies.
+//!   policies;
+//! - [`store`] — the durable run store: an append-only segmented binary
+//!   log of run events and telemetry samples with a sparse time index, a
+//!   run catalog and a query API; archived runs replay byte-identically
+//!   through the `core` replay machinery.
 
 #![forbid(unsafe_code)]
 #![deny(clippy::print_stdout, clippy::print_stderr)]
@@ -26,5 +30,6 @@ pub use dasr_core as core;
 pub use dasr_engine as engine;
 pub use dasr_fleet as fleet;
 pub use dasr_stats as stats;
+pub use dasr_store as store;
 pub use dasr_telemetry as telemetry;
 pub use dasr_workloads as workloads;
