@@ -8,21 +8,42 @@
 //! = 1000 event appends + one explicit flush.
 //!
 //! Read-side benches cover the two query shapes the paper's analyses
-//! use: a time-windowed scan (sparse index pruning) and a whole-run
-//! rule-fire aggregation.
+//! use — a time-windowed scan (sparse index pruning) and a whole-run
+//! rule-fire aggregation — plus the streaming cursor over the same
+//! window (`store_scan_stream_100k`, no result materialization). All
+//! run against the default (v2) format; CI gates the collected scan at
+//! ≥2× and `store_fire_counts_100k` at ≥5× the v1-era baselines
+//! recorded in `BENCH_store.json`.
+//!
+//! `store_compress_bytes_per_tenant_day` is a size, not a latency: a
+//! small fleet-day is streamed through a `StoreSink` exactly like
+//! `examples/store_query.rs` and the on-disk bytes are divided by the
+//! tenant count. The value lands in the JSON's `ns_per_iter` field
+//! (the shim has only one value slot); the bench name carries the
+//! unit. CI gates it at ≤ 1.7 KiB/tenant-day.
 //!
 //! With `DASR_BENCH_JSON` set, the vendored criterion shim appends one
 //! `{"bench": …, "ns_per_iter": …}` line per benchmark — CI publishes
-//! them as `BENCH_store.json` and gates the append cost.
+//! them as `BENCH_store.json` and gates the rows above.
 
 use criterion::{black_box, Criterion};
 use dasr_core::obs::{EventKind, RunEvent};
-use dasr_store::{RecordPayload, RunMeta, Store, StoredRecord, WriterConfig};
+use dasr_core::policy::AutoPolicy;
+use dasr_core::{tenant_seed, FleetRunner, RunConfig, TenantKnobs, TenantSpec};
+use dasr_store::codec::BatchEncoder;
+use dasr_store::{Query, RecordPayload, RunMeta, Store, StoredRecord, WriterConfig};
+use dasr_telemetry::LatencyGoal;
+use dasr_workloads::{CpuIoConfig, CpuIoWorkload, Trace};
+use std::io::Write as _;
 
 /// Records per append iteration.
 const APPENDS: u64 = 1_000;
 /// Records in the pre-populated query store.
 const QUERY_RECORDS: u64 = 100_000;
+/// Fleet size for the on-disk compression measurement.
+const COMPRESS_TENANTS: usize = 8;
+/// One day of 1-minute billing intervals.
+const MINUTES: usize = 1_440;
 
 fn event(interval: u64) -> RecordPayload {
     RecordPayload::Event(RunEvent {
@@ -69,19 +90,23 @@ fn bench_store(c: &mut Criterion) {
     store.close().expect("close");
     let _ = std::fs::remove_dir_all(&dir);
 
-    // Encode alone, for the share framing takes of the append cost.
+    // Encode alone, for the share framing takes of the append cost —
+    // the v2 batch codec (delta heads, varints, float dictionary), one
+    // batch per iteration, matching what the writer does per flush.
     let recs: Vec<StoredRecord> = (0..APPENDS)
         .map(|i| StoredRecord {
             run,
             payload: event(i),
         })
         .collect();
+    let mut enc = BatchEncoder::new();
     let mut buf = Vec::with_capacity(64 * APPENDS as usize);
     c.bench_function("store_encode_1k", |b| {
         b.iter(|| {
             buf.clear();
+            enc.reset();
             for r in &recs {
-                r.encode_into(&mut buf);
+                enc.encode_into(r, &mut buf);
             }
             black_box(buf.len())
         })
@@ -105,6 +130,25 @@ fn bench_store(c: &mut Criterion) {
         })
     });
 
+    // The same window, streamed: no result Vec, records visited one at
+    // a time out of the cursor's reusable batch buffer.
+    c.bench_function("store_scan_stream_100k", |b| {
+        b.iter(|| {
+            let mut n = 0u64;
+            let cur = store
+                .cursor(Query {
+                    intervals: Some(540..600),
+                    ..Query::default()
+                })
+                .expect("cursor");
+            for rec in cur {
+                rec.expect("stream");
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+
     c.bench_function("store_fire_counts_100k", |b| {
         b.iter(|| {
             let counts = store.fire_counts(Some(run), 0..u64::MAX).expect("counts");
@@ -125,6 +169,91 @@ fn bench_store(c: &mut Criterion) {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The `examples/store_query.rs` fleet, shrunk to [`COMPRESS_TENANTS`]:
+/// every third tenant on a tight budget, diurnal demand with a 09:00
+/// peak, notable events streamed through a `StoreSink` in summary mode.
+/// The interesting number is bytes on disk per tenant-day.
+fn compress_fleet() -> Vec<TenantSpec<CpuIoWorkload>> {
+    (0..COMPRESS_TENANTS)
+        .map(|i| {
+            let budget = if i.is_multiple_of(3) {
+                7.05 * MINUTES as f64
+            } else {
+                60.0 * MINUTES as f64
+            };
+            let demand: Vec<f64> = (0..MINUTES)
+                .map(|m| {
+                    let base = 4.0 + ((i + m) % 5) as f64 * 2.0;
+                    let peak = if (540..600).contains(&m) { 150.0 } else { 0.0 };
+                    base + peak
+                })
+                .collect();
+            TenantSpec {
+                cfg: RunConfig {
+                    knobs: TenantKnobs::none()
+                        .with_budget(budget)
+                        .with_latency_goal(LatencyGoal::P95(150.0 + (i % 4) as f64 * 100.0)),
+                    seed: tenant_seed(0xDA7A, i as u64),
+                    prewarm_pages: 1_000,
+                    ..RunConfig::default()
+                },
+                trace: Trace::new("diurnal-day", demand),
+                workload: CpuIoWorkload::new(CpuIoConfig::small()),
+            }
+        })
+        .collect()
+}
+
+/// Streams one fleet-day into a fresh store and returns bytes on disk
+/// per tenant-day (including batch framing and index sidecars' share of
+/// nothing — sidecars are separate files; this counts segment bytes,
+/// the archival cost).
+fn measure_compression() -> f64 {
+    let dir = bench_dir("compress");
+    let mut store = Store::open_with(&dir, WriterConfig::default()).expect("open");
+    let run = store.begin_run(
+        RunMeta::new("auto", "cpuio", "diurnal-day", 0xDA7A)
+            .fleet(COMPRESS_TENANTS as u64, MINUTES as u64),
+    );
+    let mut sink = store.event_sink(run).expect("sink");
+    let tenants = compress_fleet();
+    FleetRunner::default().run_fleet_summary(
+        &tenants,
+        |_, t| Box::new(AutoPolicy::with_knobs(t.cfg.knobs)),
+        &mut sink,
+    );
+    assert!(sink.error().is_none(), "sink error: {:?}", sink.error());
+    store.end_run(run).expect("commit");
+    let stats = store.stats().expect("stats");
+    store.close().expect("close");
+    let _ = std::fs::remove_dir_all(&dir);
+    stats.bytes as f64 / COMPRESS_TENANTS as f64
+}
+
+/// Appends extra non-latency rows (sizes) to `DASR_BENCH_JSON` in the
+/// same line format the criterion shim uses.
+fn emit_extra_json(lines: &[(&str, f64)]) {
+    let Ok(path) = std::env::var("DASR_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let Ok(mut file) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    else {
+        return;
+    };
+    for (bench, value) in lines {
+        let _ = writeln!(
+            file,
+            "{{\"bench\":\"{bench}\",\"ns_per_iter\":{value:.1},\"iters\":1}}"
+        );
+    }
+}
+
 fn main() {
     let mut c = Criterion::default();
     bench_store(&mut c);
@@ -140,4 +269,12 @@ fn main() {
         );
     }
     c.emit_json();
+
+    let bytes_per_tenant_day = measure_compression();
+    println!(
+        "on-disk cost: {:.2} KiB per tenant-day of notable events \
+         ({COMPRESS_TENANTS} tenants x {MINUTES} min; gate <= 1.7 KiB)",
+        bytes_per_tenant_day / 1024.0
+    );
+    emit_extra_json(&[("store_compress_bytes_per_tenant_day", bytes_per_tenant_day)]);
 }

@@ -74,7 +74,7 @@ impl BalloonPhase {
 }
 
 /// What happened (the payload of a [`RunEvent`]).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum EventKind {
     /// A billing interval opened (§2.2). Emitted only at
     /// [`crate::obs::EventVerbosity::Verbose`].
@@ -153,7 +153,7 @@ impl EventKind {
 /// let line = ev.to_json_line();
 /// assert_eq!(RunEvent::from_json_line(&line).unwrap(), ev);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RunEvent {
     /// Tenant index within a fleet run (`None` for single-tenant runs
     /// until the fleet aggregation stamps it).

@@ -77,7 +77,7 @@ impl VecSink {
 
 impl EventSink for VecSink {
     fn emit(&mut self, event: &RunEvent) {
-        self.events.push(event.clone());
+        self.events.push(*event);
     }
 }
 

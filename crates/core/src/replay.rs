@@ -48,7 +48,7 @@ use dasr_workloads::{Trace, Workload};
 
 /// One recorded interval: the sample the loop observed plus the probe
 /// state it read — everything interval-shaped that crosses the seam.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SampleRecord {
     /// Tenant index within a recorded fleet, if stamped.
     pub tenant: Option<u64>,
@@ -290,7 +290,7 @@ impl<S: TelemetrySource> TelemetrySource for RecordingSource<S> {
         let sample = self.inner.observe_interval(interval, goal);
         self.records.push(SampleRecord {
             tenant: None,
-            sample: sample.clone(),
+            sample,
             probe: self.inner.probe(),
         });
         sample
@@ -372,7 +372,7 @@ impl TelemetrySource for ReplaySource {
 
     fn observe_interval(&mut self, interval: u64, _goal: LatencyGoal) -> TelemetrySample {
         self.cursor = interval as usize;
-        self.records[self.cursor].sample.clone()
+        self.records[self.cursor].sample
     }
 
     // dasr-lint: no-alloc
@@ -579,7 +579,7 @@ mod tests {
     fn probe_states_survive_the_round_trip() {
         let rec = SampleRecord {
             tenant: None,
-            sample: recording().1.records[0].sample.clone(),
+            sample: recording().1.records[0].sample,
             probe: ProbeStatus::Active {
                 reached_target: true,
             },

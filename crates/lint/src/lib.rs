@@ -328,6 +328,9 @@ mod tests {
         assert!(classify("crates/stats/src/quantile.rs").float_exempt);
         assert!(classify("crates/store/src/record.rs").deterministic);
         assert!(!classify("crates/store/src/record.rs").float_exempt);
+        // The read fast path decodes and prunes deterministically too.
+        assert!(classify("crates/store/src/cursor.rs").deterministic);
+        assert!(classify("crates/store/src/codec.rs").deterministic);
         assert!(!classify("crates/telemetry/src/lib.rs").deterministic);
         assert!(!classify("src/lib.rs").deterministic);
     }

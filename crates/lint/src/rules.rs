@@ -154,6 +154,9 @@ pub const R1_PROTECTED_TYPES: &[&str] = &[
     "RecordPayload",
     "RunId",
     "IndexEntry",
+    "TenantFilter",
+    "KindSet",
+    "FireTally",
     "FireCounts",
     "StoreStats",
 ];

@@ -14,25 +14,169 @@
 //! segment (a crash can tear the sidecar just like the log — rebuilding is
 //! always safe because the segment is the single source of truth).
 //!
+//! Beyond the bounding boxes, each entry carries two *content filters*
+//! so the common queries can skip batches without touching segment
+//! bytes at all:
+//!
+//! - [`TenantFilter`] — a 64-bit hashed tenant-presence filter (one bit
+//!   per tenant via SplitMix64). `tenant_events` skips any batch whose
+//!   filter lacks the queried tenant's bit; false positives only cost a
+//!   decode, never correctness.
+//! - [`KindSet`] — a per-etag event-kind bitmap plus a has-samples bit.
+//!   `fire_counts` skips batches holding nothing it counts; `run_samples`
+//!   skips all-event batches.
+//! - [`FireTally`] — per-batch rule-fire counters, one slot per counted
+//!   event shape. A batch the query's window and run filter admit *in
+//!   full* is answered by summing its tally — `fire_counts` over a whole
+//!   run never reads a single segment byte.
+//!
 //! Byte layout (little-endian; `docs/STORE_FORMAT.md` §4):
 //!
 //! ```text
-//! index  := magic "DASRIDX\x01" | segment_id u32 | n_entries u32
-//!           | seg_bytes u64 | entry* | crc32(entries) u32
+//! index  := magic "DASRIDX\x02" | segment_id u32 | n_entries u32
+//!           | seg_bytes u64 | seg_version u16 | reserved u16×3
+//!           | entry* | crc32(entries) u32
 //! entry  := offset u64 | n_records u32 | min_interval u64 | max_interval u64
-//!           | min_run u32 | max_run u32                        (36 bytes)
+//!           | min_run u32 | max_run u32 | tenant_filter u64
+//!           | kinds u16 | fires u32×9                          (82 bytes)
 //! ```
+//!
+//! (The PR-8 sidecar magic was `DASRIDX\x01` with 36-byte entries; those
+//! sidecars simply fail the magic check and are rebuilt from their
+//! segment — the sidecar is a cache, so the upgrade is self-healing.)
 
 use crate::crc::crc32;
-use crate::record::StoredRecord;
-use crate::segment;
+use crate::record::{etag, etag_of, RecordPayload, StoredRecord};
+use crate::segment::{self, FormatVersion};
+use dasr_core::obs::{BalloonPhase, DenyReason, EventKind};
 
 /// First eight bytes of every index sidecar.
-pub const MAGIC: [u8; 8] = *b"DASRIDX\x01";
+pub const MAGIC: [u8; 8] = *b"DASRIDX\x02";
 /// Index header length in bytes.
-pub const HEADER_LEN: usize = 24;
+pub const HEADER_LEN: usize = 32;
 /// Encoded size of one [`IndexEntry`].
-pub const ENTRY_LEN: usize = 36;
+pub const ENTRY_LEN: usize = 82;
+
+/// SplitMix64 finalizer — the fixed, seedless bit mixer behind
+/// [`TenantFilter`]. Deterministic by construction: the same tenant id
+/// always hashes to the same bit on every platform.
+// dasr-lint: no-alloc
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A 64-bit hashed tenant-presence filter: bit `splitmix64(t) % 64` is
+/// set for every tenant `t` stamped on a record in the batch. A clear
+/// bit proves absence; a set bit only permits presence (one-in-64 false
+/// positives per absent tenant are the price of eight bytes per batch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TenantFilter(pub u64);
+
+impl TenantFilter {
+    /// Adds `tenant`'s bit (un-stamped records leave the filter alone —
+    /// tenant queries never match them).
+    // dasr-lint: no-alloc
+    pub fn stamp(&mut self, tenant: Option<u64>) {
+        if let Some(t) = tenant {
+            self.0 |= 1u64 << (splitmix64(t) & 63);
+        }
+    }
+
+    /// False when the batch provably holds no record of `tenant`.
+    // dasr-lint: no-alloc
+    pub fn may_contain(self, tenant: u64) -> bool {
+        self.0 & (1u64 << (splitmix64(tenant) & 63)) != 0
+    }
+}
+
+/// A bitmap of what record shapes a batch holds: one bit per event tag
+/// (`1 << etag`, tags 0..=6) plus [`Self::SAMPLES`] for telemetry
+/// samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KindSet(pub u16);
+
+impl KindSet {
+    /// Bit set when the batch holds any [`RecordPayload::Sample`].
+    pub const SAMPLES: u16 = 1 << 15;
+    /// Mask covering every event-tag bit.
+    pub const ALL_EVENTS: u16 = (1 << etag::COUNT) - 1;
+
+    /// Adds `rec`'s shape to the set.
+    // dasr-lint: no-alloc
+    pub fn stamp(&mut self, rec: &StoredRecord) {
+        match &rec.payload {
+            RecordPayload::Event(ev) => self.0 |= 1 << etag_of(&ev.kind),
+            RecordPayload::Sample(_) => self.0 |= Self::SAMPLES,
+        }
+    }
+
+    /// True when the batch may hold an event whose tag bit is in `mask`.
+    // dasr-lint: no-alloc
+    pub fn intersects(self, mask: u16) -> bool {
+        self.0 & mask != 0
+    }
+
+    /// True when the batch may hold telemetry samples.
+    // dasr-lint: no-alloc
+    pub fn has_samples(self) -> bool {
+        self.0 & Self::SAMPLES != 0
+    }
+}
+
+/// Per-batch rule-fire counters, one `u32` slot per event shape that
+/// `FireCounts::record` counts, in the same order `FireCounts` lists
+/// its fields (the slot order is part of the sidecar wire format):
+///
+/// ```text
+/// 0 interval_starts   1 resizes_issued    2 denied_cooldown
+/// 3 denied_budget     4 budget_throttles  5 balloon_started
+/// 6 balloon_aborted   7 balloon_confirmed 8 slo_violations
+/// ```
+///
+/// `IntervalEnd` events and samples tally nothing, mirroring what the
+/// decode path would count. A `u32` per slot cannot overflow: a batch
+/// holds at most `n_records` (itself a `u32`) events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FireTally(pub [u32; Self::SLOTS]);
+
+impl FireTally {
+    /// Number of counter slots.
+    pub const SLOTS: usize = 9;
+
+    /// Tallies one event (exactly the events `FireCounts::record` counts).
+    // dasr-lint: no-alloc
+    pub fn stamp(&mut self, kind: &EventKind) {
+        let slot = match kind {
+            EventKind::IntervalStart => 0,
+            EventKind::IntervalEnd { .. } => return,
+            EventKind::ResizeIssued { .. } => 1,
+            EventKind::ResizeDenied {
+                reason: DenyReason::Cooldown,
+            } => 2,
+            EventKind::ResizeDenied {
+                reason: DenyReason::Budget,
+            } => 3,
+            EventKind::BudgetThrottle { .. } => 4,
+            EventKind::BalloonTrigger {
+                phase: BalloonPhase::Started,
+                ..
+            } => 5,
+            EventKind::BalloonTrigger {
+                phase: BalloonPhase::Aborted,
+                ..
+            } => 6,
+            EventKind::BalloonTrigger {
+                phase: BalloonPhase::Confirmed,
+                ..
+            } => 7,
+            EventKind::SloViolation { .. } => 8,
+        };
+        self.0[slot] += 1;
+    }
+}
 
 /// One batch's bounding box in the sparse index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,6 +193,13 @@ pub struct IndexEntry {
     pub min_run: u32,
     /// Largest run id of any record in the batch.
     pub max_run: u32,
+    /// Hashed presence filter over the batch's tenant stamps.
+    pub tenant_filter: TenantFilter,
+    /// Bitmap of the record shapes (event tags / samples) present.
+    pub kinds: KindSet,
+    /// Rule-fire counters over the batch's events — lets fully-covered
+    /// batches answer `fire_counts` without being read at all.
+    pub fires: FireTally,
 }
 
 impl IndexEntry {
@@ -71,10 +222,13 @@ impl IndexEntry {
             max_interval: 0,
             min_run: u32::MAX,
             max_run: 0,
+            tenant_filter: TenantFilter::default(),
+            kinds: KindSet::default(),
+            fires: FireTally::default(),
         }
     }
 
-    /// Widens the box to cover `rec`.
+    /// Widens the box (and content filters) to cover `rec`.
     // dasr-lint: no-alloc
     pub fn absorb(&mut self, rec: &StoredRecord) {
         let interval = rec.interval();
@@ -83,6 +237,11 @@ impl IndexEntry {
         self.max_interval = self.max_interval.max(interval);
         self.min_run = self.min_run.min(rec.run.0);
         self.max_run = self.max_run.max(rec.run.0);
+        self.tenant_filter.stamp(rec.tenant());
+        self.kinds.stamp(rec);
+        if let RecordPayload::Event(ev) = &rec.payload {
+            self.fires.stamp(&ev.kind);
+        }
     }
 
     /// True when the batch may hold intervals in `[start, end)`.
@@ -96,6 +255,12 @@ impl IndexEntry {
     pub fn may_contain_run(&self, run: u32) -> bool {
         self.n_records > 0 && self.min_run <= run && self.max_run >= run
     }
+
+    /// True when the batch may hold records of `tenant`.
+    // dasr-lint: no-alloc
+    pub fn may_contain_tenant(&self, tenant: u64) -> bool {
+        self.n_records > 0 && self.tenant_filter.may_contain(tenant)
+    }
 }
 
 /// The sparse index of one segment: an [`IndexEntry`] per batch, in file
@@ -104,6 +269,9 @@ impl IndexEntry {
 pub struct SegmentIndex {
     /// The segment this index describes.
     pub segment_id: u32,
+    /// The segment's record-payload format (mirrored from its header so
+    /// readers can plan a query without opening the segment file).
+    pub version: FormatVersion,
     /// Segment byte length the entries cover (staleness check: a sidecar
     /// whose `seg_bytes` differs from the recovered segment is rebuilt).
     pub seg_bytes: u64,
@@ -118,9 +286,10 @@ impl SegmentIndex {
     }
 
     /// An empty index for a fresh segment (header only).
-    pub fn fresh(segment_id: u32) -> Self {
+    pub fn fresh(segment_id: u32, version: FormatVersion) -> Self {
         Self {
             segment_id,
+            version,
             seg_bytes: segment::HEADER_LEN as u64,
             entries: Vec::new(),
         }
@@ -149,6 +318,8 @@ impl SegmentIndex {
         out.extend_from_slice(&self.segment_id.to_le_bytes());
         out.extend_from_slice(&(self.entries.len() as u32).to_le_bytes());
         out.extend_from_slice(&self.seg_bytes.to_le_bytes());
+        out.extend_from_slice(&self.version.wire().to_le_bytes());
+        out.extend_from_slice(&[0u8; 6]);
         for e in &self.entries {
             out.extend_from_slice(&e.offset.to_le_bytes());
             out.extend_from_slice(&e.n_records.to_le_bytes());
@@ -156,6 +327,11 @@ impl SegmentIndex {
             out.extend_from_slice(&e.max_interval.to_le_bytes());
             out.extend_from_slice(&e.min_run.to_le_bytes());
             out.extend_from_slice(&e.max_run.to_le_bytes());
+            out.extend_from_slice(&e.tenant_filter.0.to_le_bytes());
+            out.extend_from_slice(&e.kinds.0.to_le_bytes());
+            for slot in e.fires.0 {
+                out.extend_from_slice(&slot.to_le_bytes());
+            }
         }
         let crc = crc32(&out[HEADER_LEN..]);
         out.extend_from_slice(&crc.to_le_bytes());
@@ -176,6 +352,7 @@ impl SegmentIndex {
         let seg_bytes = u64::from_le_bytes([
             bytes[16], bytes[17], bytes[18], bytes[19], bytes[20], bytes[21], bytes[22], bytes[23],
         ]);
+        let version = FormatVersion::from_wire(u16::from_le_bytes([bytes[24], bytes[25]]))?;
         let body_len = n_entries * ENTRY_LEN;
         if bytes.len() != HEADER_LEN + body_len + 4 {
             return Err(format!(
@@ -208,6 +385,10 @@ impl SegmentIndex {
                 a.copy_from_slice(&chunk[at..at + 4]);
                 u32::from_le_bytes(a)
             };
+            let mut fires = FireTally::default();
+            for (slot, v) in fires.0.iter_mut().enumerate() {
+                *v = u32_at(46 + slot * 4);
+            }
             entries.push(IndexEntry {
                 offset: u64_at(0),
                 n_records: u32_at(8),
@@ -215,10 +396,14 @@ impl SegmentIndex {
                 max_interval: u64_at(20),
                 min_run: u32_at(28),
                 max_run: u32_at(32),
+                tenant_filter: TenantFilter(u64_at(36)),
+                kinds: KindSet(u16::from_le_bytes([chunk[44], chunk[45]])),
+                fires,
             });
         }
         Ok(Self {
             segment_id,
+            version,
             seg_bytes,
             entries,
         })
@@ -230,11 +415,16 @@ impl SegmentIndex {
         let scan = segment::scan(bytes)?;
         let mut entries = Vec::with_capacity(scan.batches.len());
         for batch in &scan.batches {
-            let records = batch.records()?;
-            entries.push(IndexEntry::from_records(batch.offset, &records));
+            let mut entry = IndexEntry::empty(batch.offset);
+            segment::decode_payload(batch.version, batch.payload, batch.n_records, |rec| {
+                entry.absorb(rec)
+            })
+            .map_err(|e| format!("batch at offset {}: {e}", batch.offset))?;
+            entries.push(entry);
         }
         Ok(Self {
             segment_id: scan.segment_id,
+            version: scan.version,
             seg_bytes: scan.valid_len,
             entries,
         })
@@ -274,9 +464,118 @@ mod tests {
     }
 
     #[test]
+    fn tenant_filter_proves_absence_without_false_negatives() {
+        let mut e = IndexEntry::empty(16);
+        for t in [0u64, 7, 1_000_000] {
+            e.absorb(&StoredRecord {
+                run: RunId(0),
+                payload: RecordPayload::Event(RunEvent {
+                    tenant: Some(t),
+                    interval: 1,
+                    kind: EventKind::IntervalStart,
+                }),
+            });
+        }
+        // Stamped tenants must always pass (no false negatives).
+        for t in [0u64, 7, 1_000_000] {
+            assert!(e.may_contain_tenant(t), "tenant {t}");
+        }
+        // With 3 of 64 bits set, *some* absent tenant must fail the
+        // filter — find one deterministically.
+        let miss = (0..1000u64).find(|t| !e.may_contain_tenant(*t));
+        assert!(miss.is_some(), "filter never prunes anything");
+        // An un-stamped record contributes nothing.
+        let mut blank = IndexEntry::empty(0);
+        blank.absorb(&StoredRecord {
+            run: RunId(0),
+            payload: RecordPayload::Event(RunEvent {
+                tenant: None,
+                interval: 1,
+                kind: EventKind::IntervalStart,
+            }),
+        });
+        assert_eq!(blank.tenant_filter, TenantFilter(0));
+    }
+
+    #[test]
+    fn kind_set_tracks_event_tags_and_samples() {
+        let mut e = IndexEntry::empty(16);
+        e.absorb(&rec(0, 1)); // IntervalStart
+        assert!(e.kinds.intersects(1 << etag::INTERVAL_START));
+        assert!(!e.kinds.intersects(1 << etag::BUDGET_THROTTLE));
+        assert!(!e.kinds.has_samples());
+        assert!(e.kinds.intersects(KindSet::ALL_EVENTS));
+    }
+
+    #[test]
+    fn fire_tally_slot_mapping_and_round_trip() {
+        // One event per counted shape (some twice), exercising every
+        // tally slot plus the two no-count shapes.
+        let ev = |kind: EventKind| StoredRecord {
+            run: RunId(0),
+            payload: RecordPayload::Event(RunEvent {
+                tenant: None,
+                interval: 1,
+                kind,
+            }),
+        };
+        let mut e = IndexEntry::empty(16);
+        e.absorb(&ev(EventKind::IntervalStart));
+        e.absorb(&ev(EventKind::IntervalEnd {
+            latency_ms: Some(2.0),
+            completed: 5,
+            rejected: 0,
+        }));
+        e.absorb(&ev(EventKind::ResizeIssued {
+            from_rung: 0,
+            to_rung: 1,
+        }));
+        e.absorb(&ev(EventKind::ResizeDenied {
+            reason: DenyReason::Cooldown,
+        }));
+        e.absorb(&ev(EventKind::ResizeDenied {
+            reason: DenyReason::Budget,
+        }));
+        e.absorb(&ev(EventKind::ResizeDenied {
+            reason: DenyReason::Budget,
+        }));
+        e.absorb(&ev(EventKind::BudgetThrottle { headroom_pct: 1.0 }));
+        e.absorb(&ev(EventKind::BalloonTrigger {
+            phase: BalloonPhase::Started,
+            target_mb: Some(64.0),
+        }));
+        e.absorb(&ev(EventKind::BalloonTrigger {
+            phase: BalloonPhase::Aborted,
+            target_mb: None,
+        }));
+        e.absorb(&ev(EventKind::BalloonTrigger {
+            phase: BalloonPhase::Confirmed,
+            target_mb: Some(64.0),
+        }));
+        e.absorb(&ev(EventKind::SloViolation {
+            observed_ms: 9.0,
+            goal_ms: 5.0,
+        }));
+        // IntervalEnd tallies nothing; every other slot as documented.
+        assert_eq!(e.fires, FireTally([1, 1, 1, 2, 1, 1, 1, 1, 1]));
+        assert_eq!(e.n_records, 11);
+
+        // The tally survives the sidecar wire format.
+        let idx = SegmentIndex {
+            segment_id: 3,
+            version: FormatVersion::V2,
+            seg_bytes: 999,
+            entries: vec![e],
+        };
+        let parsed = SegmentIndex::from_bytes(&idx.to_bytes()).expect("parse");
+        assert_eq!(parsed, idx);
+    }
+
+    #[test]
     fn sidecar_round_trips() {
         let idx = SegmentIndex {
             segment_id: 3,
+            version: FormatVersion::V2,
             seg_bytes: 4096,
             entries: vec![
                 IndexEntry::from_records(16, &[rec(0, 5)]),
@@ -288,13 +587,17 @@ mod tests {
         assert_eq!(back, idx);
         assert_eq!(back.records(), 3);
         assert_eq!(back.max_run(), Some(1));
-        assert_eq!(SegmentIndex::fresh(9).max_run(), None);
+        assert_eq!(
+            SegmentIndex::fresh(9, FormatVersion::default()).max_run(),
+            None
+        );
     }
 
     #[test]
     fn corrupt_sidecars_are_rejected() {
         let idx = SegmentIndex {
             segment_id: 1,
+            version: FormatVersion::V1,
             seg_bytes: 100,
             entries: vec![IndexEntry::from_records(16, &[rec(0, 1)])],
         };
@@ -309,20 +612,39 @@ mod tests {
         let mut bad = bytes;
         bad.truncate(bad.len() - 1);
         assert!(SegmentIndex::from_bytes(&bad).is_err());
+        // A PR-8 (v1-magic) sidecar fails the magic check → rebuilt.
+        let mut old = idx.to_bytes();
+        old[7] = 0x01;
+        assert!(SegmentIndex::from_bytes(&old)
+            .expect_err("old magic")
+            .contains("magic"));
     }
 
     #[test]
     fn rebuild_matches_incremental_construction() {
-        let mut seg = segment::header_bytes(5).to_vec();
-        let recs = [rec(0, 3), rec(0, 8), rec(1, 1)];
-        let mut payload = Vec::new();
-        for r in &recs {
-            r.encode_into(&mut payload);
+        for version in [FormatVersion::V1, FormatVersion::V2] {
+            let mut seg = segment::header_bytes(5, version).to_vec();
+            let recs = [rec(0, 3), rec(0, 8), rec(1, 1)];
+            let mut payload = Vec::new();
+            match version {
+                FormatVersion::V1 => {
+                    for r in &recs {
+                        r.encode_into(&mut payload);
+                    }
+                }
+                FormatVersion::V2 => {
+                    let mut enc = crate::codec::BatchEncoder::new();
+                    for r in &recs {
+                        enc.encode_into(r, &mut payload);
+                    }
+                }
+            }
+            segment::append_batch(&mut seg, recs.len() as u32, &payload);
+            let rebuilt = SegmentIndex::build_from_segment(&seg).expect("rebuilds");
+            assert_eq!(rebuilt.segment_id, 5);
+            assert_eq!(rebuilt.version, version);
+            assert_eq!(rebuilt.seg_bytes, seg.len() as u64);
+            assert_eq!(rebuilt.entries, vec![IndexEntry::from_records(16, &recs)]);
         }
-        segment::append_batch(&mut seg, recs.len() as u32, &payload);
-        let rebuilt = SegmentIndex::build_from_segment(&seg).expect("rebuilds");
-        assert_eq!(rebuilt.segment_id, 5);
-        assert_eq!(rebuilt.seg_bytes, seg.len() as u64);
-        assert_eq!(rebuilt.entries, vec![IndexEntry::from_records(16, &recs)]);
     }
 }

@@ -26,9 +26,12 @@
 //! - [`StoreSource`] — a
 //!   [`TelemetrySource`](dasr_telemetry::TelemetrySource): feed an
 //!   archived run back through any policy via the replay machinery;
-//! - [`record`], [`segment`], [`index`], [`writer`] — the layers:
-//!   bit-exact record codec, CRC-framed batches in numbered segments,
-//!   sparse per-batch time index, deterministic writer thread.
+//! - [`record`], [`codec`], [`segment`], [`index`], [`writer`],
+//!   [`cursor`] — the layers: bit-exact record codec (fixed-width v1
+//!   and delta/varint/dictionary v2 framing), CRC-framed batches in
+//!   numbered segments, sparse per-batch time index with content
+//!   filters and fire tallies, deterministic writer thread, and the
+//!   streaming/parallel read fast path ([`Query`], [`RecordCursor`]).
 //!
 //! Floats are stored as raw IEEE-754 bits, so an archived run replays
 //! **byte-identically** to its live event stream — the
@@ -51,7 +54,9 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 #![cfg_attr(not(test), deny(clippy::float_cmp))]
 
+pub mod codec;
 pub mod crc;
+pub mod cursor;
 pub mod index;
 pub mod record;
 pub mod segment;
@@ -60,7 +65,9 @@ pub mod source;
 pub mod store;
 pub mod writer;
 
+pub use cursor::{Query, RecordCursor, Shape};
 pub use record::{RecordPayload, RunId, StoredRecord};
+pub use segment::FormatVersion;
 pub use sink::StoreSink;
 pub use source::StoreSource;
 pub use store::{

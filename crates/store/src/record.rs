@@ -46,10 +46,28 @@ pub mod etag {
     pub const BALLOON_TRIGGER: u8 = 5;
     /// [`super::EventKind::SloViolation`].
     pub const SLO_VIOLATION: u8 = 6;
+
+    /// Number of distinct event tags.
+    pub const COUNT: u8 = 7;
+}
+
+/// The wire tag of an event kind (shared by both frame formats and the
+/// index's per-batch kind bitmap).
+// dasr-lint: no-alloc
+pub fn etag_of(kind: &EventKind) -> u8 {
+    match kind {
+        EventKind::IntervalStart => etag::INTERVAL_START,
+        EventKind::IntervalEnd { .. } => etag::INTERVAL_END,
+        EventKind::ResizeIssued { .. } => etag::RESIZE_ISSUED,
+        EventKind::ResizeDenied { .. } => etag::RESIZE_DENIED,
+        EventKind::BudgetThrottle { .. } => etag::BUDGET_THROTTLE,
+        EventKind::BalloonTrigger { .. } => etag::BALLOON_TRIGGER,
+        EventKind::SloViolation { .. } => etag::SLO_VIOLATION,
+    }
 }
 
 /// Flag bits shared by event and sample frames.
-mod flag {
+pub(crate) mod flag {
     /// Event: `latency_ms`/`target_mb` present. Sample: `latency_ms`
     /// present.
     pub const OPT_A: u8 = 1 << 0;
@@ -74,7 +92,7 @@ impl std::fmt::Display for RunId {
 
 /// What a stored record carries: one of the two telemetry shapes that
 /// cross the closed loop's seams.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum RecordPayload {
     /// A structured run event (the `core::obs` stream).
     Event(RunEvent),
@@ -84,7 +102,7 @@ pub enum RecordPayload {
 }
 
 /// One record of the segmented log: a run-stamped payload.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StoredRecord {
     /// The run this record belongs to.
     pub run: RunId,
@@ -402,15 +420,23 @@ fn put_u64(buf: &mut Vec<u8>, v: u64) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
-/// Bounds-checked little-endian reader over a byte slice.
-struct Cursor<'a> {
+/// Bounds-checked little-endian reader over a byte slice. Shared with
+/// the v2 codec ([`crate::codec`]), which layers varint reads on top of
+/// the same truncation-checked primitive.
+pub struct Cursor<'a> {
     bytes: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Cursor<'a> {
-    fn new(bytes: &'a [u8]) -> Self {
+    /// A reader positioned at the start of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
         Self { bytes, pos: 0 }
+    }
+
+    /// Bytes consumed so far.
+    pub fn pos(&self) -> usize {
+        self.pos
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
@@ -429,8 +455,19 @@ impl<'a> Cursor<'a> {
         }
     }
 
-    fn u8(&mut self) -> Result<u8, String> {
-        Ok(self.take(1)?[0])
+    /// Reads one byte; errors on truncation.
+    pub fn u8(&mut self) -> Result<u8, String> {
+        match self.bytes.get(self.pos) {
+            Some(&b) => {
+                self.pos += 1;
+                Ok(b)
+            }
+            None => Err(format!(
+                "record truncated at byte {} (wanted 1 more of {})",
+                self.pos,
+                self.bytes.len()
+            )),
+        }
     }
 
     fn u16(&mut self) -> Result<u16, String> {
@@ -443,7 +480,8 @@ impl<'a> Cursor<'a> {
         Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
-    fn u64(&mut self) -> Result<u64, String> {
+    /// Reads a little-endian `u64`; errors on truncation.
+    pub fn u64(&mut self) -> Result<u64, String> {
         let b = self.take(8)?;
         let mut arr = [0u8; 8];
         arr.copy_from_slice(b);

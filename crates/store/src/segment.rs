@@ -17,32 +17,82 @@
 //! segment  := header batch*
 //! header   := magic "DASRSEG\x01" | segment_id u32 | version u16 | reserved u16
 //! batch    := n_records u32 | payload_len u32 | payload | crc32(payload) u32
-//! payload  := record*                      (see crate::record for framing)
+//! payload  := record*      (v1: crate::record fixed frames;
+//!                           v2: crate::codec varint/delta/dict frames)
 //! ```
+//!
+//! The header's `version` field governs how every batch payload in the
+//! file decodes — segments are **homogeneous**: a store directory may mix
+//! v1 and v2 segments freely, but one file never mixes formats. v1
+//! segments written by earlier builds remain readable forever; new
+//! segments default to [`FormatVersion::V2`].
 
+use crate::codec::BatchDecoder;
 use crate::crc::crc32;
-use crate::record::StoredRecord;
+use crate::record::{Cursor, StoredRecord};
 
 /// First eight bytes of every segment file.
 pub const MAGIC: [u8; 8] = *b"DASRSEG\x01";
-/// On-disk format version this build reads and writes.
-pub const VERSION: u16 = 1;
+/// Header `version` value of the fixed-layout v1 record format.
+pub const VERSION_V1: u16 = 1;
+/// Header `version` value of the varint/delta/dict v2 record format.
+pub const VERSION_V2: u16 = 2;
 /// Segment header length in bytes.
 pub const HEADER_LEN: usize = 16;
 /// Batch frame overhead: 8-byte header plus 4-byte CRC trailer.
 pub const BATCH_OVERHEAD: usize = 12;
+
+/// A segment's record-payload format, as negotiated by the header's
+/// `version` field. See `docs/STORE_FORMAT.md` §9 for the rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FormatVersion {
+    /// Fixed-layout frames (`rec_len u16` + body); the PR-8 format.
+    V1,
+    /// Varint/delta/dictionary frames decoded by [`crate::codec`].
+    #[default]
+    V2,
+}
+
+impl FormatVersion {
+    /// The header `version` field value for this format.
+    pub fn wire(self) -> u16 {
+        match self {
+            Self::V1 => VERSION_V1,
+            Self::V2 => VERSION_V2,
+        }
+    }
+
+    /// Parses a header `version` field; unknown values are an error (a
+    /// reader must never guess at an unfamiliar payload format).
+    pub fn from_wire(v: u16) -> Result<Self, String> {
+        match v {
+            VERSION_V1 => Ok(Self::V1),
+            VERSION_V2 => Ok(Self::V2),
+            other => Err(format!("unsupported segment version {other}")),
+        }
+    }
+}
+
+impl std::fmt::Display for FormatVersion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Self::V1 => "v1",
+            Self::V2 => "v2",
+        })
+    }
+}
 
 /// File name of segment `id` (`seg-000042.dseg`).
 pub fn file_name(id: u32) -> String {
     format!("seg-{id:06}.dseg")
 }
 
-/// The 16 header bytes of segment `id`.
-pub fn header_bytes(id: u32) -> [u8; HEADER_LEN] {
+/// The 16 header bytes of segment `id` in format `version`.
+pub fn header_bytes(id: u32, version: FormatVersion) -> [u8; HEADER_LEN] {
     let mut h = [0u8; HEADER_LEN];
     h[..8].copy_from_slice(&MAGIC);
     h[8..12].copy_from_slice(&id.to_le_bytes());
-    h[12..14].copy_from_slice(&VERSION.to_le_bytes());
+    h[12..14].copy_from_slice(&version.wire().to_le_bytes());
     h
 }
 
@@ -65,29 +115,70 @@ pub struct Batch<'a> {
     pub n_records: u32,
     /// The checksummed record payload.
     pub payload: &'a [u8],
+    /// Payload format, inherited from the segment header.
+    pub version: FormatVersion,
 }
 
 impl Batch<'_> {
     /// Decodes the payload into records (exactly `n_records` of them).
     pub fn records(&self) -> Result<Vec<StoredRecord>, String> {
         let mut out = Vec::with_capacity(self.n_records as usize);
-        let mut at = 0;
-        while at < self.payload.len() {
-            let (rec, used) = StoredRecord::decode(&self.payload[at..])
-                .map_err(|e| format!("batch at offset {}: {e}", self.offset))?;
-            out.push(rec);
-            at += used;
-        }
-        if out.len() != self.n_records as usize {
-            return Err(format!(
-                "batch at offset {} promises {} records, payload holds {}",
-                self.offset,
-                self.n_records,
-                out.len()
-            ));
-        }
+        decode_payload(self.version, self.payload, self.n_records, |rec| {
+            out.push(*rec)
+        })
+        .map_err(|e| format!("batch at offset {}: {e}", self.offset))?;
         Ok(out)
     }
+}
+
+/// Decodes one batch payload record by record, handing each to `visit`.
+///
+/// This is the single decode loop behind both [`Batch::records`] and the
+/// streaming cursor ([`crate::cursor`]): a `StoredRecord` owns no heap
+/// data, so visiting stack copies is allocation-free and the caller
+/// chooses whether to collect, fold, or drop them.
+pub fn decode_payload(
+    version: FormatVersion,
+    payload: &[u8],
+    n_records: u32,
+    mut visit: impl FnMut(&StoredRecord),
+) -> Result<(), String> {
+    match version {
+        FormatVersion::V1 => {
+            let mut at = 0;
+            let mut seen = 0u32;
+            while at < payload.len() {
+                let (rec, used) = StoredRecord::decode(&payload[at..])?;
+                visit(&rec);
+                seen += 1;
+                at += used;
+            }
+            check_count(seen, n_records)
+        }
+        FormatVersion::V2 => {
+            let mut dec = BatchDecoder::new();
+            let mut c = Cursor::new(payload);
+            for _ in 0..n_records {
+                visit(&dec.decode_next(&mut c)?);
+            }
+            if c.pos() != payload.len() {
+                return Err(format!(
+                    "batch payload has {} trailing bytes after {n_records} records",
+                    payload.len() - c.pos()
+                ));
+            }
+            Ok(())
+        }
+    }
+}
+
+fn check_count(seen: u32, promised: u32) -> Result<(), String> {
+    if seen != promised {
+        return Err(format!(
+            "batch promises {promised} records, payload holds {seen}"
+        ));
+    }
+    Ok(())
 }
 
 /// Reads and CRC-verifies the single batch at `offset` — the targeted
@@ -99,6 +190,7 @@ pub fn batch_at(bytes: &[u8], offset: u64) -> Result<Batch<'_>, String> {
     if at < HEADER_LEN || at + 8 > bytes.len() {
         return Err(format!("batch offset {offset} out of bounds"));
     }
+    let version = FormatVersion::from_wire(u16::from_le_bytes([bytes[12], bytes[13]]))?;
     let n_records = u32::from_le_bytes([bytes[at], bytes[at + 1], bytes[at + 2], bytes[at + 3]]);
     let payload_len =
         u32::from_le_bytes([bytes[at + 4], bytes[at + 5], bytes[at + 6], bytes[at + 7]]) as usize;
@@ -126,6 +218,7 @@ pub fn batch_at(bytes: &[u8], offset: u64) -> Result<Batch<'_>, String> {
         offset,
         n_records,
         payload,
+        version,
     })
 }
 
@@ -134,6 +227,8 @@ pub fn batch_at(bytes: &[u8], offset: u64) -> Result<Batch<'_>, String> {
 pub struct ScanOutcome<'a> {
     /// Segment id from the header.
     pub segment_id: u32,
+    /// Payload format from the header.
+    pub version: FormatVersion,
     /// Every intact batch, in file order.
     pub batches: Vec<Batch<'a>>,
     /// Bytes from the start of the file through the last intact batch —
@@ -161,10 +256,7 @@ pub fn scan(bytes: &[u8]) -> Result<ScanOutcome<'_>, String> {
         return Err("bad segment magic".to_string());
     }
     let segment_id = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
-    let version = u16::from_le_bytes([bytes[12], bytes[13]]);
-    if version != VERSION {
-        return Err(format!("unsupported segment version {version}"));
-    }
+    let version = FormatVersion::from_wire(u16::from_le_bytes([bytes[12], bytes[13]]))?;
 
     let mut batches = Vec::new();
     let mut at = HEADER_LEN;
@@ -204,6 +296,7 @@ pub fn scan(bytes: &[u8]) -> Result<ScanOutcome<'_>, String> {
             offset: at as u64,
             n_records,
             payload,
+            version,
         });
         at += BATCH_OVERHEAD + payload_len;
     }
@@ -212,6 +305,7 @@ pub fn scan(bytes: &[u8]) -> Result<ScanOutcome<'_>, String> {
     });
     Ok(ScanOutcome {
         segment_id,
+        version,
         batches,
         valid_len,
         torn,
@@ -221,8 +315,11 @@ pub fn scan(bytes: &[u8]) -> Result<ScanOutcome<'_>, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::codec::BatchEncoder;
     use crate::record::{RecordPayload, RunId};
     use dasr_core::obs::{EventKind, RunEvent};
+
+    const BOTH: [FormatVersion; 2] = [FormatVersion::V1, FormatVersion::V2];
 
     fn event(interval: u64) -> StoredRecord {
         StoredRecord {
@@ -238,12 +335,22 @@ mod tests {
         }
     }
 
-    fn segment_with(batches: &[&[StoredRecord]]) -> Vec<u8> {
-        let mut bytes = header_bytes(7).to_vec();
+    fn segment_with(version: FormatVersion, batches: &[&[StoredRecord]]) -> Vec<u8> {
+        let mut bytes = header_bytes(7, version).to_vec();
         for recs in batches {
             let mut payload = Vec::new();
-            for r in *recs {
-                r.encode_into(&mut payload);
+            match version {
+                FormatVersion::V1 => {
+                    for r in *recs {
+                        r.encode_into(&mut payload);
+                    }
+                }
+                FormatVersion::V2 => {
+                    let mut enc = BatchEncoder::new();
+                    for r in *recs {
+                        enc.encode_into(r, &mut payload);
+                    }
+                }
             }
             append_batch(&mut bytes, recs.len() as u32, &payload);
         }
@@ -251,82 +358,119 @@ mod tests {
     }
 
     #[test]
-    fn clean_segment_scans_fully() {
-        let a = [event(1), event(2)];
-        let b = [event(3)];
-        let bytes = segment_with(&[&a, &b]);
-        let out = scan(&bytes).expect("scans");
-        assert_eq!(out.segment_id, 7);
-        assert_eq!(out.batches.len(), 2);
-        assert!(out.torn.is_none());
-        assert_eq!(out.valid_len, bytes.len() as u64);
-        assert_eq!(out.batches[0].records().unwrap(), a);
-        assert_eq!(out.batches[1].records().unwrap(), b);
+    fn clean_segment_scans_fully_in_both_formats() {
+        for version in BOTH {
+            let a = [event(1), event(2)];
+            let b = [event(3)];
+            let bytes = segment_with(version, &[&a, &b]);
+            let out = scan(&bytes).expect("scans");
+            assert_eq!(out.segment_id, 7);
+            assert_eq!(out.version, version);
+            assert_eq!(out.batches.len(), 2);
+            assert!(out.torn.is_none());
+            assert_eq!(out.valid_len, bytes.len() as u64);
+            assert_eq!(out.batches[0].records().unwrap(), a, "{version}");
+            assert_eq!(out.batches[1].records().unwrap(), b, "{version}");
+        }
+    }
+
+    #[test]
+    fn v2_batches_are_smaller_than_v1() {
+        let recs: Vec<StoredRecord> = (0..32).map(event).collect();
+        let v1 = segment_with(FormatVersion::V1, &[&recs]);
+        let v2 = segment_with(FormatVersion::V2, &[&recs]);
+        assert!(
+            v2.len() * 4 < v1.len(),
+            "expected ≥4x shrink on an event batch: v1 = {}, v2 = {}",
+            v1.len(),
+            v2.len()
+        );
     }
 
     #[test]
     fn empty_segment_is_just_a_header() {
-        let bytes = header_bytes(0).to_vec();
-        let out = scan(&bytes).expect("scans");
-        assert!(out.batches.is_empty());
-        assert!(out.torn.is_none());
-        assert_eq!(out.valid_len, HEADER_LEN as u64);
+        for version in BOTH {
+            let bytes = header_bytes(0, version).to_vec();
+            let out = scan(&bytes).expect("scans");
+            assert!(out.batches.is_empty());
+            assert!(out.torn.is_none());
+            assert_eq!(out.valid_len, HEADER_LEN as u64);
+        }
     }
 
     #[test]
     fn torn_tail_keeps_intact_prefix() {
-        let a = [event(1), event(2)];
-        let b = [event(3)];
-        let bytes = segment_with(&[&a, &b]);
-        let first_end = scan(&bytes).unwrap().batches[1].offset as usize;
-        // Truncate anywhere inside the second batch: first batch survives.
-        for cut in [first_end + 1, first_end + 5, bytes.len() - 1] {
-            let out = scan(&bytes[..cut]).expect("header intact");
-            assert_eq!(out.batches.len(), 1, "cut = {cut}");
-            assert!(out.torn.is_some());
-            assert_eq!(out.valid_len as usize, first_end);
+        for version in BOTH {
+            let a = [event(1), event(2)];
+            let b = [event(3)];
+            let bytes = segment_with(version, &[&a, &b]);
+            let first_end = scan(&bytes).unwrap().batches[1].offset as usize;
+            // Truncate anywhere inside the second batch: first batch
+            // survives.
+            for cut in [first_end + 1, first_end + 5, bytes.len() - 1] {
+                let out = scan(&bytes[..cut]).expect("header intact");
+                assert_eq!(out.batches.len(), 1, "cut = {cut} ({version})");
+                assert!(out.torn.is_some());
+                assert_eq!(out.valid_len as usize, first_end);
+            }
         }
     }
 
     #[test]
     fn batch_at_reads_exactly_one_batch() {
-        let a = [event(1), event(2)];
-        let b = [event(3)];
-        let bytes = segment_with(&[&a, &b]);
-        let scanned = scan(&bytes).unwrap();
-        for want in &scanned.batches {
-            let got = batch_at(&bytes, want.offset).expect("reads");
-            assert_eq!(&got, want);
+        for version in BOTH {
+            let a = [event(1), event(2)];
+            let b = [event(3)];
+            let bytes = segment_with(version, &[&a, &b]);
+            let scanned = scan(&bytes).unwrap();
+            for want in &scanned.batches {
+                let got = batch_at(&bytes, want.offset).expect("reads");
+                assert_eq!(&got, want);
+            }
+            assert!(batch_at(&bytes, 0).is_err(), "offset inside the header");
+            assert!(batch_at(&bytes, bytes.len() as u64).is_err());
+            let mut corrupt = bytes.clone();
+            let second = scanned.batches[1].offset as usize;
+            corrupt[second + 10] ^= 0x01;
+            assert!(batch_at(&corrupt, second as u64)
+                .expect_err("corrupt")
+                .contains("CRC"));
         }
-        assert!(batch_at(&bytes, 0).is_err(), "offset inside the header");
-        assert!(batch_at(&bytes, bytes.len() as u64).is_err());
-        let mut corrupt = bytes.clone();
-        let second = scanned.batches[1].offset as usize;
-        corrupt[second + 10] ^= 0x01;
-        assert!(batch_at(&corrupt, second as u64)
-            .expect_err("corrupt")
-            .contains("CRC"));
     }
 
     #[test]
     fn corrupt_payload_fails_crc() {
-        let a = [event(1), event(2)];
-        let mut bytes = segment_with(&[&a]);
-        let flip = HEADER_LEN + 8 + 3; // inside the payload
-        bytes[flip] ^= 0x40;
-        let out = scan(&bytes).expect("header intact");
-        assert!(out.batches.is_empty());
-        assert!(out.torn.expect("torn").contains("CRC"));
+        for version in BOTH {
+            let a = [event(1), event(2)];
+            let mut bytes = segment_with(version, &[&a]);
+            let flip = HEADER_LEN + 8 + 3; // inside the payload
+            bytes[flip] ^= 0x40;
+            let out = scan(&bytes).expect("header intact");
+            assert!(out.batches.is_empty());
+            assert!(out.torn.expect("torn").contains("CRC"));
+        }
     }
 
     #[test]
     fn bad_header_is_an_error() {
         assert!(scan(b"short").is_err());
-        let mut bytes = header_bytes(1).to_vec();
+        let mut bytes = header_bytes(1, FormatVersion::V1).to_vec();
         bytes[0] = b'X';
         assert!(scan(&bytes).is_err());
-        let mut bytes = header_bytes(1).to_vec();
+        let mut bytes = header_bytes(1, FormatVersion::V1).to_vec();
         bytes[12] = 9; // version
-        assert!(scan(&bytes).is_err());
+        assert!(scan(&bytes)
+            .expect_err("unknown version")
+            .contains("unsupported"));
+    }
+
+    #[test]
+    fn version_wire_round_trips() {
+        for version in BOTH {
+            assert_eq!(FormatVersion::from_wire(version.wire()).unwrap(), version);
+        }
+        assert!(FormatVersion::from_wire(0).is_err());
+        assert!(FormatVersion::from_wire(3).is_err());
+        assert_eq!(FormatVersion::default(), FormatVersion::V2);
     }
 }

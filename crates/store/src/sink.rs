@@ -62,7 +62,7 @@ impl EventSink for StoreSink {
         }
         let rec = StoredRecord {
             run: self.run,
-            payload: RecordPayload::Event(event.clone()),
+            payload: RecordPayload::Event(*event),
         };
         match self.handle.append(rec) {
             Ok(()) => {

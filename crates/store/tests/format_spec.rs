@@ -9,20 +9,22 @@
 //! Any drift between the spec and the implementation fails here.
 
 use dasr_core::obs::{EventKind, RunEvent};
+use dasr_store::codec::BatchEncoder;
 use dasr_store::crc::crc32;
-use dasr_store::{segment, RecordPayload, RunId, StoredRecord};
+use dasr_store::{segment, FormatVersion, RecordPayload, RunId, StoredRecord};
 
 fn spec_text() -> String {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/STORE_FORMAT.md");
     std::fs::read_to_string(path).expect("docs/STORE_FORMAT.md exists")
 }
 
-/// Extracts the bytes of the `hexdump` fenced block in §7.
-fn doc_bytes(text: &str) -> Vec<u8> {
+/// Extracts the bytes of the `n`-th `hexdump` fenced block (1-based:
+/// block 1 is the §7 v1 walk, block 2 the §10 v2 walk).
+fn doc_bytes(text: &str, n: usize) -> Vec<u8> {
     let block = text
         .split("```hexdump")
-        .nth(1)
-        .expect("spec has a ```hexdump block")
+        .nth(n)
+        .expect("spec has enough ```hexdump blocks")
         .split("```")
         .next()
         .expect("block is closed");
@@ -71,10 +73,10 @@ fn worked_example_matches_the_real_encoder() {
     for r in &recs {
         r.encode_into(&mut payload);
     }
-    let mut expected = segment::header_bytes(0).to_vec();
+    let mut expected = segment::header_bytes(0, FormatVersion::V1).to_vec();
     segment::append_batch(&mut expected, recs.len() as u32, &payload);
 
-    let documented = doc_bytes(&spec_text());
+    let documented = doc_bytes(&spec_text(), 1);
     assert_eq!(documented.len(), 126, "§7 says 126 bytes total");
     assert_eq!(payload.len(), 98, "§7 says payload_len = 98");
     assert_eq!(documented, expected, "spec hex == encoder output");
@@ -82,7 +84,7 @@ fn worked_example_matches_the_real_encoder() {
 
 #[test]
 fn worked_example_decodes_to_the_documented_values() {
-    let bytes = doc_bytes(&spec_text());
+    let bytes = doc_bytes(&spec_text(), 1);
     let scan = segment::scan(&bytes).expect("spec segment scans clean");
     assert_eq!(scan.segment_id, 0);
     assert!(scan.torn.is_none());
@@ -96,6 +98,41 @@ fn worked_example_decodes_to_the_documented_values() {
     // The walked CRC value in the §7 table.
     let payload = scan.batches[0].payload;
     assert_eq!(crc32(payload), 0x677D_EF86);
+    assert_eq!(scan.version, FormatVersion::V1);
+}
+
+/// The same two records as §7, encoded with the v2 compact frame
+/// format: the real `BatchEncoder` must reproduce the §10 hex dump
+/// byte for byte.
+#[test]
+fn v2_worked_example_matches_the_real_encoder() {
+    let recs = example_records();
+    let mut enc = BatchEncoder::new();
+    let mut payload = Vec::new();
+    for r in &recs {
+        enc.encode_into(r, &mut payload);
+    }
+    let mut expected = segment::header_bytes(0, FormatVersion::V2).to_vec();
+    segment::append_batch(&mut expected, recs.len() as u32, &payload);
+
+    let documented = doc_bytes(&spec_text(), 2);
+    assert_eq!(documented.len(), 42, "§10 says 42 bytes total");
+    assert_eq!(payload.len(), 14, "§10 says payload_len = 14");
+    assert_eq!(documented, expected, "spec hex == v2 encoder output");
+}
+
+#[test]
+fn v2_worked_example_decodes_to_the_documented_values() {
+    let bytes = doc_bytes(&spec_text(), 2);
+    let scan = segment::scan(&bytes).expect("spec segment scans clean");
+    assert_eq!(scan.segment_id, 0);
+    assert_eq!(scan.version, FormatVersion::V2);
+    assert!(scan.torn.is_none());
+    assert_eq!(scan.valid_len as usize, bytes.len());
+    assert_eq!(scan.batches.len(), 1);
+    assert_eq!(scan.batches[0].n_records, 2);
+    let decoded = scan.batches[0].records().expect("records decode");
+    assert_eq!(decoded, example_records());
 }
 
 #[test]

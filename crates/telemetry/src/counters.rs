@@ -45,7 +45,7 @@ impl LatencyGoal {
 /// [`TelemetrySource`](crate::TelemetrySource) yields per interval — and
 /// therefore the unit run recordings capture and replay — so its fields
 /// must stay a *complete* description of what the decision loop reads.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TelemetrySample {
     /// Interval index (billing interval number).
     pub interval: u64,

@@ -117,7 +117,7 @@ proptest! {
         let mut reference = NaiveWindow::new(cap);
         for (i, &(util, wait, completed, has_latency)) in pushes.iter().enumerate() {
             let s = build_sample(i as u64, util, wait, completed, has_latency);
-            soa.push(s.clone());
+            soa.push(s);
             reference.push(s);
 
             prop_assert_eq!(soa.len(), reference.samples.len());

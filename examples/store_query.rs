@@ -1,7 +1,9 @@
-//! Record a 64-tenant × 1-day fleet run into a durable `dasr-store`,
+//! Record a 72-tenant × 1-day fleet run into a durable `dasr-store`,
 //! then answer an operator question *from the store* — "which tenants
-//! fired budget-throttle rules between 09:00 and 10:00?" — and finally
-//! load an archived recording back out and replay it exactly.
+//! fired budget-throttle rules between 09:00 and 10:00?" — through the
+//! streaming [`RecordCursor`] (proving with `VmHWM` that scans run in
+//! O(batch) memory, not O(result)), and finally load an archived
+//! recording back out and replay it exactly.
 //!
 //! ```text
 //! cargo run --release --example store_query
@@ -17,14 +19,25 @@ use dasr::core::{
     record_run, replay, tenant_seed, AutoPolicy, FleetRunner, ReplayDiff, RunConfig, TenantKnobs,
     TenantSpec,
 };
-use dasr::store::{RecordPayload, RunMeta, Store, StoreSource, WriterConfig};
+use dasr::store::record::etag;
+use dasr::store::{Query, RecordPayload, RunMeta, Shape, Store, StoreSource, StoredRecord, WriterConfig};
 use dasr::telemetry::{LatencyGoal, TelemetrySource as _};
 use dasr::workloads::{CpuIoConfig, CpuIoWorkload, Trace};
 use std::collections::BTreeSet;
 
-const TENANTS: usize = 64;
+const TENANTS: usize = 72;
 const MINUTES: usize = 1440; // one day of 1-minute billing intervals
 const FLEET_SEED: u64 = 0xDA7A;
+
+/// Peak resident set size (VmHWM), in MiB, from /proc/self/status.
+/// `None` off Linux — the example still runs, it just can't prove the
+/// O(batch)-memory claim.
+fn peak_rss_mib() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kib: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kib / 1024.0)
+}
 
 /// Every third tenant runs on a tight budget — those are the ones the
 /// 09:00–10:00 demand peak pushes into budget throttling.
@@ -97,17 +110,24 @@ fn main() {
     println!("committed {run}: {} events\n", manifest.events);
 
     // -- 2. Query: who throttled on budget between 09:00 and 10:00? --
-    // 1-minute intervals from midnight: 09:00–10:00 is [540, 600).
-    let window = 540..600;
+    // 1-minute intervals from midnight: 09:00–10:00 is [540, 600). The
+    // streaming cursor answers this without materialising the window:
+    // the query's kind bitmap prunes every batch that holds no
+    // budget-throttle event before it is even read off disk, and
+    // surviving records stream through one reusable batch buffer.
+    let window = 540..600u64;
     let mut throttled = BTreeSet::new();
-    for rec in store.scan_range(window.clone()).expect("scan") {
-        if rec.run != run {
-            continue;
-        }
+    let throttle_query = Query {
+        intervals: Some(window.clone()),
+        run: Some(run),
+        shape: Shape::Events(1 << etag::BUDGET_THROTTLE),
+        ..Query::default()
+    };
+    for rec in store.cursor(throttle_query.clone()).expect("cursor") {
+        let rec = rec.expect("stream");
         if let RecordPayload::Event(ev) = &rec.payload {
-            if matches!(ev.kind, EventKind::BudgetThrottle { .. }) {
-                throttled.insert(ev.tenant.expect("fleet events are stamped"));
-            }
+            debug_assert!(matches!(ev.kind, EventKind::BudgetThrottle { .. }));
+            throttled.insert(ev.tenant.expect("fleet events are stamped"));
         }
     }
     println!("-- Budget throttles, 09:00–10:00 --");
@@ -138,17 +158,25 @@ fn main() {
         stats.bytes as f64 / 1024.0 / TENANTS as f64
     );
 
-    // -- 4. Archive a full recording and replay it from the store --
-    let t0 = &tenants[0];
-    let mut policy = AutoPolicy::with_knobs(t0.cfg.knobs);
-    let (live, mut recording) = record_run(&t0.cfg, &t0.trace, t0.workload.clone(), &mut policy);
-    recording.stamp_tenant(0);
+    // -- 4. Archive the fleet's full recordings, replay one exactly --
+    // One archive run holds every tenant's per-interval sample stream:
+    // the store is now a six-figure record set, the scale the streaming
+    // read path is built for.
     let archive = store.begin_run(
-        RunMeta::new("auto", "cpuio", "diurnal-day", t0.cfg.seed).fleet(1, MINUTES as u64),
+        RunMeta::new("auto", "cpuio", "diurnal-day", FLEET_SEED)
+            .fleet(TENANTS as u64, MINUTES as u64),
     );
-    store
-        .append_recording(archive, &recording)
-        .expect("archive");
+    let mut t0_live = None;
+    for (i, t) in tenants.iter().enumerate() {
+        let mut policy = AutoPolicy::with_knobs(t.cfg.knobs);
+        let (live, mut recording) =
+            record_run(&t.cfg, &t.trace, t.workload.clone(), &mut policy);
+        recording.stamp_tenant(i as u64);
+        store.append_recording(archive, &recording).expect("archive");
+        if i == 0 {
+            t0_live = Some(live);
+        }
+    }
     store.end_run(archive).expect("commit");
 
     let src = StoreSource::open(&store, archive, Some(0)).expect("load archived run");
@@ -159,12 +187,52 @@ fn main() {
         src.header().seed,
         src.intervals()
     );
+    let t0 = &tenants[0];
     let loaded = store.load_recording(archive, Some(0)).expect("recording");
     let mut policy = AutoPolicy::with_knobs(t0.cfg.knobs);
     let replayed = replay(&t0.cfg, loaded, &mut policy);
-    let diff = ReplayDiff::between(&live, &replayed);
+    let diff = ReplayDiff::between(t0_live.as_ref().expect("tenant 0 ran"), &replayed);
     assert!(diff.identical(), "store replay must be exact: {diff}");
-    println!("replay of the archived run reproduces the live decision trace exactly");
+    println!("replay of the archived run reproduces the live decision trace exactly\n");
+
+    // -- 5. Memory: streaming queries are O(batch), not O(result) --
+    // Re-run the 09:00-10:00 throttle query over the now-archived store,
+    // then stream every record in it, and check the process high-water
+    // mark barely moves: the cursor hands out stack copies decoded from
+    // one reusable batch buffer, so memory tracks the largest batch, not
+    // the result set. Collecting the same scan into a Vec would need
+    // `records x size_of::<StoredRecord>()`.
+    let rss_before = peak_rss_mib();
+    let mut in_window = 0u64;
+    for rec in store.cursor(throttle_query.clone()).expect("cursor") {
+        rec.expect("stream");
+        in_window += 1;
+    }
+    let mut streamed = 0u64;
+    for rec in store.cursor(Query::default()).expect("cursor") {
+        rec.expect("stream");
+        streamed += 1;
+    }
+    assert!(
+        streamed >= 100_000,
+        "memory claim needs a six-figure store, got {streamed} records"
+    );
+    println!("-- Streaming memory proof --");
+    let collected_mib =
+        streamed as f64 * std::mem::size_of::<StoredRecord>() as f64 / (1024.0 * 1024.0);
+    if let (Some(before), Some(after)) = (rss_before, peak_rss_mib()) {
+        let delta = after - before;
+        println!(
+            "streamed {streamed} records ({in_window} in the window query): peak RSS \
+             +{delta:.1} MiB (collected, the result alone would hold {collected_mib:.0} MiB)"
+        );
+        assert!(
+            delta < 16.0,
+            "streaming scan must not materialise the result set: +{delta:.1} MiB"
+        );
+    } else {
+        println!("streamed {streamed} records (no /proc/self/status; RSS proof skipped)");
+    }
 
     store.close().expect("close");
 }
