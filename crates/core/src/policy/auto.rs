@@ -165,6 +165,7 @@ impl ScalingPolicy for AutoPolicy {
         "auto"
     }
 
+    // dasr-lint: entry(G1)
     fn decide(&mut self, ctx: &PolicyContext<'_>) -> PolicyDecision {
         let sig = ctx.signals;
         let catalog = ctx.catalog;

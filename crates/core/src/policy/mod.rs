@@ -108,6 +108,7 @@ impl ScalingPolicy for StaticPolicy {
         self.name
     }
 
+    // dasr-lint: entry(G1)
     fn decide(&mut self, ctx: &PolicyContext<'_>) -> PolicyDecision {
         PolicyDecision::pin(ctx, self.container)
     }
@@ -138,6 +139,7 @@ impl ScalingPolicy for SchedulePolicy {
         "trace"
     }
 
+    // dasr-lint: entry(G1)
     fn decide(&mut self, ctx: &PolicyContext<'_>) -> PolicyDecision {
         // decide() is called at the END of interval i to pick interval
         // i+1's container.

@@ -62,6 +62,7 @@ impl ScalingPolicy for UtilPolicy {
         "util"
     }
 
+    // dasr-lint: entry(G1)
     fn decide(&mut self, ctx: &PolicyContext<'_>) -> PolicyDecision {
         let sig = ctx.signals;
         let max_level = RESOURCE_KINDS

@@ -87,6 +87,7 @@ impl FleetAccumulator {
     /// the tenant, so in summary mode the report can be dropped right
     /// after and never crosses threads.
     // dasr-lint: no-alloc
+    // dasr-lint: entry(G1)
     pub fn fold_report(&mut self, report: &RunReport) {
         self.tenants += 1;
         self.intervals += report.intervals.len() as u64;
@@ -108,6 +109,7 @@ impl FleetAccumulator {
 
     /// Merges another shard's fold in (the monoid operation).
     // dasr-lint: no-alloc
+    // dasr-lint: entry(G1)
     pub fn merge(&mut self, other: &FleetAccumulator) {
         self.tenants += other.tenants;
         self.intervals += other.intervals;

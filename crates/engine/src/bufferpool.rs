@@ -94,6 +94,7 @@ impl PageMap {
     fn insert(&mut self, key: u64, val: u32) {
         debug_assert_ne!(val, NONE);
         if (self.len + 1) * 4 > (self.mask + 1) * 3 {
+            // dasr-lint: allow(G2) reason="amortized doubling: grow() reallocates only when load passes 3/4, O(1) amortized per insert"
             self.grow();
         }
         let mut i = self.home(key);
@@ -258,6 +259,7 @@ impl BufferPool {
         if let Some(idx) = self.map.get(page) {
             self.hits += 1;
             if write {
+                // dasr-lint: allow(G3) reason="PageMap stores only live node indices; map and node array mutate together"
                 self.nodes[idx as usize].dirty = true;
             }
             self.touch(idx);
@@ -351,6 +353,7 @@ impl BufferPool {
             if tail == NONE {
                 break;
             }
+            // dasr-lint: allow(G3) reason="tail checked against NONE above; LRU links always hold live node indices"
             let node = self.nodes[tail as usize];
             self.unlink(tail);
             self.map.remove(node.page);
@@ -373,6 +376,7 @@ impl BufferPool {
     // dasr-lint: no-alloc
     fn unlink(&mut self, idx: u32) {
         let (prev, next) = {
+            // dasr-lint: allow(G3) reason="intrusive-list invariant: unlink is only called with a linked node index"
             let n = &self.nodes[idx as usize];
             (n.prev, n.next)
         };
@@ -395,6 +399,7 @@ impl BufferPool {
     fn push_front(&mut self, idx: u32) {
         let old_head = self.head;
         {
+            // dasr-lint: allow(G3) reason="intrusive-list invariant: push_front is only called with a valid node index"
             let n = &mut self.nodes[idx as usize];
             n.prev = NONE;
             n.next = old_head;

@@ -310,6 +310,7 @@ impl Engine {
     /// Processes every event with timestamp ≤ `t`, then advances the clock
     /// to `t`.
     // dasr-lint: no-alloc
+    // dasr-lint: entry(G3)
     pub fn run_until(&mut self, t: SimTime) {
         let horizon = t.as_micros();
         while let Some((et, _, ev)) = self.events.pop_due(horizon) {
@@ -581,6 +582,7 @@ impl Engine {
                     let (page, write) = state
                         .pending_page
                         .take()
+                        // dasr-lint: allow(G3) reason="event-schedule invariant: a disk completion is only queued with pending_page set; a violation is a simulator bug that must abort the run"
                         .expect("disk completion without pending page");
                     self.pool.insert(page, write, &mut self.evict_scratch);
                     dirty_evicted = self.evict_scratch.len();
@@ -626,6 +628,7 @@ impl Engine {
     fn on_arrival(&mut self, id: ReqId) {
         if self.running >= self.cfg.max_outstanding {
             self.rejected += 1;
+            // dasr-lint: allow(G3) reason="admission invariant: every arrival event carries a slab key inserted at submit; a stale key must abort, not be masked"
             self.requests.remove(id).expect("arrival without spec");
             return;
         }
@@ -775,6 +778,7 @@ impl Engine {
         let state = self
             .requests
             .remove(req)
+            // dasr-lint: allow(G3) reason="completion invariant: a request completes exactly once; a double-complete must abort the simulation"
             .expect("completing unknown request");
         self.running -= 1;
         // Strict 2PL: release everything still held.

@@ -123,6 +123,7 @@ impl LockTable {
             self.drain_scratch.append(list);
         }
         for i in 0..self.drain_scratch.len() {
+            // dasr-lint: allow(G3) reason="index bounded by the same len() in the loop condition"
             let lock = self.drain_scratch[i];
             let start = out.len();
             if let Some(state) = self.locks.get_mut(&lock) {

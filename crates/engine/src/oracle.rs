@@ -199,9 +199,9 @@ impl OracleEngine {
                 .set_capacity(self.cfg.pool_pages(resources.memory_mb), &mut dirty);
             self.writeback(dirty.len());
         }
-        self.pump_cpu();
-        self.pump_disk();
-        self.pump_log();
+        self.oracle_pump_cpu();
+        self.oracle_pump_disk();
+        self.oracle_pump_log();
     }
 
     /// Starts ballooning toward `target_mb` of container memory (§4.3).
@@ -278,7 +278,7 @@ impl OracleEngine {
         self.events.push(Reverse((at, self.seq, ev)));
     }
 
-    fn pump_cpu(&mut self) {
+    fn oracle_pump_cpu(&mut self) {
         let mut dispatched = Vec::new();
         let ready = self.cpu.pump(self.clock, &mut dispatched);
         for d in dispatched {
@@ -296,7 +296,7 @@ impl OracleEngine {
         }
     }
 
-    fn pump_disk(&mut self) {
+    fn oracle_pump_disk(&mut self) {
         let base = self.disk.base_latency_us();
         let mut dispatched = Vec::new();
         let ready = self.disk.pump(self.clock, &mut dispatched);
@@ -321,7 +321,7 @@ impl OracleEngine {
         }
     }
 
-    fn pump_log(&mut self) {
+    fn oracle_pump_log(&mut self) {
         let base = self.log.base_latency_us();
         let mut dispatched = Vec::new();
         let ready = self.log.pump(self.clock, &mut dispatched);
@@ -504,7 +504,7 @@ impl OracleEngine {
             self.disk.submit_low(IoToken::Background, 1.0, self.clock);
         }
         if writes > 0 {
-            self.pump_disk();
+            self.oracle_pump_disk();
         }
     }
 
@@ -526,7 +526,7 @@ impl OracleEngine {
             match op {
                 Op::CpuBurst { us } => {
                     self.cpu.submit(req, us, self.clock);
-                    self.pump_cpu();
+                    self.oracle_pump_cpu();
                     return;
                 }
                 Op::PageAccess { page, write } => match self.pool.access(page, write) {
@@ -536,14 +536,14 @@ impl OracleEngine {
                     Access::Miss => {
                         state.pending_page = Some((page, write));
                         self.disk.submit(IoToken::Request(req), 1.0, self.clock);
-                        self.pump_disk();
+                        self.oracle_pump_disk();
                         return;
                     }
                 },
                 Op::LogWrite { bytes } => {
                     self.log
                         .submit(IoToken::Request(req), f64::from(bytes), self.clock);
-                    self.pump_log();
+                    self.oracle_pump_log();
                     return;
                 }
                 Op::LockAcquire { lock, exclusive } => {

@@ -29,6 +29,11 @@ pub struct GenSlab<T> {
     len: usize,
     #[cfg(feature = "strict-invariants")]
     check_tick: u64,
+    /// Reusable scratch for the free-list duplicate check; capacity is
+    /// retained across checks so sampled verification stays
+    /// allocation-free once warmed.
+    #[cfg(feature = "strict-invariants")]
+    check_scratch: Vec<bool>,
 }
 
 /// Mutation count below which `strict-invariants` checks run every time
@@ -54,6 +59,8 @@ impl<T> GenSlab<T> {
             len: 0,
             #[cfg(feature = "strict-invariants")]
             check_tick: 0,
+            #[cfg(feature = "strict-invariants")]
+            check_scratch: Vec::new(),
         }
     }
 
@@ -148,7 +155,8 @@ impl<T> GenSlab<T> {
                 self.slots.len(),
                 "every slot must be live or free-listed"
             );
-            let mut on_free_list = vec![false; self.slots.len()];
+            self.check_scratch.clear();
+            self.check_scratch.resize(self.slots.len(), false);
             for &idx in &self.free {
                 let idx = idx as usize;
                 debug_assert!(
@@ -156,10 +164,10 @@ impl<T> GenSlab<T> {
                     "free-listed slot {idx} still holds a value"
                 );
                 debug_assert!(
-                    !on_free_list[idx],
+                    !self.check_scratch[idx],
                     "slot {idx} appears twice on the free list"
                 );
-                on_free_list[idx] = true;
+                self.check_scratch[idx] = true;
             }
         }
     }

@@ -87,6 +87,7 @@ impl WaitStats {
 
     /// Adds `us` microseconds of wait to `class`.
     pub fn add(&mut self, class: WaitClass, us: u64) {
+        // dasr-lint: allow(G3) reason="WaitClass::index() is enum-bounded, always inside the fixed-size array"
         self.us[class.index()] += us;
     }
 
@@ -128,6 +129,7 @@ impl Index<WaitClass> for WaitStats {
     type Output = u64;
 
     fn index(&self, class: WaitClass) -> &u64 {
+        // dasr-lint: allow(G3) reason="WaitClass::index() is enum-bounded, always inside the fixed-size array"
         &self.us[class.index()]
     }
 }

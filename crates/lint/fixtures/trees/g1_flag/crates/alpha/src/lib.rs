@@ -1,0 +1,21 @@
+//! G1 should-flag: a decision entry point reaches wall clock through a
+//! diamond (`decide -> {left, right} -> shared`) and a cross-crate call
+//! (`shared -> dasr_beta::now_us`). The two diamond arms must produce
+//! ONE deterministic finding at the tainted seed, not two.
+
+// dasr-lint: entry(G1)
+pub fn decide() -> u64 {
+    left() + right()
+}
+
+fn left() -> u64 {
+    shared()
+}
+
+fn right() -> u64 {
+    shared()
+}
+
+fn shared() -> u64 {
+    dasr_beta::now_us()
+}

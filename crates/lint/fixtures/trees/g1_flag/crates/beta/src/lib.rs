@@ -1,0 +1,9 @@
+//! The tainted seed: a helper crate reading the wall clock. The local
+//! D1 finding is waived (this crate believes it is infrastructure); G1
+//! still fires because the decision entry in `alpha` reaches it.
+
+pub fn now_us() -> u64 {
+    // dasr-lint: allow(D1) reason="helper crate treats this as infrastructure; the graph pass decides reachability"
+    let t = std::time::Instant::now();
+    t.elapsed().as_micros() as u64
+}

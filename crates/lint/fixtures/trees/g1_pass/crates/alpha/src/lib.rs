@@ -1,0 +1,19 @@
+//! G1 should-pass: the entry's transitive callee set is clean; the
+//! wall-clock read lives in a function the entry never reaches.
+
+// dasr-lint: entry(G1)
+pub fn decide() -> u64 {
+    left() + right()
+}
+
+fn left() -> u64 {
+    shared()
+}
+
+fn right() -> u64 {
+    shared()
+}
+
+fn shared() -> u64 {
+    41
+}

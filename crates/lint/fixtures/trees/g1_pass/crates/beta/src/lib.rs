@@ -1,0 +1,8 @@
+//! Wall clock in a function unreachable from any entry: D1 is waived
+//! locally, and G1 must NOT fire — reachability is the whole point.
+
+pub fn unreachable_timer() -> u64 {
+    // dasr-lint: allow(D1) reason="not on any decision path; local profiling helper only"
+    let t = std::time::Instant::now();
+    t.elapsed().as_micros() as u64
+}

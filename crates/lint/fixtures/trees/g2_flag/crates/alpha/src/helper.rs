@@ -1,0 +1,7 @@
+//! The allocating helper: no marker of its own, so the token rule (A1)
+//! stays silent — only the graph pass sees the transitive violation.
+
+pub fn build(x: u32) -> u32 {
+    let v: Vec<u32> = Vec::with_capacity(x as usize);
+    v.capacity() as u32
+}

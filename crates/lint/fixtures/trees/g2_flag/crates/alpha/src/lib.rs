@@ -1,0 +1,8 @@
+//! G2 should-flag: a `no-alloc`-marked function is itself clean but
+//! calls an allocating helper in another module — the marker now means
+//! the whole transitive callee set, so this must be flagged.
+
+// dasr-lint: no-alloc
+pub fn marked_hot_path(x: u32) -> u32 {
+    crate::helper::build(x)
+}

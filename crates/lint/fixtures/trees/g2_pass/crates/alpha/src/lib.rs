@@ -1,0 +1,7 @@
+//! G2 should-pass: the marked function's whole transitive callee set
+//! (a diamond through two arithmetic helpers) is allocation-free.
+
+// dasr-lint: no-alloc
+pub fn marked_hot_path(x: u32) -> u32 {
+    crate::helper::double(x) + crate::helper::triple(x)
+}

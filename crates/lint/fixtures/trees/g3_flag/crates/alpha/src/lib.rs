@@ -1,0 +1,13 @@
+//! G3 should-flag via the trait-method approximation: the audited read
+//! path calls `.handle()` on an untyped receiver; every workspace
+//! method named `handle` is a candidate callee, including the panicky
+//! one in the `beta` crate.
+
+pub trait Handler {
+    fn handle(&self, raw: &[u8]) -> u32;
+}
+
+// dasr-lint: entry(G3)
+pub fn read_path(h: &dyn Handler, raw: &[u8]) -> u32 {
+    h.handle(raw)
+}

@@ -1,0 +1,13 @@
+//! A handler impl with unguarded indexing and an expect — reachable
+//! from `alpha::read_path` through the method-name union.
+
+pub struct RawDecoder;
+
+impl RawDecoder {
+    pub fn handle(&self, raw: &[u8]) -> u32 {
+        let head = raw[0];
+        u32::from(head)
+            .checked_mul(2)
+            .expect("decoder overflow")
+    }
+}

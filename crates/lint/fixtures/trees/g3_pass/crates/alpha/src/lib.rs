@@ -1,0 +1,11 @@
+//! G3 should-pass: the audited entry reaches only panic-free code; the
+//! unwrap lives in a function no entry reaches.
+
+// dasr-lint: entry(G3)
+pub fn read_path(raw: &[u8]) -> u32 {
+    checked_head(raw)
+}
+
+fn checked_head(raw: &[u8]) -> u32 {
+    raw.first().copied().map_or(0, u32::from)
+}

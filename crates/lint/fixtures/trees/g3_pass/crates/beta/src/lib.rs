@@ -1,0 +1,6 @@
+//! Panicking code off the audited paths: no entry reaches this, so G3
+//! stays silent (plain unwrap is not a token-rule violation).
+
+pub fn offline_tool(raw: &[u8]) -> u32 {
+    u32::from(raw[0]).checked_mul(2).unwrap()
+}

@@ -74,6 +74,15 @@ pub enum Directive {
         /// finding (rule W1).
         reason: Option<String>,
     },
+    /// An `entry(<rules>)` marker: the next `fn` at or below this line
+    /// is a graph-analysis entry point for the listed rules (G1
+    /// determinism taint, G3 panic-path audit).
+    Entry {
+        /// Line of the marker comment.
+        line: u32,
+        /// Rule codes or names listed inside `entry(...)`.
+        rules: Vec<String>,
+    },
     /// Anything else after the `dasr-lint:` prefix — malformed, always
     /// reported as W1.
     Unknown {
@@ -90,6 +99,7 @@ impl Directive {
         match self {
             Directive::NoAlloc { line }
             | Directive::Allow { line, .. }
+            | Directive::Entry { line, .. }
             | Directive::Unknown { line, .. } => *line,
         }
     }
@@ -344,6 +354,27 @@ fn parse_directive(comment: &str, line: u32) -> Option<Directive> {
     let payload = body.strip_prefix("dasr-lint:")?.trim();
     if payload == "no-alloc" {
         return Some(Directive::NoAlloc { line });
+    }
+    if let Some(rest) = payload.strip_prefix("entry") {
+        let rest = rest.trim_start();
+        let rules = rest
+            .strip_prefix('(')
+            .and_then(|r| r.find(')').map(|close| &r[..close]))
+            .map(|inner| {
+                inner
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect::<Vec<String>>()
+            });
+        return match rules {
+            Some(rules) if !rules.is_empty() => Some(Directive::Entry { line, rules }),
+            _ => Some(Directive::Unknown {
+                line,
+                text: payload.to_string(),
+            }),
+        };
     }
     if let Some(rest) = payload.strip_prefix("allow") {
         let rest = rest.trim_start();

@@ -1,29 +1,44 @@
 //! `dasr-lint` CLI.
 //!
 //! ```text
-//! cargo run -p dasr-lint -- [--deny-all] [--report PATH] [--root DIR] [FILE...]
+//! cargo run -p dasr-lint -- [--deny-all] [--report PATH] [--root DIR]
+//!                           [--threads N] [--explain RULE] [PATH...]
 //! ```
 //!
-//! With no file arguments, lints the whole workspace under `--root`
-//! (default: the current directory), classifying each file by path.
-//! Explicit file arguments are linted under the *strictest* scope
-//! (every rule applies) — this is the mode the fixture self-tests use.
+//! With no path arguments, lints the whole workspace under `--root`
+//! (default: the current directory), classifying each file by path and
+//! running both the token rules and the graph passes. Explicit path
+//! arguments are linted under the *strictest* scope (every rule
+//! applies): a directory argument is analyzed as one tree (multi-file
+//! graph fixtures), loose file arguments are analyzed together as one
+//! unit.
 //!
-//! `--deny-all` exits non-zero when any unwaived finding survives;
-//! `--report` writes the findings as JSONL (one object per line).
+//! `--explain RULE` prints a rule's rationale and a worked waiver
+//! example, then exits. `--deny-all` exits 1 when any unwaived finding
+//! survives; `--report` writes the findings as JSONL.
+//!
+//! Exit codes: 0 clean, 1 findings under `--deny-all`, 2 internal
+//! error (bad usage, unreadable file).
 
 #![forbid(unsafe_code)]
 
-use dasr_lint::rules::Scope;
-use dasr_lint::{lint_source, lint_workspace, Finding, WorkspaceLint};
-use std::path::PathBuf;
+use dasr_lint::rules::LintRule;
+use dasr_lint::{default_threads, lint_paths, lint_tree, lint_workspace_threads};
+use dasr_lint::{Finding, WorkspaceLint};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+
+const USAGE: &str =
+    "usage: dasr-lint [--deny-all] [--report PATH] [--root DIR] [--threads N] [--explain RULE] [PATH...]";
 
 struct Args {
     deny_all: bool,
     report: Option<PathBuf>,
     root: PathBuf,
-    files: Vec<PathBuf>,
+    threads: usize,
+    explain: Option<String>,
+    paths: Vec<PathBuf>,
+    help: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -31,7 +46,10 @@ fn parse_args() -> Result<Args, String> {
         deny_all: false,
         report: None,
         root: PathBuf::from("."),
-        files: Vec::new(),
+        threads: default_threads(),
+        explain: None,
+        paths: Vec::new(),
+        help: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -45,19 +63,44 @@ fn parse_args() -> Result<Args, String> {
                 let dir = it.next().ok_or("--root requires a directory")?;
                 args.root = PathBuf::from(dir);
             }
-            "--help" | "-h" => {
-                return Err(
-                    "usage: dasr-lint [--deny-all] [--report PATH] [--root DIR] [FILE...]"
-                        .to_string(),
-                )
+            "--threads" => {
+                let n = it.next().ok_or("--threads requires a count")?;
+                args.threads = n
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--threads: invalid count {n:?}"))?;
             }
+            "--explain" => {
+                let rule = it.next().ok_or("--explain requires a rule code or name")?;
+                args.explain = Some(rule);
+            }
+            "--help" | "-h" => args.help = true,
             other if other.starts_with('-') => {
                 return Err(format!("unknown flag {other:?} (try --help)"));
             }
-            file => args.files.push(PathBuf::from(file)),
+            path => args.paths.push(PathBuf::from(path)),
         }
     }
     Ok(args)
+}
+
+fn explain(rule_name: &str) -> Result<(), String> {
+    let Some(rule) = LintRule::from_name(rule_name) else {
+        let known: Vec<&str> = LintRule::ALL.iter().map(|r| r.code()).collect();
+        return Err(format!(
+            "unknown rule {rule_name:?} (known: {})",
+            known.join(", ")
+        ));
+    };
+    println!("{} ({})", rule.name(), rule.code());
+    println!("  {}", rule.description());
+    println!();
+    println!("{}", rule.rationale());
+    println!();
+    println!("waiver / fix:");
+    println!("  {}", rule.waiver_example());
+    Ok(())
 }
 
 fn print_finding(f: &Finding) {
@@ -70,37 +113,78 @@ fn print_finding(f: &Finding) {
         f.rule.description(),
         f.snippet
     );
+    if let Some(detail) = &f.detail {
+        println!("         detail: {detail}");
+    }
     if let Some(reason) = &f.reason {
         println!("         reason: {reason}");
     }
 }
 
-fn run() -> Result<ExitCode, String> {
-    let args = parse_args()?;
-
-    let ws: WorkspaceLint = if args.files.is_empty() {
+fn lint(args: &Args) -> Result<WorkspaceLint, String> {
+    if args.paths.is_empty() {
         if !args.root.join("Cargo.toml").is_file() {
             return Err(format!(
                 "no Cargo.toml under {:?}; run from the workspace root or pass --root",
                 args.root
             ));
         }
-        lint_workspace(&args.root).map_err(|e| format!("scan failed: {e}"))?
-    } else {
-        // Explicit files: strictest scope, used by fixture self-tests.
-        let mut ws = WorkspaceLint::default();
-        for path in &args.files {
-            let src = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-            let rel = path.display().to_string().replace('\\', "/");
-            let lint = lint_source(&rel, &src, Scope::strict());
-            ws.files_scanned += 1;
-            ws.findings.extend(lint.findings);
-            ws.unused_waivers
-                .extend(lint.unused_waivers.into_iter().map(|l| (rel.clone(), l)));
+        return lint_workspace_threads(&args.root, args.threads)
+            .map_err(|e| format!("scan failed: {e}"));
+    }
+    // Explicit paths: strictest scope. Directories become standalone
+    // graph trees; loose files are analyzed together as one unit.
+    let mut ws = WorkspaceLint::default();
+    let mut loose: Vec<PathBuf> = Vec::new();
+    for path in &args.paths {
+        if path.is_dir() {
+            let tree = lint_tree(path, args.threads)
+                .map_err(|e| format!("cannot scan {}: {e}", path.display()))?;
+            ws.merge(prefix_files(tree, path));
+        } else {
+            loose.push(path.clone());
         }
-        ws
+    }
+    if !loose.is_empty() {
+        let unit = lint_paths(Path::new(""), &loose, true, args.threads)
+            .map_err(|e| format!("cannot read a file argument: {e}"))?;
+        ws.merge(unit);
+    }
+    Ok(ws)
+}
+
+/// Re-prefixes a tree report's relative paths with the tree directory,
+/// so CLI output points at real files.
+fn prefix_files(mut ws: WorkspaceLint, dir: &Path) -> WorkspaceLint {
+    let prefix = dir.display().to_string().replace('\\', "/");
+    let join = |rel: &str| {
+        if prefix.is_empty() || prefix == "." {
+            rel.to_string()
+        } else {
+            format!("{}/{rel}", prefix.trim_end_matches('/'))
+        }
     };
+    for f in &mut ws.findings {
+        f.file = join(&f.file);
+    }
+    for (file, _) in &mut ws.unused_waivers {
+        *file = join(file);
+    }
+    ws
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args = parse_args()?;
+    if args.help {
+        println!("{USAGE}");
+        return Ok(ExitCode::SUCCESS);
+    }
+    if let Some(rule) = &args.explain {
+        explain(rule)?;
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let ws = lint(&args)?;
 
     for f in &ws.findings {
         print_finding(f);
@@ -109,8 +193,11 @@ fn run() -> Result<ExitCode, String> {
         println!("[unused] {file}:{line} waiver matches no finding");
     }
     println!(
-        "dasr-lint: {} files scanned, {} active finding(s), {} waived, {} unused waiver(s)",
+        "dasr-lint: {} files scanned, {} fns ({} entry, {} no-alloc), {} active finding(s), {} waived, {} unused waiver(s)",
         ws.files_scanned,
+        ws.graph_fns,
+        ws.entry_fns,
+        ws.no_alloc_fns,
         ws.active_count(),
         ws.waived_count(),
         ws.unused_waivers.len()
@@ -123,7 +210,7 @@ fn run() -> Result<ExitCode, String> {
     }
 
     if args.deny_all && ws.active_count() > 0 {
-        return Ok(ExitCode::FAILURE);
+        return Ok(ExitCode::from(1));
     }
     Ok(ExitCode::SUCCESS)
 }
@@ -133,7 +220,7 @@ fn main() -> ExitCode {
         Ok(code) => code,
         Err(msg) => {
             eprintln!("dasr-lint: {msg}");
-            ExitCode::FAILURE
+            ExitCode::from(2)
         }
     }
 }

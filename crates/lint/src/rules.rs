@@ -34,13 +34,29 @@ pub enum LintRule {
     /// W1 — malformed waiver: unknown rule, missing/empty `reason`, or
     /// an unparseable `dasr-lint:` directive. Never waivable.
     W1MalformedWaiver,
+    /// G1 — transitive determinism taint: a function that directly uses
+    /// wall-clock time, ambient randomness, or `HashMap`/`HashSet`
+    /// iteration and is *reachable* (over the approximate call graph)
+    /// from a `// dasr-lint: entry(G1)` entry point.
+    G1TransitiveTaint,
+    /// G2 — transitive allocation under a `no-alloc` marker: the marked
+    /// function calls (directly or through any chain of workspace
+    /// functions) something that allocates. Flagged at the first call
+    /// edge out of the marked function.
+    G2AllocReachability,
+    /// G3 — panic path: a function containing `unwrap`/`expect` or
+    /// indexing reachable from a `// dasr-lint: entry(G3)` entry point
+    /// (engine dispatch, store read paths). One finding per function,
+    /// at its first panic site.
+    G3PanicPath,
 }
 
 impl LintRule {
     /// Number of rules.
-    pub const COUNT: usize = 7;
+    pub const COUNT: usize = 10;
 
-    /// Every rule, in stable wire order.
+    /// Every rule, in stable wire order (new rules append, nothing
+    /// renumbers).
     pub const ALL: [LintRule; Self::COUNT] = [
         LintRule::D1WallClock,
         LintRule::D2MapIteration,
@@ -49,6 +65,9 @@ impl LintRule {
         LintRule::F1NanUnsafeOrder,
         LintRule::A1AllocInNoAlloc,
         LintRule::W1MalformedWaiver,
+        LintRule::G1TransitiveTaint,
+        LintRule::G2AllocReachability,
+        LintRule::G3PanicPath,
     ];
 
     /// Short stable code, e.g. `"D2"`.
@@ -61,6 +80,9 @@ impl LintRule {
             LintRule::F1NanUnsafeOrder => "F1",
             LintRule::A1AllocInNoAlloc => "A1",
             LintRule::W1MalformedWaiver => "W1",
+            LintRule::G1TransitiveTaint => "G1",
+            LintRule::G2AllocReachability => "G2",
+            LintRule::G3PanicPath => "G3",
         }
     }
 
@@ -74,6 +96,9 @@ impl LintRule {
             LintRule::F1NanUnsafeOrder => "F1-nan-unsafe-order",
             LintRule::A1AllocInNoAlloc => "A1-alloc-in-no-alloc",
             LintRule::W1MalformedWaiver => "W1-malformed-waiver",
+            LintRule::G1TransitiveTaint => "G1-transitive-taint",
+            LintRule::G2AllocReachability => "G2-alloc-reachability",
+            LintRule::G3PanicPath => "G3-panic-path",
         }
     }
 
@@ -87,6 +112,122 @@ impl LintRule {
             LintRule::F1NanUnsafeOrder => "partial_cmp(..).unwrap()/expect() float ordering",
             LintRule::A1AllocInNoAlloc => "allocation inside a no-alloc function",
             LintRule::W1MalformedWaiver => "malformed dasr-lint directive or waiver",
+            LintRule::G1TransitiveTaint => {
+                "nondeterministic source reachable from a deterministic entry point"
+            }
+            LintRule::G2AllocReachability => {
+                "no-alloc function calls a transitively allocating helper"
+            }
+            LintRule::G3PanicPath => "unwrap/expect/indexing reachable from an audited entry point",
+        }
+    }
+
+    /// Multi-line rationale shown by `dasr-lint --explain <RULE>`
+    /// (derived text, never stored).
+    pub fn rationale(self) -> &'static str {
+        match self {
+            LintRule::D1WallClock => {
+                "Every verification artifact in this workspace (oracle equivalence, \
+                 1/2/8-thread bit-identity, replay fidelity) assumes runs are pure \
+                 functions of their seeds. A wall-clock read anywhere on a decision \
+                 or simulation path silently breaks that. Wall-clock timers are \
+                 allowed only inside core::obs, which is excluded from the \
+                 determinism contract by design."
+            }
+            LintRule::D2MapIteration => {
+                "std HashMap/HashSet iteration order is randomized per process. Any \
+                 fold, event emission, or report built by iterating one is \
+                 nondeterministic even with fixed seeds. Route through a sorted \
+                 adapter or a BTree collection, or waive with a reason explaining \
+                 why the fold is order-independent."
+            }
+            LintRule::D3AmbientRandomness => {
+                "All randomness must flow from explicit, seedable streams \
+                 (SplitMix64 tenant seeds). thread_rng/from_entropy/rand::random \
+                 pull entropy from the OS and make runs unreproducible."
+            }
+            LintRule::R1StoredText => {
+                "Render-from-structure: trace, event, and metric types carry \
+                 structured data only; human text is derived at print time. A \
+                 stored String invites formatting drift between producers and \
+                 makes byte-identity meaningless."
+            }
+            LintRule::F1NanUnsafeOrder => {
+                "partial_cmp(..).unwrap() panics on NaN, and under sort_by a NaN \
+                 breaks the total-order contract (UB-adjacent ordering bugs). Use \
+                 total_cmp, or the all-finite-guarded stats kernels."
+            }
+            LintRule::A1AllocInNoAlloc => {
+                "A `// dasr-lint: no-alloc` marker promises the function body \
+                 performs no heap allocation: no collect/to_vec/to_string/clone \
+                 calls, no vec!/format! macros, no Vec/String/Box constructors. \
+                 Hot dispatch paths use caller-owned scratch instead."
+            }
+            LintRule::W1MalformedWaiver => {
+                "A waiver without a reason is a suppressed finding nobody can \
+                 audit. Every allow(...) must parse, name real rules, and carry a \
+                 non-empty reason=\"...\". W1 itself can never be waived."
+            }
+            LintRule::G1TransitiveTaint => {
+                "Token-level rules (D1/D2/D3) only see the file they are in; a \
+                 deterministic entry point calling a helper two crates away that \
+                 reads the clock passes them silently. G1 builds the workspace \
+                 call graph, seeds taint at every direct wall-clock / ambient-rng \
+                 / map-iteration use, propagates it caller-ward to a fixpoint, and \
+                 flags every tainted source line reachable from a function marked \
+                 `// dasr-lint: entry(G1)` (policy decide, fleet folds, store \
+                 codec). The finding sits on the offending line, not the entry."
+            }
+            LintRule::G2AllocReachability => {
+                "A `no-alloc` marker used to mean only the marked body was \
+                 scanned (rule A1). G2 makes the marker transitive: the whole \
+                 workspace callee closure must be allocation-free. The finding is \
+                 emitted at the first call edge out of the marked function whose \
+                 callee (or anything it transitively calls) allocates, with the \
+                 offending chain in the detail."
+            }
+            LintRule::G3PanicPath => {
+                "Engine dispatch and store read paths must not panic on untrusted \
+                 input: a poisoned segment byte or a stale index must surface as \
+                 an error, not abort the process. G3 walks the call graph from \
+                 `// dasr-lint: entry(G3)` functions and reports each reachable \
+                 function containing unwrap/expect or slice/array indexing — one \
+                 finding per function, at its first panic site. Fix by \
+                 propagating errors; waive bounded indexing with the invariant \
+                 that bounds it."
+            }
+        }
+    }
+
+    /// A worked waiver (or fix) example for `--explain` output.
+    pub fn waiver_example(self) -> &'static str {
+        match self {
+            LintRule::D1WallClock => {
+                "// dasr-lint: allow(D1) reason=\"profiling scratch, not on a decision path\""
+            }
+            LintRule::D2MapIteration => {
+                "// dasr-lint: allow(D2) reason=\"order-independent sum over values\""
+            }
+            LintRule::D3AmbientRandomness => {
+                "// dasr-lint: allow(D3) reason=\"one-shot seed generation in a CLI tool\""
+            }
+            LintRule::R1StoredText => {
+                "// dasr-lint: allow(R1) reason=\"interned label id, rendered elsewhere\""
+            }
+            LintRule::F1NanUnsafeOrder => "fix: a.total_cmp(&b) — no waiver needed",
+            LintRule::A1AllocInNoAlloc => {
+                "// dasr-lint: allow(A1) reason=\"cold error branch, never on the hot path\""
+            }
+            LintRule::W1MalformedWaiver => "not waivable: fix the directive instead",
+            LintRule::G1TransitiveTaint => {
+                "// dasr-lint: allow(G1) reason=\"diagnostic counter, excluded from replay\""
+            }
+            LintRule::G2AllocReachability => {
+                "// dasr-lint: allow(G2) reason=\"callee allocates only on first call (lazy init)\""
+            }
+            LintRule::G3PanicPath => {
+                "// dasr-lint: allow(G3) reason=\"index masked by capacity; strict-invariants asserts bounds\""
+            }
         }
     }
 
@@ -131,6 +272,9 @@ pub struct RawFinding {
     pub rule: LintRule,
     /// 1-based line of the offending token.
     pub line: u32,
+    /// Index of the offending token in the file's token stream (lets the
+    /// item parser attribute hits to enclosing functions).
+    pub tok: usize,
 }
 
 /// Trace/event/metric types protected by R1 (render-from-structure).
@@ -323,7 +467,7 @@ fn is_path_sep(tokens: &[Tok], i: usize) -> bool {
 }
 
 /// D1: `Instant::now` or any `SystemTime` mention.
-fn scan_d1(tokens: &[Tok], in_test: &[bool], scope: Scope, out: &mut Vec<RawFinding>) {
+pub(crate) fn scan_d1(tokens: &[Tok], in_test: &[bool], scope: Scope, out: &mut Vec<RawFinding>) {
     if scope.wallclock_exempt {
         return;
     }
@@ -342,6 +486,7 @@ fn scan_d1(tokens: &[Tok], in_test: &[bool], scope: Scope, out: &mut Vec<RawFind
             out.push(RawFinding {
                 rule: LintRule::D1WallClock,
                 line: t.line,
+                tok: i,
             });
         }
     }
@@ -350,7 +495,7 @@ fn scan_d1(tokens: &[Tok], in_test: &[bool], scope: Scope, out: &mut Vec<RawFind
 /// Names declared with a `HashMap`/`HashSet` type or constructor in
 /// non-test code: `name: HashMap<..>` fields/params and
 /// `let name = HashMap::new()` bindings.
-fn collect_map_names(tokens: &[Tok], in_test: &[bool]) -> Vec<String> {
+pub(crate) fn collect_map_names(tokens: &[Tok], in_test: &[bool]) -> Vec<String> {
     let mut names: Vec<String> = Vec::new();
     for i in 0..tokens.len() {
         if in_test[i] {
@@ -438,7 +583,12 @@ fn path_contains_map(tokens: &[Tok], mut j: usize) -> bool {
 
 /// D2: order-sensitive method calls and `for`-loops over map names,
 /// unless the same statement routes through a sorted adapter.
-fn scan_d2(tokens: &[Tok], in_test: &[bool], map_names: &[String], out: &mut Vec<RawFinding>) {
+pub(crate) fn scan_d2(
+    tokens: &[Tok],
+    in_test: &[bool],
+    map_names: &[String],
+    out: &mut Vec<RawFinding>,
+) {
     for i in 0..tokens.len() {
         if in_test[i] {
             continue;
@@ -459,6 +609,7 @@ fn scan_d2(tokens: &[Tok], in_test: &[bool], map_names: &[String], out: &mut Vec
                 out.push(RawFinding {
                     rule: LintRule::D2MapIteration,
                     line: tokens[i].line,
+                    tok: i,
                 });
             }
         }
@@ -470,6 +621,7 @@ fn scan_d2(tokens: &[Tok], in_test: &[bool], map_names: &[String], out: &mut Vec
                     out.push(RawFinding {
                         rule: LintRule::D2MapIteration,
                         line,
+                        tok: i,
                     });
                 }
             }
@@ -532,7 +684,7 @@ fn sorted_adapter_follows(tokens: &[Tok], i: usize) -> bool {
 
 /// D3: ambient randomness — `thread_rng`, `ThreadRng`, `from_entropy`,
 /// and `rand::random`.
-fn scan_d3(tokens: &[Tok], in_test: &[bool], out: &mut Vec<RawFinding>) {
+pub(crate) fn scan_d3(tokens: &[Tok], in_test: &[bool], out: &mut Vec<RawFinding>) {
     for (i, t) in tokens.iter().enumerate() {
         if in_test[i] {
             continue;
@@ -548,6 +700,7 @@ fn scan_d3(tokens: &[Tok], in_test: &[bool], out: &mut Vec<RawFinding>) {
             out.push(RawFinding {
                 rule: LintRule::D3AmbientRandomness,
                 line: t.line,
+                tok: i,
             });
         }
     }
@@ -573,11 +726,12 @@ fn scan_r1(tokens: &[Tok], in_test: &[bool], out: &mut Vec<RawFinding>) {
             continue;
         };
         let close = match_brace(tokens, open);
-        for t in &tokens[open..=close] {
+        for (k, t) in tokens.iter().enumerate().take(close + 1).skip(open) {
             if t.is_ident("String") {
                 out.push(RawFinding {
                     rule: LintRule::R1StoredText,
                     line: t.line,
+                    tok: k,
                 });
             }
         }
@@ -624,44 +778,133 @@ fn scan_f1(tokens: &[Tok], in_test: &[bool], scope: Scope, out: &mut Vec<RawFind
             out.push(RawFinding {
                 rule: LintRule::F1NanUnsafeOrder,
                 line: t.line,
+                tok: i,
             });
         }
     }
 }
 
-/// A1: allocation inside a `no-alloc` body — allocating calls
+/// Whether the token at `i` is an allocation site: allocating calls
 /// (`collect`, `clone`, `to_vec`, …), allocating macros (`vec!`,
 /// `format!`), and allocating constructors (`Vec::new`, `String::from`,
-/// `Box::new`).
+/// `Box::new`). Shared by rule A1 (marked bodies only) and the graph
+/// phase's per-function allocation facts (every body).
+pub(crate) fn alloc_hit(tokens: &[Tok], i: usize) -> bool {
+    let Some(name) = tokens[i].ident() else {
+        return false;
+    };
+    if A1_FORBIDDEN_CALLS.contains(&name) {
+        // Require call position to spare field names like `clone`.
+        tokens.get(i + 1).is_some_and(|t| t.is_punct('('))
+            || (tokens.get(i + 1).is_some_and(|t| t.is_punct(':')) && is_path_sep(tokens, i + 1))
+    } else if name == "vec" || name == "format" {
+        tokens.get(i + 1).is_some_and(|t| t.is_punct('!'))
+    } else if name == "Vec" || name == "String" || name == "Box" || name == "VecDeque" {
+        is_path_sep(tokens, i + 1)
+            && tokens
+                .get(i + 3)
+                .and_then(Tok::ident)
+                .is_some_and(|m| matches!(m, "new" | "with_capacity" | "from" | "from_iter"))
+    } else {
+        false
+    }
+}
+
+/// A1: allocation inside a `no-alloc` body.
 fn scan_a1(tokens: &[Tok], no_alloc: &[bool], out: &mut Vec<RawFinding>) {
-    for (i, t) in tokens.iter().enumerate() {
-        if !no_alloc[i] {
-            continue;
-        }
-        let Some(name) = t.ident() else { continue };
-        let hit = if A1_FORBIDDEN_CALLS.contains(&name) {
-            // Require call position to spare field names like `clone`.
-            tokens.get(i + 1).is_some_and(|t| t.is_punct('('))
-                || (tokens.get(i + 1).is_some_and(|t| t.is_punct(':'))
-                    && is_path_sep(tokens, i + 1))
-        } else if name == "vec" || name == "format" {
-            tokens.get(i + 1).is_some_and(|t| t.is_punct('!'))
-        } else if name == "Vec" || name == "String" || name == "Box" || name == "VecDeque" {
-            is_path_sep(tokens, i + 1)
-                && tokens
-                    .get(i + 3)
-                    .and_then(Tok::ident)
-                    .is_some_and(|m| matches!(m, "new" | "with_capacity" | "from" | "from_iter"))
-        } else {
-            false
-        };
-        if hit {
+    for i in 0..tokens.len() {
+        if no_alloc[i] && alloc_hit(tokens, i) {
             out.push(RawFinding {
                 rule: LintRule::A1AllocInNoAlloc,
-                line: t.line,
+                line: tokens[i].line,
+                tok: i,
             });
         }
     }
+}
+
+/// Allocation sites anywhere in non-test code — the graph phase's raw
+/// material for per-function allocation facts (rule G2).
+pub(crate) fn scan_alloc_all(tokens: &[Tok], in_test: &[bool]) -> Vec<RawFinding> {
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        if !in_test[i] && alloc_hit(tokens, i) {
+            out.push(RawFinding {
+                rule: LintRule::G2AllocReachability,
+                line: tokens[i].line,
+                tok: i,
+            });
+        }
+    }
+    out
+}
+
+/// A potential panic site kind (rule G3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PanicKind {
+    /// `.unwrap()` / `.expect(..)` on an Option/Result.
+    Unwrap,
+    /// Slice/array indexing `x[i]` (panics when out of bounds).
+    Index,
+}
+
+/// A raw panic site: kind, token index, line.
+#[derive(Debug, Clone, Copy)]
+pub struct PanicSite {
+    /// What kind of panic site.
+    pub kind: PanicKind,
+    /// Token index of the site.
+    pub tok: usize,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Keywords that precede `[` without forming an index expression
+/// (`let [a, b] = …`, `return [x]`, …).
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "let", "return", "in", "if", "else", "match", "while", "break", "move", "as", "mut", "ref",
+];
+
+/// Panic sites in non-test code: `.unwrap()`/`.expect(..)` calls and
+/// index expressions (`[` preceded by an identifier, `)` or `]`).
+pub(crate) fn scan_panics(tokens: &[Tok], in_test: &[bool]) -> Vec<PanicSite> {
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if in_test[i] {
+            continue;
+        }
+        match &t.kind {
+            Kind::Ident(s)
+                if (s == "unwrap" || s == "expect")
+                    && i >= 1
+                    && tokens[i - 1].is_punct('.')
+                    && tokens.get(i + 1).is_some_and(|t| t.is_punct('(')) =>
+            {
+                out.push(PanicSite {
+                    kind: PanicKind::Unwrap,
+                    tok: i,
+                    line: t.line,
+                });
+            }
+            Kind::Punct('[') if i >= 1 => {
+                let prev = &tokens[i - 1];
+                let indexes = match &prev.kind {
+                    Kind::Ident(p) => !NON_INDEX_KEYWORDS.contains(&p.as_str()),
+                    Kind::Punct(')') | Kind::Punct(']') => true,
+                    _ => false,
+                };
+                if indexes {
+                    out.push(PanicSite {
+                        kind: PanicKind::Index,
+                        tok: i,
+                        line: t.line,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    out
 }
 
 #[cfg(test)]

@@ -104,8 +104,9 @@ fn waiver_fixtures() {
     assert!(active_rules(&findings).is_empty());
 }
 
-/// The binary exits non-zero on every should_flag fixture and zero on
-/// every should_pass fixture under `--deny-all`.
+/// The binary's `--deny-all` exit code is exactly 1 on every
+/// should_flag fixture and 0 on every should_pass fixture — 1 means
+/// "findings", reserving 2 for internal errors.
 #[test]
 fn deny_all_exit_codes() {
     let fixtures_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures");
@@ -130,10 +131,61 @@ fn deny_all_exit_codes() {
             .arg(fixtures_dir.join(name))
             .status()
             .expect("run dasr-lint");
+        let want = if should_fail { 1 } else { 0 };
         assert_eq!(
-            status.success(),
-            !should_fail,
+            status.code(),
+            Some(want),
             "unexpected exit for fixture {name}"
         );
     }
+}
+
+/// Internal errors (unreadable input, bad flags, unknown rules) exit 2,
+/// distinguishable from "findings" (1) in CI scripts.
+#[test]
+fn internal_errors_exit_2() {
+    let bin = env!("CARGO_BIN_EXE_dasr-lint");
+    for args in [
+        vec!["--deny-all", "no/such/file.rs"],
+        vec!["--threads", "0"],
+        vec!["--threads", "many"],
+        vec!["--explain", "Z9"],
+        vec!["--no-such-flag"],
+    ] {
+        let out = std::process::Command::new(bin)
+            .args(&args)
+            .output()
+            .expect("run dasr-lint");
+        assert_eq!(out.status.code(), Some(2), "args {args:?}");
+        assert!(
+            !out.stderr.is_empty(),
+            "args {args:?} must explain on stderr"
+        );
+    }
+}
+
+/// `--explain` prints each rule's rationale and a waiver example, and
+/// exits 0 without scanning anything.
+#[test]
+fn explain_covers_every_rule() {
+    let bin = env!("CARGO_BIN_EXE_dasr-lint");
+    for rule in LintRule::ALL {
+        let out = std::process::Command::new(bin)
+            .args(["--explain", rule.code()])
+            .output()
+            .expect("run dasr-lint");
+        assert_eq!(out.status.code(), Some(0), "--explain {}", rule.code());
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            text.contains(rule.code()) && text.contains("waiver / fix:"),
+            "--explain {} output incomplete:\n{text}",
+            rule.code()
+        );
+    }
+    // Rule *names* work too, not just codes.
+    let out = std::process::Command::new(bin)
+        .args(["--explain", "G2-alloc-reachability"])
+        .output()
+        .expect("run dasr-lint");
+    assert_eq!(out.status.code(), Some(0));
 }

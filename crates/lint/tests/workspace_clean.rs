@@ -35,4 +35,24 @@ fn workspace_has_no_active_findings() {
         "stale waivers: {:?}",
         ws.unused_waivers
     );
+
+    // The graph passes must actually be exercising the workspace: the
+    // entry directives on decide/fold/codec/store-read functions and
+    // the no-alloc markers are load-bearing, so a parser regression
+    // that silently drops them must fail here, not pass vacuously.
+    assert!(
+        ws.graph_fns > 500,
+        "symbol graph looks truncated: {} fns",
+        ws.graph_fns
+    );
+    assert!(
+        ws.entry_fns >= 16,
+        "entry directives dropped: {} entry fns",
+        ws.entry_fns
+    );
+    assert!(
+        ws.no_alloc_fns >= 100,
+        "no-alloc markers dropped: {} marked fns",
+        ws.no_alloc_fns
+    );
 }

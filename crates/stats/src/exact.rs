@@ -130,6 +130,7 @@ impl ExactSum {
     /// grouping or order yields the same exact value, hence the same
     /// [`ExactSum::value`].
     // dasr-lint: no-alloc
+    // dasr-lint: entry(G1)
     pub fn merge(&mut self, other: &ExactSum) {
         for j in 0..other.len {
             self.add(other.partials[j]);

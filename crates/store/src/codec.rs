@@ -216,6 +216,7 @@ impl BatchEncoder {
     }
 
     /// Appends `rec`'s v2 frame to `buf`.
+    // dasr-lint: entry(G1)
     pub fn encode_into(&mut self, rec: &StoredRecord, buf: &mut Vec<u8>) {
         match &rec.payload {
             RecordPayload::Event(ev) => {
@@ -368,13 +369,13 @@ impl BatchDecoder {
     }
 
     /// Decodes the next v2 frame from `c`.
+    // dasr-lint: entry(G1, G3)
     pub fn decode_next(&mut self, c: &mut Cursor<'_>) -> Result<StoredRecord, String> {
         let kind = c.u8()?;
-        let run = RunId(u32::try_from(undelta(
-            &mut self.prev.run,
-            read_ivar(c)?,
-        ))
-        .map_err(|_| "run delta leaves the u32 range".to_string())?);
+        let run = RunId(
+            u32::try_from(undelta(&mut self.prev.run, read_ivar(c)?))
+                .map_err(|_| "run delta leaves the u32 range".to_string())?,
+        );
         let tenant_wire = undelta(&mut self.prev.tenant, read_ivar(c)?);
         let tenant = (tenant_wire != TENANT_NONE).then_some(tenant_wire);
         let interval = undelta(&mut self.prev.interval, read_ivar(c)?);
@@ -578,7 +579,9 @@ mod tests {
         let mut bytes = vec![0xffu8; 9];
         bytes.push(0x02);
         let mut c = Cursor::new(&bytes);
-        assert!(read_uvar(&mut c).expect_err("overflow").contains("overflow"));
+        assert!(read_uvar(&mut c)
+            .expect_err("overflow")
+            .contains("overflow"));
     }
 
     #[test]

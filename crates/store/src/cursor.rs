@@ -128,9 +128,7 @@ impl Query {
             (Shape::All, _) => true,
             (Shape::Samples, RecordPayload::Sample(_)) => true,
             (Shape::Samples, RecordPayload::Event(_)) => false,
-            (Shape::Events(mask), RecordPayload::Event(ev)) => {
-                mask & (1 << etag_of(&ev.kind)) != 0
-            }
+            (Shape::Events(mask), RecordPayload::Event(ev)) => mask & (1 << etag_of(&ev.kind)) != 0,
             (Shape::Events(_), RecordPayload::Sample(_)) => false,
         }
     }
@@ -145,6 +143,7 @@ fn frame_len(idx: &SegmentIndex, i: usize) -> usize {
         .entries
         .get(i + 1)
         .map_or(idx.seg_bytes, |next| next.offset);
+    // dasr-lint: allow(G3) reason="entries[i] follows a successful matches-check at index i; get(i+1) guards the far edge"
     (end - idx.entries[i].offset) as usize
 }
 
@@ -153,8 +152,11 @@ fn frame_len(idx: &SegmentIndex, i: usize) -> usize {
 fn verify_frame(frame: &[u8], offset: u64) -> Result<u32, String> {
     let len = frame.len();
     if len < BATCH_OVERHEAD {
-        return Err(format!("batch frame at offset {offset} shorter than its overhead"));
+        return Err(format!(
+            "batch frame at offset {offset} shorter than its overhead"
+        ));
     }
+    // dasr-lint: allow(G3) reason="frame length checked against BATCH_OVERHEAD just above"
     let n_records = u32::from_le_bytes([frame[0], frame[1], frame[2], frame[3]]);
     let payload_len = u32::from_le_bytes([frame[4], frame[5], frame[6], frame[7]]) as usize;
     if payload_len + BATCH_OVERHEAD != len {
@@ -183,7 +185,9 @@ fn verify_frame(frame: &[u8], offset: u64) -> Result<u32, String> {
 /// payload is `buf[8 .. len - 4]`.
 fn read_frame(file: &mut File, offset: u64, len: usize, buf: &mut Vec<u8>) -> Result<u32, String> {
     if len < BATCH_OVERHEAD {
-        return Err(format!("batch frame at offset {offset} shorter than its overhead"));
+        return Err(format!(
+            "batch frame at offset {offset} shorter than its overhead"
+        ));
     }
     buf.resize(len, 0);
     file.seek(SeekFrom::Start(offset))
@@ -211,12 +215,17 @@ fn fold_segment<T>(
     buf: &mut Vec<u8>,
 ) -> Result<(), String> {
     let name = || segment::file_name(idx.segment_id);
-    let matching = idx.entries.iter().filter(|e| query.matches_entry(e)).count();
+    let matching = idx
+        .entries
+        .iter()
+        .filter(|e| query.matches_entry(e))
+        .count();
     if matching == 0 {
         return Ok(());
     }
     let mut decode = |frame: &[u8], offset: u64| -> Result<(), String> {
-        let n_records = verify_frame(frame, offset).map_err(|e| format!("segment {}: {e}", name()))?;
+        let n_records =
+            verify_frame(frame, offset).map_err(|e| format!("segment {}: {e}", name()))?;
         let payload = &frame[8..frame.len() - 4];
         segment::decode_payload(idx.version, payload, n_records, |rec| {
             if query.matches_record(rec) {
@@ -281,10 +290,18 @@ fn fold_segment<T>(
         }
         buf.resize(len, 0);
         file.seek(SeekFrom::Start(entry.offset)).map_err(|e| {
-            format!("segment {}: seek to batch at offset {} failed: {e}", name(), entry.offset)
+            format!(
+                "segment {}: seek to batch at offset {} failed: {e}",
+                name(),
+                entry.offset
+            )
         })?;
         file.read_exact(buf).map_err(|e| {
-            format!("segment {}: read of batch at offset {} failed: {e}", name(), entry.offset)
+            format!(
+                "segment {}: read of batch at offset {} failed: {e}",
+                name(),
+                entry.offset
+            )
         })?;
         decode(&buf[..], entry.offset)?;
     }
@@ -331,7 +348,8 @@ where
         return Ok(out);
     }
     let cursor = AtomicUsize::new(0);
-    let partials: Mutex<Vec<(usize, Result<T, String>)>> = Mutex::new(Vec::with_capacity(work.len()));
+    let partials: Mutex<Vec<(usize, Result<T, String>)>> =
+        Mutex::new(Vec::with_capacity(work.len()));
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| {
@@ -340,14 +358,19 @@ where
                     let k = cursor.fetch_add(1, Ordering::Relaxed);
                     let Some(idx) = work.get(k) else { break };
                     let mut acc = make();
-                    let res = fold_segment(dir, idx, query, &mut acc, &fold, &mut buf)
-                        .map(|()| acc);
-                    partials.lock().expect("partials lock").push((k, res));
+                    let res =
+                        fold_segment(dir, idx, query, &mut acc, &fold, &mut buf).map(|()| acc);
+                    partials
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .push((k, res));
                 }
             });
         }
     });
-    let mut partials = partials.into_inner().expect("partials lock");
+    let mut partials = partials
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     partials.sort_unstable_by_key(|(k, _)| *k);
     partials
         .into_iter()
@@ -401,6 +424,7 @@ fn fires_segment(
         };
         let n_records = read_frame(file, entry.offset, frame_len(idx, i), buf)
             .map_err(|e| format!("segment {}: {e}", name()))?;
+        // dasr-lint: allow(G3) reason="read_frame only returns buffers at least BATCH_OVERHEAD (12 bytes) long"
         let payload = &buf[8..buf.len() - 4];
         segment::decode_payload(idx.version, payload, n_records, |rec| {
             if query.matches_record(rec) {
@@ -455,14 +479,18 @@ pub(crate) fn fold_fires(
                     let k = cursor.fetch_add(1, Ordering::Relaxed);
                     let Some(idx) = work.get(k) else { break };
                     let mut acc = FireCounts::default();
-                    let res =
-                        fires_segment(dir, idx, query, &mut acc, &mut buf).map(|()| acc);
-                    partials.lock().expect("partials lock").push((k, res));
+                    let res = fires_segment(dir, idx, query, &mut acc, &mut buf).map(|()| acc);
+                    partials
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .push((k, res));
                 }
             });
         }
     });
-    let mut partials = partials.into_inner().expect("partials lock");
+    let mut partials = partials
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     partials.sort_unstable_by_key(|(k, _)| *k);
     for (_, part) in partials {
         total.merge(&part.map_err(StoreError::Corrupt)?);

@@ -443,6 +443,7 @@ impl<'a> Cursor<'a> {
         let end = self.pos.checked_add(n).filter(|&e| e <= self.bytes.len());
         match end {
             Some(end) => {
+                // dasr-lint: allow(G3) reason="end is checked_add-filtered to at most bytes.len() before slicing"
                 let out = &self.bytes[self.pos..end];
                 self.pos = end;
                 Ok(out)

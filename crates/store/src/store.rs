@@ -606,6 +606,7 @@ impl Store {
     /// # std::fs::remove_dir_all(&dir)?;
     /// # Ok::<(), dasr_store::StoreError>(())
     /// ```
+    // dasr-lint: entry(G3)
     pub fn scan_range(&self, intervals: Range<u64>) -> Result<Vec<StoredRecord>, StoreError> {
         self.collect_records(Query {
             intervals: Some(intervals),
@@ -614,6 +615,7 @@ impl Store {
     }
 
     /// Every record of one run, in append order.
+    // dasr-lint: entry(G3)
     pub fn run_records(&self, run: RunId) -> Result<Vec<StoredRecord>, StoreError> {
         self.collect_records(Query {
             run: Some(run),
@@ -627,6 +629,7 @@ impl Store {
     /// regardless of how many records match — the right tool for large
     /// exports and one-pass folds where a `Vec` of the result would be
     /// the dominant cost.
+    // dasr-lint: entry(G3)
     pub fn cursor(&self, query: Query) -> Result<RecordCursor, StoreError> {
         let snap: WriterSnapshot = self.writer.flush()?;
         Ok(RecordCursor::new(self.dir.clone(), snap.indices, query))
@@ -661,6 +664,7 @@ impl Store {
     /// # std::fs::remove_dir_all(&dir)?;
     /// # Ok::<(), dasr_store::StoreError>(())
     /// ```
+    // dasr-lint: entry(G3)
     pub fn tenant_events(&self, run: RunId, tenant: u64) -> Result<Vec<RunEvent>, StoreError> {
         let query = Query {
             run: Some(run),
@@ -677,6 +681,7 @@ impl Store {
     }
 
     /// One run's sample records (all tenants, or one), in append order.
+    // dasr-lint: entry(G3)
     pub fn run_samples(
         &self,
         run: RunId,
@@ -698,6 +703,7 @@ impl Store {
 
     /// Rule-fire totals over an interval window — one run or (with
     /// `run = None`) aggregated across every run in the store.
+    // dasr-lint: entry(G3)
     pub fn fire_counts(
         &self,
         run: Option<RunId>,
@@ -754,7 +760,14 @@ impl Store {
         F: Fn(&mut T, &StoredRecord) + Sync,
     {
         let snap: WriterSnapshot = self.writer.flush()?;
-        cursor::fold_records(&self.dir, &snap.indices, query, self.read_threads, make, fold)
+        cursor::fold_records(
+            &self.dir,
+            &snap.indices,
+            query,
+            self.read_threads,
+            make,
+            fold,
+        )
     }
 
     /// [`fold`](Self::fold) specialized to collecting whole records.
@@ -1113,7 +1126,10 @@ mod tests {
         // Compact frames: well under v1's ~49 bytes/record, but still
         // real bytes (headers + framing + payloads).
         assert!(stats.bytes > 100, "bytes: {stats:?}");
-        assert!(stats.bytes < 100 * 40, "v2 should beat v1 sizing: {stats:?}");
+        assert!(
+            stats.bytes < 100 * 40,
+            "v2 should beat v1 sizing: {stats:?}"
+        );
         store.close().expect("close");
         std::fs::remove_dir_all(&dir).expect("cleanup");
     }

@@ -20,10 +20,8 @@ const BATCH: usize = 4;
 const BOTH: [FormatVersion; 2] = [FormatVersion::V1, FormatVersion::V2];
 
 fn fresh_dir(tag: &str, format: FormatVersion) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!(
-        "dasr-crash-{tag}-{format}-{}",
-        std::process::id()
-    ));
+    let dir =
+        std::env::temp_dir().join(format!("dasr-crash-{tag}-{format}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     dir
 }
@@ -86,7 +84,11 @@ fn truncation_mid_record_recovers_to_the_last_complete_batch() {
                 store.recovery_notes()
             );
             let records = store.run_records(run).expect("query");
-            assert_eq!(records.len(), 8, "{format} cut at {cut}: last complete batch");
+            assert_eq!(
+                records.len(),
+                8,
+                "{format} cut at {cut}: last complete batch"
+            );
             let intervals: Vec<u64> = records.iter().map(|r| r.interval()).collect();
             assert_eq!(intervals, (0..8).collect::<Vec<_>>());
             store.close().expect("close");
@@ -133,7 +135,11 @@ fn corrupt_batch_payload_is_cut_away_by_crc() {
             store.recovery_notes()
         );
         let records = store.run_records(run).expect("query");
-        assert_eq!(records.len(), BATCH, "{format}: only the first batch survives");
+        assert_eq!(
+            records.len(),
+            BATCH,
+            "{format}: only the first batch survives"
+        );
         store.close().expect("close");
         std::fs::remove_dir_all(&dir).expect("cleanup");
     }
@@ -216,9 +222,12 @@ fn crc_valid_truncated_varint_payload_is_reported_as_corrupt() {
     // CRC, so the framing layer sees a perfectly healthy batch.
     let last = scan.batches[2].offset as usize;
     let n_records = &full[last..last + 4];
-    let payload_len =
-        u32::from_le_bytes([full[last + 4], full[last + 5], full[last + 6], full[last + 7]])
-            as usize;
+    let payload_len = u32::from_le_bytes([
+        full[last + 4],
+        full[last + 5],
+        full[last + 6],
+        full[last + 7],
+    ]) as usize;
     let cut_payload = &full[last + 8..last + 8 + payload_len - 1];
     let mut forged = full[..last].to_vec();
     forged.extend_from_slice(n_records);

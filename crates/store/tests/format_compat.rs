@@ -86,9 +86,7 @@ fn generated_payloads(n: u64) -> Vec<RecordPayload> {
                             DenyReason::Budget
                         },
                     },
-                    4 => EventKind::BudgetThrottle {
-                        headroom_pct: -2.5,
-                    },
+                    4 => EventKind::BudgetThrottle { headroom_pct: -2.5 },
                     5 => EventKind::BalloonTrigger {
                         phase: match r % 3 {
                             0 => BalloonPhase::Started,

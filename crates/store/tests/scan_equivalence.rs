@@ -6,9 +6,7 @@
 
 use dasr_core::obs::{BalloonPhase, DenyReason, EventKind, RunEvent};
 use dasr_core::SampleRecord;
-use dasr_store::{
-    FormatVersion, Query, RecordPayload, RunId, RunMeta, Shape, Store, WriterConfig,
-};
+use dasr_store::{FormatVersion, Query, RecordPayload, RunId, RunMeta, Shape, Store, WriterConfig};
 use dasr_telemetry::{ProbeStatus, TelemetrySample};
 use std::path::PathBuf;
 
@@ -61,9 +59,7 @@ fn event_kind(tenant: u64, interval: u64) -> EventKind {
                 DenyReason::Budget
             },
         },
-        3 => EventKind::BudgetThrottle {
-            headroom_pct: 3.25,
-        },
+        3 => EventKind::BudgetThrottle { headroom_pct: 3.25 },
         4 => EventKind::BalloonTrigger {
             phase: BalloonPhase::Started,
             target_mb: Some(1536.0),
@@ -89,9 +85,8 @@ fn build_store(dir: &PathBuf, format: FormatVersion) -> (RunId, RunId) {
     let mut store = Store::open_with(dir, cfg).expect("open");
     let mut runs = Vec::new();
     for seed in [1u64, 2] {
-        let run = store.begin_run(
-            RunMeta::new("auto", "cpuio", "equiv", seed).fleet(TENANTS, INTERVALS),
-        );
+        let run =
+            store.begin_run(RunMeta::new("auto", "cpuio", "equiv", seed).fleet(TENANTS, INTERVALS));
         for tenant in 0..TENANTS {
             for interval in 0..INTERVALS {
                 store
@@ -147,10 +142,7 @@ fn every_query_is_bit_identical_at_any_thread_count() {
             assert!(got.5.total_fires() > 0);
             match &baseline {
                 None => baseline = Some(got),
-                Some(b) => assert_eq!(
-                    b, &got,
-                    "{format}: results diverged at {threads} threads"
-                ),
+                Some(b) => assert_eq!(b, &got, "{format}: results diverged at {threads} threads"),
             }
         }
         store.close().expect("close");

@@ -20,7 +20,9 @@ use dasr::core::{
     TenantSpec,
 };
 use dasr::store::record::etag;
-use dasr::store::{Query, RecordPayload, RunMeta, Shape, Store, StoreSource, StoredRecord, WriterConfig};
+use dasr::store::{
+    Query, RecordPayload, RunMeta, Shape, Store, StoreSource, StoredRecord, WriterConfig,
+};
 use dasr::telemetry::{LatencyGoal, TelemetrySource as _};
 use dasr::workloads::{CpuIoConfig, CpuIoWorkload, Trace};
 use std::collections::BTreeSet;
@@ -169,10 +171,11 @@ fn main() {
     let mut t0_live = None;
     for (i, t) in tenants.iter().enumerate() {
         let mut policy = AutoPolicy::with_knobs(t.cfg.knobs);
-        let (live, mut recording) =
-            record_run(&t.cfg, &t.trace, t.workload.clone(), &mut policy);
+        let (live, mut recording) = record_run(&t.cfg, &t.trace, t.workload.clone(), &mut policy);
         recording.stamp_tenant(i as u64);
-        store.append_recording(archive, &recording).expect("archive");
+        store
+            .append_recording(archive, &recording)
+            .expect("archive");
         if i == 0 {
             t0_live = Some(live);
         }
